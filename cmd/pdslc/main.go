@@ -1,0 +1,231 @@
+// Command pdslc is the protocol-DSL compiler: it checks .pdsl definitions,
+// generates Go code, renders wire diagrams and derives behavioural test
+// suites.
+//
+// Usage:
+//
+//	pdslc check <file.pdsl>            statically check the protocol
+//	pdslc gen -pkg NAME <file.pdsl>    emit generated Go to stdout
+//	pdslc diagram <file.pdsl>          render RFC-style ASCII diagrams
+//	pdslc dot <file.pdsl>              render machines as Graphviz digraphs
+//	pdslc tests <file.pdsl>            derive behavioural test suites
+//
+// Pass "-" as the file to read from stdin; `pdslc <cmd> -builtin-arq`
+// uses the embedded §3.4 ARQ protocol.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"protodsl/internal/codegen"
+	"protodsl/internal/dsl"
+	"protodsl/internal/fsm"
+	"protodsl/internal/testgen"
+	"protodsl/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pdslc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: pdslc <check|gen|diagram|tests> [flags] <file.pdsl | - | -builtin-arq>")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "check":
+		return cmdCheck(rest, out)
+	case "gen":
+		return cmdGen(rest, out)
+	case "diagram":
+		return cmdDiagram(rest, out)
+	case "dot":
+		return cmdDot(rest, out)
+	case "tests":
+		return cmdTests(rest, out)
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+func cmdDot(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dot", flag.ContinueOnError)
+	builtin := fs.Bool("builtin-arq", false, "render the embedded ARQ protocol")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	src, err := loadSource(fs, builtin)
+	if err != nil {
+		return err
+	}
+	proto, _, err := dsl.Compile(src)
+	if err != nil {
+		return err
+	}
+	for _, m := range proto.Machines {
+		fmt.Fprintln(out, fsm.Dot(m))
+	}
+	return nil
+}
+
+// loadSource resolves the source argument of a subcommand.
+func loadSource(fs *flag.FlagSet, builtinARQ *bool) (string, error) {
+	if *builtinARQ {
+		return dsl.ARQSource, nil
+	}
+	if fs.NArg() != 1 {
+		return "", fmt.Errorf("expected exactly one input file (or -builtin-arq)")
+	}
+	name := fs.Arg(0)
+	if name == "-" {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return "", err
+		}
+		return string(data), nil
+	}
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+func cmdCheck(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	builtin := fs.Bool("builtin-arq", false, "check the embedded ARQ protocol")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	src, err := loadSource(fs, builtin)
+	if err != nil {
+		return err
+	}
+	proto, reports, err := dsl.Compile(src)
+	if err != nil {
+		if len(reports) > 0 {
+			for _, r := range reports {
+				printReport(out, r)
+			}
+		}
+		return err
+	}
+	fmt.Fprintf(out, "protocol %s: OK\n", proto.Name)
+	fmt.Fprintf(out, "  messages: %d\n", len(proto.MessageOrder))
+	for _, name := range proto.MessageOrder {
+		layout, err := wire.Compile(proto.Messages[name])
+		if err != nil {
+			return err
+		}
+		if size, fixed := layout.FixedSize(); fixed {
+			fmt.Fprintf(out, "    %s (%d bytes)\n", name, size)
+		} else {
+			fmt.Fprintf(out, "    %s (variable size)\n", name)
+		}
+	}
+	fmt.Fprintf(out, "  machines: %d\n", len(proto.Machines))
+	for _, r := range reports {
+		printReport(out, r)
+	}
+	return nil
+}
+
+func printReport(out io.Writer, r *fsm.Report) {
+	status := "OK"
+	if !r.OK() {
+		status = "FAILED"
+	}
+	fmt.Fprintf(out, "    %s: %s (%d error(s), %d warning(s))\n",
+		r.Spec, status, len(r.Errors()), len(r.Warnings()))
+	for _, issue := range r.Issues {
+		fmt.Fprintf(out, "      %s\n", issue)
+	}
+}
+
+func cmdGen(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	pkg := fs.String("pkg", "gen", "generated package name")
+	runtimeImport := fs.String("runtime", "", "genrt import path override")
+	builtin := fs.Bool("builtin-arq", false, "generate from the embedded ARQ protocol")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	src, err := loadSource(fs, builtin)
+	if err != nil {
+		return err
+	}
+	proto, _, err := dsl.Compile(src)
+	if err != nil {
+		return err
+	}
+	code, err := codegen.Generate(proto, codegen.Options{
+		Package:       *pkg,
+		RuntimeImport: *runtimeImport,
+	})
+	if err != nil {
+		return err
+	}
+	_, err = out.Write(code)
+	return err
+}
+
+func cmdDiagram(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("diagram", flag.ContinueOnError)
+	builtin := fs.Bool("builtin-arq", false, "render the embedded ARQ protocol")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	src, err := loadSource(fs, builtin)
+	if err != nil {
+		return err
+	}
+	proto, err := dsl.Parse(src)
+	if err != nil {
+		return err
+	}
+	for _, name := range proto.MessageOrder {
+		fmt.Fprintf(out, "message %s:\n\n%s\n", name, wire.Diagram(proto.Messages[name]))
+	}
+	return nil
+}
+
+func cmdTests(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tests", flag.ContinueOnError)
+	builtin := fs.Bool("builtin-arq", false, "derive tests for the embedded ARQ protocol")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	src, err := loadSource(fs, builtin)
+	if err != nil {
+		return err
+	}
+	proto, _, err := dsl.Compile(src)
+	if err != nil {
+		return err
+	}
+	for _, m := range proto.Machines {
+		suite, err := testgen.Generate(m, testgen.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "machine %s: %d cases (fire=%d reject=%d ignore=%d), transition coverage %.0f%%\n",
+			m.Name, len(suite.Cases),
+			suite.Count(testgen.KindFire), suite.Count(testgen.KindReject), suite.Count(testgen.KindIgnore),
+			100*suite.Coverage())
+		for _, c := range suite.Cases {
+			fmt.Fprintf(out, "  [%s] %s\n", c.Kind, c.Name)
+		}
+		if err := testgen.Run(m, suite); err != nil {
+			return fmt.Errorf("machine %s: generated suite failed: %w", m.Name, err)
+		}
+		fmt.Fprintf(out, "  suite replayed: PASS\n")
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"protodsl/internal/dsl"
+)
+
+func TestCheckBuiltinARQ(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"check", "-builtin-arq"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"protocol arq: OK", "Packet (variable size)", "Sender: OK", "Receiver: OK"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCheckFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "arq.pdsl")
+	if err := os.WriteFile(path, []byte(dsl.ARQSource), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"check", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "OK") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestCheckRejectsBrokenSpec(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.pdsl")
+	src := `protocol bad {
+	machine M {
+		init state A
+		event GO
+		on GO from A to Missing
+	}
+}`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"check", path}, &out); err == nil {
+		t.Error("broken spec accepted")
+	}
+}
+
+func TestGenEmitsGo(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"gen", "-pkg", "arqgen", "-builtin-arq"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"package arqgen", "func EncodePacket", "type SenderReady struct"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("generated output missing %q", want)
+		}
+	}
+}
+
+func TestDiagram(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"diagram", "-builtin-arq"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "message Packet:") || !strings.Contains(s, "chk (sum8)") {
+		t.Errorf("diagram output:\n%s", s)
+	}
+}
+
+func TestTests(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"tests", "-builtin-arq"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"machine Sender:", "transition coverage 100%", "suite replayed: PASS"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("tests output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run([]string{"frobnicate"}, &out); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"check"}, &out); err == nil {
+		t.Error("check without file accepted")
+	}
+	if err := run([]string{"check", "/nonexistent/x.pdsl"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestStopAndWaitRun(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-payloads", "10", "-size", "32", "-loss", "0.2", "-seed", "3",
+		"-rto", "15ms", "-retries", "40",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"stop-and-wait transfer", "ok: true", "delivered: 10/10"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestGoBackNRun(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-payloads", "20", "-window", "8", "-delay", "10ms", "-loss", "0.05",
+		"-rto", "80ms", "-retries", "40",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "go-back-N transfer (window 8)") || !strings.Contains(s, "delivered: 20/20") {
+		t.Errorf("output:\n%s", s)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-window", "not-a-number"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

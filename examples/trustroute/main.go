@@ -1,0 +1,57 @@
+// Trust routing (§1.1, ref [12]): deliver messages to a destination
+// through relay nodes when half of them are adversarial (silently
+// dropping or corrupting traffic). The sender learns per-relay trust
+// scores from end-to-end acknowledgements and routes around the
+// adversaries; the baseline picks relays uniformly at random.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"protodsl"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	base := protodsl.TrustConfig{
+		Relays:              8,
+		AdversarialFraction: 0.5,
+		Messages:            400,
+		Seed:                2026,
+	}
+
+	random := base
+	random.Strategy = protodsl.TrustStrategyRandom
+	rres, err := protodsl.RunTrustRouting(random)
+	if err != nil {
+		return err
+	}
+
+	learning := base
+	learning.Strategy = protodsl.TrustStrategyLearn
+	tres, err := protodsl.RunTrustRouting(learning)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("8 relays, 4 adversarial (p=0.9 misbehaviour), 400 messages\n\n")
+	fmt.Printf("random relay choice:   %5.1f%% delivered\n", 100*rres.SuccessRate)
+	fmt.Printf("trust learning:        %5.1f%% delivered (%5.1f%% in the final quarter)\n\n",
+		100*tres.SuccessRate, 100*tres.LateSuccessRate)
+
+	fmt.Println("learned trust table (score = smoothed success rate):")
+	fmt.Println("  relay  behaviour  chosen  succeeded  score")
+	for i, r := range tres.Relays {
+		fmt.Printf("  %5d  %-9s  %6d  %9d  %.3f\n",
+			i, r.Behaviour, r.Chosen, r.Succeeded, r.Score)
+	}
+	fmt.Println("\nThe learner concentrates traffic on honest relays; the baseline keeps")
+	fmt.Println("feeding the adversaries — the paper's untrusted-environment hook.")
+	return nil
+}

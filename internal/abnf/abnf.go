@@ -1,0 +1,426 @@
+// Package abnf implements RFC 5234 Augmented Backus-Naur Form: a parser
+// for ABNF grammar text and a backtracking matcher for inputs against a
+// grammar rule.
+//
+// ABNF is one of the paper's §2.1 baselines: "a readily machine-parseable
+// definition but … essentially a syntactic notation representing the
+// on-the-wire data structure". This package exists so the repository can
+// demonstrate exactly that boundary — ABNF can describe the shape of a
+// message but cannot state that a checksum is valid or that a sequence
+// number matches machine state, which is where the wire/fsm layers take
+// over.
+//
+// Supported: rule lists with `=` and incremental `=/` definitions,
+// alternation, concatenation, repetition (`*`, `n*m`, exact `n`), groups,
+// options, case-insensitive and `%s` case-sensitive char-vals, and
+// num-vals (`%d`/`%x`/`%b`, terminal values, ranges and dotted series) up
+// to 0xFF — inputs are byte strings. Prose-vals are rejected. The RFC's
+// core rules (ALPHA, DIGIT, CRLF, …) are predefined.
+package abnf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// element is a node of the grammar AST.
+type element interface{ elem() }
+
+type ruleRef struct{ name string }
+
+type charVal struct {
+	text      string
+	sensitive bool
+}
+
+// numVal matches one byte in [lo, hi].
+type numVal struct{ lo, hi byte }
+
+// seqVal matches an exact byte sequence (dotted num-val).
+type seqVal struct{ bytes []byte }
+
+type repeat struct {
+	min, max int // max < 0 means unbounded
+	el       element
+}
+
+type concat struct{ parts []element }
+
+type alternation struct{ alts []concat }
+
+func (ruleRef) elem()     {}
+func (charVal) elem()     {}
+func (numVal) elem()      {}
+func (seqVal) elem()      {}
+func (repeat) elem()      {}
+func (concat) elem()      {}
+func (alternation) elem() {}
+
+// Grammar is a parsed rule list. Rule names are case-insensitive per the
+// RFC.
+type Grammar struct {
+	rules map[string]*alternation
+	order []string
+}
+
+// Rules returns the rule names in definition order.
+func (g *Grammar) Rules() []string {
+	out := make([]string, len(g.order))
+	copy(out, g.order)
+	return out
+}
+
+// HasRule reports whether the (case-insensitive) rule exists.
+func (g *Grammar) HasRule(name string) bool {
+	_, ok := g.rules[strings.ToLower(name)]
+	return ok
+}
+
+// ParseError reports a grammar-text syntax error.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string { return fmt.Sprintf("abnf: line %d: %s", e.Line, e.Msg) }
+
+// Parse parses ABNF grammar text. Continuation lines (starting with
+// whitespace) extend the previous rule, per the RFC's rulelist syntax.
+func Parse(src string) (*Grammar, error) {
+	g := &Grammar{rules: make(map[string]*alternation)}
+
+	// Join continuation lines.
+	var logical []struct {
+		num  int
+		text string
+	}
+	for i, raw := range strings.Split(src, "\n") {
+		if idx := strings.Index(raw, ";"); idx >= 0 {
+			raw = raw[:idx] // comment
+		}
+		if strings.TrimSpace(raw) == "" {
+			continue
+		}
+		if (strings.HasPrefix(raw, " ") || strings.HasPrefix(raw, "\t")) && len(logical) > 0 {
+			logical[len(logical)-1].text += " " + strings.TrimSpace(raw)
+			continue
+		}
+		logical = append(logical, struct {
+			num  int
+			text string
+		}{i + 1, strings.TrimSpace(raw)})
+	}
+
+	for _, l := range logical {
+		name, incremental, rhs, err := splitRule(l.text)
+		if err != nil {
+			return nil, &ParseError{Line: l.num, Msg: err.Error()}
+		}
+		p := &elemParser{src: rhs, line: l.num}
+		alt, err := p.alternation()
+		if err != nil {
+			return nil, err
+		}
+		p.skipWS()
+		if p.pos < len(p.src) {
+			return nil, &ParseError{Line: l.num, Msg: fmt.Sprintf("trailing input %q", p.src[p.pos:])}
+		}
+		key := strings.ToLower(name)
+		if existing, ok := g.rules[key]; ok {
+			if !incremental {
+				return nil, &ParseError{Line: l.num, Msg: fmt.Sprintf("rule %q redefined (use =/ to extend)", name)}
+			}
+			existing.alts = append(existing.alts, alt.alts...)
+			continue
+		}
+		if incremental {
+			return nil, &ParseError{Line: l.num, Msg: fmt.Sprintf("=/ on undefined rule %q", name)}
+		}
+		g.rules[key] = alt
+		g.order = append(g.order, name)
+	}
+	if len(g.order) == 0 {
+		return nil, &ParseError{Line: 0, Msg: "no rules defined"}
+	}
+	return g, nil
+}
+
+func splitRule(text string) (name string, incremental bool, rhs string, err error) {
+	idx := strings.Index(text, "=")
+	if idx <= 0 {
+		return "", false, "", fmt.Errorf("expected 'rulename = elements', got %q", text)
+	}
+	name = strings.TrimSpace(text[:idx])
+	rest := text[idx+1:]
+	if strings.HasPrefix(rest, "/") {
+		incremental = true
+		rest = rest[1:]
+	}
+	if !isRuleName(name) {
+		return "", false, "", fmt.Errorf("invalid rule name %q", name)
+	}
+	return name, incremental, strings.TrimSpace(rest), nil
+}
+
+func isRuleName(s string) bool {
+	if s == "" {
+		return false
+	}
+	c := s[0]
+	if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z') {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// elemParser parses the right-hand side of one rule.
+type elemParser struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (p *elemParser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *elemParser) skipWS() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *elemParser) alternation() (*alternation, error) {
+	var alt alternation
+	for {
+		c, err := p.concatenation()
+		if err != nil {
+			return nil, err
+		}
+		alt.alts = append(alt.alts, *c)
+		p.skipWS()
+		if p.pos < len(p.src) && p.src[p.pos] == '/' {
+			p.pos++
+			continue
+		}
+		return &alt, nil
+	}
+}
+
+func (p *elemParser) concatenation() (*concat, error) {
+	var c concat
+	for {
+		p.skipWS()
+		if p.pos >= len(p.src) || p.src[p.pos] == '/' || p.src[p.pos] == ')' || p.src[p.pos] == ']' {
+			if len(c.parts) == 0 {
+				return nil, p.errf("empty concatenation")
+			}
+			return &c, nil
+		}
+		rep, err := p.repetition()
+		if err != nil {
+			return nil, err
+		}
+		c.parts = append(c.parts, rep)
+	}
+}
+
+func (p *elemParser) repetition() (element, error) {
+	min, max, hasRep, err := p.repeatPrefix()
+	if err != nil {
+		return nil, err
+	}
+	el, err := p.element()
+	if err != nil {
+		return nil, err
+	}
+	if !hasRep {
+		return el, nil
+	}
+	return repeat{min: min, max: max, el: el}, nil
+}
+
+func (p *elemParser) repeatPrefix() (min, max int, has bool, err error) {
+	start := p.pos
+	digits := func() (int, bool) {
+		s := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.pos++
+		}
+		if s == p.pos {
+			return 0, false
+		}
+		n, _ := strconv.Atoi(p.src[s:p.pos])
+		return n, true
+	}
+	lo, hasLo := digits()
+	if p.pos < len(p.src) && p.src[p.pos] == '*' {
+		p.pos++
+		hi, hasHi := digits()
+		if !hasLo {
+			lo = 0
+		}
+		if !hasHi {
+			hi = -1
+		}
+		return lo, hi, true, nil
+	}
+	if hasLo {
+		// exact repetition nElement
+		return lo, lo, true, nil
+	}
+	p.pos = start
+	return 0, 0, false, nil
+}
+
+func (p *elemParser) element() (element, error) {
+	if p.pos >= len(p.src) {
+		return nil, p.errf("unexpected end of elements")
+	}
+	switch c := p.src[p.pos]; {
+	case c == '(':
+		p.pos++
+		alt, err := p.alternation()
+		if err != nil {
+			return nil, err
+		}
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return nil, p.errf("expected ')'")
+		}
+		p.pos++
+		return *alt, nil
+	case c == '[':
+		p.pos++
+		alt, err := p.alternation()
+		if err != nil {
+			return nil, err
+		}
+		if p.pos >= len(p.src) || p.src[p.pos] != ']' {
+			return nil, p.errf("expected ']'")
+		}
+		p.pos++
+		return repeat{min: 0, max: 1, el: *alt}, nil
+	case c == '"':
+		return p.charVal(false)
+	case c == '%':
+		return p.numOrCaseVal()
+	case c == '<':
+		return nil, p.errf("prose-vals are not supported")
+	case isRuleName(string(c)):
+		start := p.pos
+		for p.pos < len(p.src) && isRuleNamePart(p.src[p.pos]) {
+			p.pos++
+		}
+		return ruleRef{name: strings.ToLower(p.src[start:p.pos])}, nil
+	default:
+		return nil, p.errf("unexpected character %q in elements", string(c))
+	}
+}
+
+func isRuleNamePart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-'
+}
+
+func (p *elemParser) charVal(sensitive bool) (element, error) {
+	// current char is '"'
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != '"' {
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		return nil, p.errf("unterminated string")
+	}
+	text := p.src[start:p.pos]
+	p.pos++
+	return charVal{text: text, sensitive: sensitive}, nil
+}
+
+func (p *elemParser) numOrCaseVal() (element, error) {
+	// current char is '%'
+	p.pos++
+	if p.pos >= len(p.src) {
+		return nil, p.errf("dangling %%")
+	}
+	switch p.src[p.pos] {
+	case 's':
+		p.pos++
+		if p.pos >= len(p.src) || p.src[p.pos] != '"' {
+			return nil, p.errf("%%s must be followed by a quoted string")
+		}
+		return p.charVal(true)
+	case 'i':
+		p.pos++
+		if p.pos >= len(p.src) || p.src[p.pos] != '"' {
+			return nil, p.errf("%%i must be followed by a quoted string")
+		}
+		return p.charVal(false)
+	case 'd', 'x', 'b':
+		return p.numVal()
+	default:
+		return nil, p.errf("unknown %% prefix %q", string(p.src[p.pos]))
+	}
+}
+
+func (p *elemParser) numVal() (element, error) {
+	base := 10
+	digits := "0123456789"
+	switch p.src[p.pos] {
+	case 'x':
+		base, digits = 16, "0123456789abcdefABCDEF"
+	case 'b':
+		base, digits = 2, "01"
+	}
+	p.pos++
+	read := func() (byte, error) {
+		start := p.pos
+		for p.pos < len(p.src) && strings.ContainsRune(digits, rune(p.src[p.pos])) {
+			p.pos++
+		}
+		if start == p.pos {
+			return 0, p.errf("expected digits in num-val")
+		}
+		v, err := strconv.ParseUint(p.src[start:p.pos], base, 16)
+		if err != nil || v > 0xFF {
+			return 0, p.errf("num-val %q out of byte range", p.src[start:p.pos])
+		}
+		return byte(v), nil
+	}
+	first, err := read()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.src) && p.src[p.pos] == '-' {
+		p.pos++
+		hi, err := read()
+		if err != nil {
+			return nil, err
+		}
+		if hi < first {
+			return nil, p.errf("inverted num-val range")
+		}
+		return numVal{lo: first, hi: hi}, nil
+	}
+	if p.pos < len(p.src) && p.src[p.pos] == '.' {
+		seq := []byte{first}
+		for p.pos < len(p.src) && p.src[p.pos] == '.' {
+			p.pos++
+			b, err := read()
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, b)
+		}
+		return seqVal{bytes: seq}, nil
+	}
+	return numVal{lo: first, hi: first}, nil
+}

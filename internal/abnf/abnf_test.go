@@ -1,0 +1,295 @@
+package abnf
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustGrammar(t *testing.T, src string) *Grammar {
+	t.Helper()
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCoreRulesAvailable(t *testing.T) {
+	g := mustGrammar(t, `word = 1*ALPHA`)
+	ok, err := g.Match("word", []byte("Hello"), 0)
+	if err != nil || !ok {
+		t.Errorf("ALPHA word: %v %v", ok, err)
+	}
+	ok, err = g.Match("word", []byte("Hi5"), 0)
+	if err != nil || ok {
+		t.Errorf("digit in ALPHA word matched: %v %v", ok, err)
+	}
+}
+
+func TestDottedQuad(t *testing.T) {
+	// The classic IPv4 dotted-quad grammar.
+	g := mustGrammar(t, `
+dotted-quad = octet "." octet "." octet "." octet
+octet = 1*3DIGIT
+`)
+	for _, good := range []string{"0.0.0.0", "192.168.1.1", "255.255.255.255"} {
+		ok, err := g.Match("dotted-quad", []byte(good), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("%q did not match", good)
+		}
+	}
+	for _, bad := range []string{"", "1.2.3", "1.2.3.4.5", "a.b.c.d", "1..2.3"} {
+		ok, err := g.Match("dotted-quad", []byte(bad), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Errorf("%q matched", bad)
+		}
+	}
+}
+
+func TestAlternationAndGroups(t *testing.T) {
+	g := mustGrammar(t, `cmd = ("GET" / "PUT") SP 1*VCHAR CRLF`)
+	ok, err := g.Match("cmd", []byte("GET /index\r\n"), 0)
+	if err != nil || !ok {
+		t.Errorf("GET: %v %v", ok, err)
+	}
+	ok, _ = g.Match("cmd", []byte("DEL /index\r\n"), 0)
+	if ok {
+		t.Error("DEL matched")
+	}
+}
+
+func TestCaseSensitivity(t *testing.T) {
+	g := mustGrammar(t, `
+loose = "abc"
+strict = %s"abc"
+`)
+	ok, _ := g.Match("loose", []byte("AbC"), 0)
+	if !ok {
+		t.Error("char-vals are case-insensitive per RFC 5234")
+	}
+	ok, _ = g.Match("strict", []byte("AbC"), 0)
+	if ok {
+		t.Error("case-sensitive string matched case-insensitively")
+	}
+	ok, _ = g.Match("strict", []byte("abc"), 0)
+	if !ok {
+		t.Error("case-sensitive string did not match itself")
+	}
+}
+
+func TestNumVals(t *testing.T) {
+	g := mustGrammar(t, `
+range = %x41-43
+exact = %d65
+series = %d72.73.74
+binary = %b01000001
+`)
+	cases := []struct {
+		rule  string
+		input string
+		want  bool
+	}{
+		{"range", "A", true}, {"range", "C", true}, {"range", "D", false},
+		{"exact", "A", true}, {"exact", "B", false},
+		{"series", "HIJ", true}, {"series", "HIK", false},
+		{"binary", "A", true},
+	}
+	for _, c := range cases {
+		ok, err := g.Match(c.rule, []byte(c.input), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != c.want {
+			t.Errorf("%s(%q) = %v, want %v", c.rule, c.input, ok, c.want)
+		}
+	}
+}
+
+func TestRepetitionForms(t *testing.T) {
+	g := mustGrammar(t, `
+any = *DIGIT
+some = 1*DIGIT
+upto = *3DIGIT
+exact = 4DIGIT
+between = 2*3DIGIT
+opt = [ "x" ] "y"
+`)
+	cases := []struct {
+		rule  string
+		input string
+		want  bool
+	}{
+		{"any", "", true}, {"any", "123", true},
+		{"some", "", false}, {"some", "1", true},
+		{"upto", "123", true}, {"upto", "1234", false},
+		{"exact", "1234", true}, {"exact", "123", false}, {"exact", "12345", false},
+		{"between", "1", false}, {"between", "12", true}, {"between", "123", true}, {"between", "1234", false},
+		{"opt", "y", true}, {"opt", "xy", true}, {"opt", "xxy", false},
+	}
+	for _, c := range cases {
+		ok, err := g.Match(c.rule, []byte(c.input), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != c.want {
+			t.Errorf("%s(%q) = %v, want %v", c.rule, c.input, ok, c.want)
+		}
+	}
+}
+
+func TestIncrementalAlternatives(t *testing.T) {
+	g := mustGrammar(t, `
+method = "GET"
+method =/ "PUT"
+method =/ "DELETE"
+`)
+	for _, m := range []string{"GET", "PUT", "DELETE"} {
+		ok, _ := g.Match("method", []byte(m), 0)
+		if !ok {
+			t.Errorf("%s did not match", m)
+		}
+	}
+	if _, err := Parse("a = \"x\"\na = \"y\"\n"); err == nil {
+		t.Error("redefinition without =/ accepted")
+	}
+	if _, err := Parse("a =/ \"x\"\n"); err == nil {
+		t.Error("=/ on undefined rule accepted")
+	}
+}
+
+func TestContinuationLines(t *testing.T) {
+	g := mustGrammar(t, "long = \"a\"\n      / \"b\"\n      / \"c\"\n")
+	for _, s := range []string{"a", "b", "c"} {
+		ok, _ := g.Match("long", []byte(s), 0)
+		if !ok {
+			t.Errorf("%q did not match", s)
+		}
+	}
+}
+
+func TestCommentsIgnored(t *testing.T) {
+	g := mustGrammar(t, `
+rule = "x" ; this is a comment
+; full-line comment
+`)
+	ok, _ := g.Match("rule", []byte("x"), 0)
+	if !ok {
+		t.Error("comment broke the rule")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"= \"x\"",
+		"1bad = \"x\"",
+		"a = <prose>",
+		"a = \"unterminated",
+		"a = %q\"x\"",
+		"a = %d300",
+		"a = %x41-40",  // inverted range
+		"a = (\"x\"",   // unclosed group
+		"a = [\"x\"",   // unclosed option
+		"a = \"x\" )",  // stray close
+		"a = %d65.300", // series element out of range
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestMatchUndefinedRule(t *testing.T) {
+	g := mustGrammar(t, `a = b`)
+	if _, err := g.Match("a", []byte("x"), 0); !errors.Is(err, ErrNoRule) {
+		t.Errorf("undefined referenced rule: %v", err)
+	}
+	if _, err := g.Match("nosuch", []byte("x"), 0); !errors.Is(err, ErrNoRule) {
+		t.Errorf("undefined root rule: %v", err)
+	}
+}
+
+func TestBudget(t *testing.T) {
+	// Nested unbounded repetition over a long input burns budget.
+	g := mustGrammar(t, `a = *( *"x" *"x" )`)
+	input := []byte(strings.Repeat("x", 64))
+	if _, err := g.Match("a", input, 50); !errors.Is(err, ErrBudget) {
+		t.Errorf("tiny budget: %v", err)
+	}
+}
+
+func TestMatchPrefix(t *testing.T) {
+	g := mustGrammar(t, `num = 1*DIGIT`)
+	ends, err := g.MatchPrefix("num", []byte("123abc"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ends) != 3 || ends[0] != 1 || ends[2] != 3 {
+		t.Errorf("ends = %v, want [1 2 3]", ends)
+	}
+}
+
+func TestRulesAccessors(t *testing.T) {
+	g := mustGrammar(t, "a = \"x\"\nb = a\n")
+	if got := g.Rules(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Rules = %v", got)
+	}
+	if !g.HasRule("A") || g.HasRule("c") {
+		t.Error("HasRule case-insensitivity broken")
+	}
+}
+
+// Property: any string of ASCII letters matches 1*ALPHA, and adding a
+// digit anywhere breaks it.
+func TestQuickAlphaWords(t *testing.T) {
+	g := mustGrammar(t, `word = 1*ALPHA`)
+	f := func(n uint8, pos uint8) bool {
+		length := int(n%20) + 1
+		word := make([]byte, length)
+		for i := range word {
+			word[i] = 'a' + byte(i%26)
+		}
+		ok, err := g.Match("word", word, 0)
+		if err != nil || !ok {
+			return false
+		}
+		corrupted := append([]byte(nil), word...)
+		corrupted[int(pos)%length] = '7'
+		ok, err = g.Match("word", corrupted, 0)
+		return err == nil && !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestABNFCannotExpressSemantics documents the paper's §2.1/§2.2 point:
+// ABNF matches a syntactically well-formed ARQ packet even when its
+// checksum is wrong — the semantic constraint lives outside the grammar.
+func TestABNFCannotExpressSemantics(t *testing.T) {
+	g := mustGrammar(t, `
+packet = seq chk len payload
+seq = OCTET
+chk = OCTET
+len = 2OCTET
+payload = *OCTET
+`)
+	// A "packet" whose checksum byte is garbage still matches: syntax
+	// only. (The wire layer rejects it; see internal/wire tests.)
+	bad := []byte{0x01, 0xFF, 0x00, 0x02, 0xAA, 0xBB}
+	ok, err := g.Match("packet", bad, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("syntactically valid packet did not match")
+	}
+}

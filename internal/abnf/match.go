@@ -1,0 +1,257 @@
+package abnf
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Matcher errors.
+var (
+	// ErrBudget is returned when matching exceeds its step budget (a
+	// totality bound: ABNF backtracking can be exponential).
+	ErrBudget = errors.New("abnf: match budget exceeded")
+	// ErrNoRule is returned for matches against undefined rules.
+	ErrNoRule = errors.New("abnf: rule not defined")
+)
+
+// coreRules are RFC 5234 appendix B.1, predefined for every grammar.
+const coreRulesSrc = `ALPHA = %x41-5A / %x61-7A
+BIT = "0" / "1"
+CHAR = %x01-7F
+CR = %x0D
+CRLF = CR LF
+CTL = %x00-1F / %x7F
+DIGIT = %x30-39
+DQUOTE = %x22
+HEXDIG = DIGIT / "A" / "B" / "C" / "D" / "E" / "F"
+HTAB = %x09
+LF = %x0A
+LWSP = *(WSP / CRLF WSP)
+OCTET = %x00-FF
+SP = %x20
+VCHAR = %x21-7E
+WSP = SP / HTAB
+`
+
+var coreGrammar = mustParseCore()
+
+func mustParseCore() *Grammar {
+	g, err := Parse(coreRulesSrc)
+	if err != nil {
+		panic("abnf: core rules do not parse: " + err.Error())
+	}
+	return g
+}
+
+// lookup resolves a rule in the grammar, falling back to the core rules.
+func (g *Grammar) lookup(name string) (*alternation, bool) {
+	if alt, ok := g.rules[name]; ok {
+		return alt, true
+	}
+	alt, ok := coreGrammar.rules[name]
+	return alt, ok
+}
+
+// matcher carries the step budget through a match.
+type matcher struct {
+	g      *Grammar
+	input  []byte
+	budget int
+}
+
+func (m *matcher) spend() error {
+	m.budget--
+	if m.budget < 0 {
+		return ErrBudget
+	}
+	return nil
+}
+
+// Match reports whether input (in its entirety) matches the named rule.
+// budget bounds total matcher steps (0 selects 1 << 20).
+func (g *Grammar) Match(rule string, input []byte, budget int) (bool, error) {
+	ends, err := g.MatchPrefix(rule, input, budget)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range ends {
+		if e == len(input) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// MatchPrefix returns every prefix length of input that matches the named
+// rule, in increasing order.
+func (g *Grammar) MatchPrefix(rule string, input []byte, budget int) ([]int, error) {
+	key := strings.ToLower(rule)
+	alt, ok := g.lookup(key)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoRule, rule)
+	}
+	if budget <= 0 {
+		budget = 1 << 20
+	}
+	m := &matcher{g: g, input: input, budget: budget}
+	ends, err := m.matchAlt(alt, 0)
+	if err != nil {
+		return nil, err
+	}
+	return ends, nil
+}
+
+// matchAlt returns the sorted, deduplicated set of end positions.
+func (m *matcher) matchAlt(alt *alternation, pos int) ([]int, error) {
+	if err := m.spend(); err != nil {
+		return nil, err
+	}
+	var out []int
+	for i := range alt.alts {
+		ends, err := m.matchConcat(&alt.alts[i], pos)
+		if err != nil {
+			return nil, err
+		}
+		out = mergeEnds(out, ends)
+	}
+	return out, nil
+}
+
+func (m *matcher) matchConcat(c *concat, pos int) ([]int, error) {
+	if err := m.spend(); err != nil {
+		return nil, err
+	}
+	cur := []int{pos}
+	for _, part := range c.parts {
+		var next []int
+		for _, p := range cur {
+			ends, err := m.matchElement(part, p)
+			if err != nil {
+				return nil, err
+			}
+			next = mergeEnds(next, ends)
+		}
+		if len(next) == 0 {
+			return nil, nil
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+func (m *matcher) matchElement(el element, pos int) ([]int, error) {
+	if err := m.spend(); err != nil {
+		return nil, err
+	}
+	switch e := el.(type) {
+	case ruleRef:
+		alt, ok := m.g.lookup(e.name)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNoRule, e.name)
+		}
+		return m.matchAlt(alt, pos)
+	case alternation:
+		return m.matchAlt(&e, pos)
+	case concat:
+		return m.matchConcat(&e, pos)
+	case charVal:
+		n := len(e.text)
+		if pos+n > len(m.input) {
+			return nil, nil
+		}
+		got := string(m.input[pos : pos+n])
+		if e.sensitive {
+			if got != e.text {
+				return nil, nil
+			}
+		} else if !strings.EqualFold(got, e.text) {
+			return nil, nil
+		}
+		return []int{pos + n}, nil
+	case numVal:
+		if pos >= len(m.input) {
+			return nil, nil
+		}
+		b := m.input[pos]
+		if b < e.lo || b > e.hi {
+			return nil, nil
+		}
+		return []int{pos + 1}, nil
+	case seqVal:
+		n := len(e.bytes)
+		if pos+n > len(m.input) {
+			return nil, nil
+		}
+		if string(m.input[pos:pos+n]) != string(e.bytes) {
+			return nil, nil
+		}
+		return []int{pos + n}, nil
+	case repeat:
+		return m.matchRepeat(e, pos)
+	default:
+		return nil, fmt.Errorf("abnf: unknown element %T", el)
+	}
+}
+
+func (m *matcher) matchRepeat(r repeat, pos int) ([]int, error) {
+	// Breadth-first over repetition counts; positions dedupe, and a
+	// repetition that consumes nothing cannot extend further (prevents
+	// infinite loops on nullable elements).
+	current := []int{pos}
+	var out []int
+	if r.min == 0 {
+		out = []int{pos}
+	}
+	for count := 1; r.max < 0 || count <= r.max; count++ {
+		var next []int
+		for _, p := range current {
+			ends, err := m.matchElement(r.el, p)
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range ends {
+				if e > p { // progress only
+					next = mergeEnds(next, []int{e})
+				}
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		if count >= r.min {
+			out = mergeEnds(out, next)
+		}
+		current = next
+	}
+	return out, nil
+}
+
+// mergeEnds merges two sorted unique position lists.
+func mergeEnds(a, b []int) []int {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return append([]int(nil), b...)
+	}
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

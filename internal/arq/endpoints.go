@@ -1,0 +1,327 @@
+package arq
+
+import (
+	"fmt"
+	"time"
+
+	"protodsl/internal/expr"
+	"protodsl/internal/fsm"
+	"protodsl/internal/netsim"
+)
+
+// SenderStats counts sender-side protocol events.
+type SenderStats struct {
+	PacketsSent   int // total data packets put on the wire
+	Retransmits   int // of which retransmissions
+	AcksReceived  int // validated acks delivered to the machine
+	AcksCorrupted int // acks that failed validation (FAIL transitions)
+	Timeouts      int // retransmission timer expiries
+	StaleAcks     int // acks ignored or rejected by the machine
+}
+
+// Sender drives the checked ARQ sender spec over a simulator endpoint.
+// All methods run inside the simulator event loop.
+type Sender struct {
+	sim     *netsim.Sim
+	ep      *netsim.Endpoint
+	peer    netsim.Addr
+	machine *fsm.Machine
+	codec   *Codec
+
+	payloads [][]byte
+	idx      int
+	current  []byte
+
+	timer      *netsim.Timer
+	rto        time.Duration
+	maxRetries int
+	retries    int
+
+	stats SenderStats
+	done  bool
+	ok    bool
+	err   error
+}
+
+// NewSender builds a sender for the given payload sequence. The machine
+// is instantiated from the statically checked spec; a spec that fails
+// Check is unusable (NewMachine refuses it).
+func NewSender(sim *netsim.Sim, ep *netsim.Endpoint, peer netsim.Addr,
+	payloads [][]byte, rto time.Duration, maxRetries int) (*Sender, error) {
+	machine, err := fsm.NewMachine(SenderSpec())
+	if err != nil {
+		return nil, fmt.Errorf("arq sender: %w", err)
+	}
+	codec, err := NewCodec()
+	if err != nil {
+		return nil, fmt.Errorf("arq sender: %w", err)
+	}
+	s := &Sender{
+		sim: sim, ep: ep, peer: peer, machine: machine, codec: codec,
+		payloads: payloads, rto: rto, maxRetries: maxRetries,
+	}
+	ep.SetHandler(s.onDatagram)
+	return s, nil
+}
+
+// Start begins the transfer (schedules the first send).
+func (s *Sender) Start() { s.sim.Post(s.advance) }
+
+// Done reports whether the transfer has ended (successfully or not).
+func (s *Sender) Done() bool { return s.done }
+
+// OK reports whether the transfer completed with all payloads
+// acknowledged (machine in Sent).
+func (s *Sender) OK() bool { return s.ok }
+
+// Err returns the first internal error (always nil in healthy runs;
+// non-nil indicates a bug, since the spec is checked).
+func (s *Sender) Err() error { return s.err }
+
+// Stats returns the sender's counters.
+func (s *Sender) Stats() SenderStats { return s.stats }
+
+// State returns the machine's current state name.
+func (s *Sender) State() string { return s.machine.State() }
+
+// fail records an internal error and halts the transfer.
+func (s *Sender) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+	s.finish(false)
+}
+
+func (s *Sender) finish(ok bool) {
+	if s.done {
+		return
+	}
+	s.done = true
+	s.ok = ok
+	if s.timer != nil {
+		s.timer.Cancel()
+	}
+}
+
+// advance sends the next payload, or finishes if none remain.
+func (s *Sender) advance() {
+	if s.done {
+		return
+	}
+	if s.idx >= len(s.payloads) {
+		if _, err := s.machine.Step(EvFinish, nil); err != nil {
+			s.fail(err)
+			return
+		}
+		s.finish(true)
+		return
+	}
+	s.current = s.payloads[s.idx]
+	s.transmit(false)
+}
+
+// transmit raises SEND (or re-raises it after FAIL/RETRY) and puts the
+// emitted packet on the wire.
+func (s *Sender) transmit(isRetransmit bool) {
+	res, err := s.machine.Step(EvSend, map[string]expr.Value{"data": expr.Bytes(s.current)})
+	if err != nil {
+		s.fail(err)
+		return
+	}
+	if res.Fired == nil {
+		s.fail(fmt.Errorf("arq sender: SEND did not fire in state %s", res.From))
+		return
+	}
+	out := res.Outputs[0]
+	enc, err := s.codec.Packet.Encode(out.Fields)
+	if err != nil {
+		s.fail(fmt.Errorf("arq sender: encode: %w", err))
+		return
+	}
+	if err := s.ep.Send(s.peer, enc); err != nil {
+		s.fail(err)
+		return
+	}
+	s.stats.PacketsSent++
+	if isRetransmit {
+		s.stats.Retransmits++
+	}
+	s.armTimer()
+}
+
+func (s *Sender) armTimer() {
+	if s.timer != nil {
+		s.timer.Cancel()
+	}
+	s.timer = s.sim.After(s.rto, s.onTimeout)
+}
+
+// onDatagram handles anything arriving at the sender: only acks are
+// expected. Validation happens *before* the machine sees the event, so
+// the machine's OK transitions only ever observe verified acks.
+func (s *Sender) onDatagram(_ netsim.Addr, data []byte) {
+	if s.done {
+		return
+	}
+	ack, err := s.codec.DecodeAck(data)
+	if err != nil {
+		// Corrupted ack: the paper's FAIL transition — back to Ready and
+		// retransmit immediately.
+		s.stats.AcksCorrupted++
+		res, serr := s.machine.Step(EvFail, nil)
+		if serr != nil {
+			s.fail(serr)
+			return
+		}
+		if res.Fired != nil && res.To == StReady {
+			s.transmit(true)
+		}
+		return
+	}
+	s.stats.AcksReceived++
+	res, serr := s.machine.Step(EvOK, map[string]expr.Value{"ack": ackValue(ack)})
+	if serr != nil {
+		s.fail(serr)
+		return
+	}
+	switch {
+	case res.Fired != nil && res.Fired.Name == "ack":
+		// The in-flight packet is acknowledged: advance.
+		if s.timer != nil {
+			s.timer.Cancel()
+		}
+		s.retries = 0
+		s.idx++
+		s.advance()
+	default:
+		// Rejected (wrong seq) or ignored (stale in Ready).
+		s.stats.StaleAcks++
+	}
+}
+
+// onTimeout handles retransmission-timer expiry.
+func (s *Sender) onTimeout() {
+	if s.done {
+		return
+	}
+	res, err := s.machine.Step(EvTimeout, nil)
+	if err != nil {
+		s.fail(err)
+		return
+	}
+	if res.Fired == nil {
+		return // late timer in Ready: ignored by the spec
+	}
+	s.stats.Timeouts++
+	s.retries++
+	if s.retries > s.maxRetries {
+		// The paper's Failure outcome: the machine rests in Timeout — a
+		// consistent, declared end state (§3.4 guarantee 4).
+		s.finish(false)
+		return
+	}
+	if _, err := s.machine.Step(EvRetry, nil); err != nil {
+		s.fail(err)
+		return
+	}
+	s.transmit(true)
+}
+
+// ReceiverStats counts receiver-side protocol events.
+type ReceiverStats struct {
+	PacketsReceived  int // validated packets delivered to the machine
+	PacketsCorrupted int // packets that failed wire validation (dropped)
+	Duplicates       int // retransmissions answered with duplicate acks
+	AcksSent         int
+}
+
+// Receiver drives the checked ARQ receiver spec over a simulator
+// endpoint, delivering accepted payloads in order.
+type Receiver struct {
+	sim     *netsim.Sim
+	ep      *netsim.Endpoint
+	peer    netsim.Addr
+	machine *fsm.Machine
+	codec   *Codec
+
+	delivered [][]byte
+	stats     ReceiverStats
+	err       error
+}
+
+// NewReceiver builds a receiver.
+func NewReceiver(sim *netsim.Sim, ep *netsim.Endpoint, peer netsim.Addr) (*Receiver, error) {
+	machine, err := fsm.NewMachine(ReceiverSpec())
+	if err != nil {
+		return nil, fmt.Errorf("arq receiver: %w", err)
+	}
+	codec, err := NewCodec()
+	if err != nil {
+		return nil, fmt.Errorf("arq receiver: %w", err)
+	}
+	r := &Receiver{sim: sim, ep: ep, peer: peer, machine: machine, codec: codec}
+	ep.SetHandler(r.onDatagram)
+	return r, nil
+}
+
+// Delivered returns the in-order payloads accepted so far.
+func (r *Receiver) Delivered() [][]byte {
+	out := make([][]byte, len(r.delivered))
+	copy(out, r.delivered)
+	return out
+}
+
+// Stats returns the receiver's counters.
+func (r *Receiver) Stats() ReceiverStats { return r.stats }
+
+// Err returns the first internal error (nil in healthy runs).
+func (r *Receiver) Err() error { return r.err }
+
+// State returns the machine's current state name.
+func (r *Receiver) State() string { return r.machine.State() }
+
+// Close raises the CLOSE event, moving the machine to its final state.
+func (r *Receiver) Close() error {
+	_, err := r.machine.Step(EvClose, nil)
+	return err
+}
+
+func (r *Receiver) onDatagram(_ netsim.Addr, data []byte) {
+	if r.err != nil || r.machine.State() == StClosed {
+		return
+	}
+	pkt, err := r.codec.DecodePacket(data)
+	if err != nil {
+		// Unverified packets are never processed (§3.4 guarantee 2): the
+		// machine does not even see the event. The sender's timer covers
+		// recovery.
+		r.stats.PacketsCorrupted++
+		return
+	}
+	r.stats.PacketsReceived++
+	res, serr := r.machine.Step(EvRecv, map[string]expr.Value{"p": packetValue(pkt)})
+	if serr != nil {
+		r.err = serr
+		return
+	}
+	if res.Fired == nil {
+		return // cannot happen: accept/dupack guards partition seq space
+	}
+	if res.Fired.Name == "accept" {
+		r.delivered = append(r.delivered, pkt.Value().Payload)
+	} else {
+		r.stats.Duplicates++
+	}
+	for _, out := range res.Outputs {
+		enc, eerr := r.codec.Ack.Encode(out.Fields)
+		if eerr != nil {
+			r.err = fmt.Errorf("arq receiver: encode ack: %w", eerr)
+			return
+		}
+		if err := r.ep.Send(r.peer, enc); err != nil {
+			r.err = err
+			return
+		}
+		r.stats.AcksSent++
+	}
+}

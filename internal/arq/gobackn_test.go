@@ -1,0 +1,139 @@
+package arq
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"protodsl/internal/netsim"
+)
+
+func TestGBNPerfectLink(t *testing.T) {
+	payloads := makePayloads(50, 32)
+	res, err := RunTransferGBN(GBNConfig{
+		Seed: 1, Window: 8,
+		Link: netsim.LinkParams{Delay: time.Millisecond},
+	}, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || len(res.Delivered) != 50 {
+		t.Fatalf("ok=%v delivered=%d", res.OK, len(res.Delivered))
+	}
+	for i := range payloads {
+		if !bytes.Equal(res.Delivered[i], payloads[i]) {
+			t.Fatalf("payload %d mismatch", i)
+		}
+	}
+	if res.Retransmits != 0 {
+		t.Errorf("retransmits = %d on perfect link", res.Retransmits)
+	}
+}
+
+func TestGBNLossyInOrderExactlyOnce(t *testing.T) {
+	payloads := makePayloads(60, 16)
+	for seed := int64(0); seed < 4; seed++ {
+		res, err := RunTransferGBN(GBNConfig{
+			Seed: seed, Window: 6,
+			Link:       netsim.LinkParams{Delay: 2 * time.Millisecond, LossProb: 0.15, DupProb: 0.05},
+			RTO:        25 * time.Millisecond,
+			MaxRetries: 60,
+		}, payloads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OK {
+			t.Fatalf("seed %d: failed", seed)
+		}
+		if len(res.Delivered) != len(payloads) {
+			t.Fatalf("seed %d: delivered %d/%d", seed, len(res.Delivered), len(payloads))
+		}
+		for i := range payloads {
+			if !bytes.Equal(res.Delivered[i], payloads[i]) {
+				t.Fatalf("seed %d: in-order exactly-once violated at %d", seed, i)
+			}
+		}
+	}
+}
+
+// TestGBNWindowBeatsStopAndWaitOnDelay: the point of the extension — on
+// a high-latency link the windowed sender's goodput dominates window=1.
+func TestGBNWindowBeatsStopAndWait(t *testing.T) {
+	payloads := makePayloads(40, 64)
+	link := netsim.LinkParams{Delay: 20 * time.Millisecond}
+	run := func(window int) *GBNResult {
+		res, err := RunTransferGBN(GBNConfig{
+			Seed: 1, Window: window, Link: link, RTO: 200 * time.Millisecond,
+		}, payloads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OK {
+			t.Fatalf("window %d failed", window)
+		}
+		return res
+	}
+	w1 := run(1)
+	w8 := run(8)
+	if w8.Duration >= w1.Duration {
+		t.Errorf("window 8 (%s) not faster than window 1 (%s)", w8.Duration, w1.Duration)
+	}
+	if w8.Goodput() < 4*w1.Goodput() {
+		t.Errorf("window 8 goodput %.0f not >= 4x window 1 %.0f", w8.Goodput(), w1.Goodput())
+	}
+}
+
+func TestGBNSeqWrap(t *testing.T) {
+	payloads := makePayloads(300, 4)
+	res, err := RunTransferGBN(GBNConfig{
+		Seed: 2, Window: 16,
+		Link:       netsim.LinkParams{Delay: time.Millisecond, LossProb: 0.05},
+		RTO:        20 * time.Millisecond,
+		MaxRetries: 40,
+	}, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || len(res.Delivered) != 300 {
+		t.Fatalf("ok=%v delivered=%d", res.OK, len(res.Delivered))
+	}
+	for i := range payloads {
+		if !bytes.Equal(res.Delivered[i], payloads[i]) {
+			t.Fatalf("payload %d wrong after wrap", i)
+		}
+	}
+}
+
+func TestGBNDeadLinkGivesUp(t *testing.T) {
+	res, err := RunTransferGBN(GBNConfig{
+		Seed: 1, Window: 4,
+		Link:       netsim.LinkParams{LossProb: 1},
+		RTO:        5 * time.Millisecond,
+		MaxRetries: 3,
+	}, makePayloads(8, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK || len(res.Delivered) != 0 {
+		t.Errorf("ok=%v delivered=%d", res.OK, len(res.Delivered))
+	}
+}
+
+func TestGBNWindowValidation(t *testing.T) {
+	if _, err := RunTransferGBN(GBNConfig{Window: 128}, nil); err == nil {
+		t.Error("window 128 accepted (breaks 8-bit seq disambiguation)")
+	}
+	if _, err := RunTransferGBN(GBNConfig{Window: -1}, nil); err == nil {
+		t.Error("negative window accepted")
+	}
+}
+
+func TestGBNEmptyTransfer(t *testing.T) {
+	res, err := RunTransferGBN(GBNConfig{Seed: 1, Window: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || len(res.Delivered) != 0 {
+		t.Errorf("empty: ok=%v delivered=%d", res.OK, len(res.Delivered))
+	}
+}

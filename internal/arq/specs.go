@@ -1,0 +1,148 @@
+package arq
+
+import (
+	"protodsl/internal/expr"
+	"protodsl/internal/fsm"
+	"protodsl/internal/wire"
+)
+
+// Sender/receiver event and state names, exported so callers and tests
+// speak the spec's vocabulary.
+const (
+	// Sender states (the paper's SendSt).
+	StReady   = "Ready"
+	StWait    = "Wait"
+	StTimeout = "Timeout"
+	StSent    = "Sent"
+
+	// Receiver states.
+	StReadyFor = "ReadyFor"
+	StClosed   = "Closed"
+
+	// Sender events (the paper's SendTrans constructors).
+	EvSend    = "SEND"
+	EvOK      = "OK"
+	EvFail    = "FAIL"
+	EvTimeout = "TIMEOUT"
+	EvRetry   = "RETRY"
+	EvFinish  = "FINISH"
+
+	// Receiver events.
+	EvRecv  = "RECV"
+	EvClose = "CLOSE"
+)
+
+func messages() map[string]*wire.Message {
+	return map[string]*wire.Message{
+		"Packet": PacketMessage(),
+		"Ack":    AckMessage(),
+	}
+}
+
+// SenderSpec returns the paper's ARQ sender machine:
+//
+//	data SendTrans : SendSt → SendSt → ⋆ where
+//	  SEND    : ListByte → SendTrans (Ready seq) (Wait seq)
+//	  OK      : ChkPacket … → SendTrans (Wait seq) (Ready (seq+1))
+//	  FAIL    : SendTrans (Wait seq) (Ready seq)
+//	  TIMEOUT : SendTrans (Wait seq) (Timeout seq)
+//	  FINISH  : SendTrans (Ready seq) (Sent seq)
+//
+// plus RETRY : Timeout → Ready, the host-policy escape that makes the
+// machine "ready to try again" after a timeout (§3.4).
+//
+// The OK transition's ChkPacket argument is modelled by the guard
+// `ack.seq == seq` over a *validated* Ack: the interpreter only ever sees
+// acks that passed DecodeAck, so the dependent-type precondition
+// "verified packet" is established before the event is raised.
+func SenderSpec() *fsm.Spec {
+	return &fsm.Spec{
+		Name: "ArqSender",
+		Doc:  "Stop-and-wait ARQ sender (paper §3.4).",
+		Vars: []fsm.Var{{Name: "seq", Type: expr.TU8}},
+		States: []fsm.State{
+			{Name: StReady, Init: true, Doc: "ready to send the next packet"},
+			{Name: StWait, Doc: "a packet is in flight, awaiting its ack"},
+			{Name: StTimeout, Doc: "the in-flight packet timed out"},
+			{Name: StSent, Final: true, Doc: "all data sent and acknowledged"},
+		},
+		Events: []fsm.Event{
+			{Name: EvSend, Params: []fsm.Param{{Name: "data", Type: expr.TBytes}}},
+			{Name: EvOK, Params: []fsm.Param{{Name: "ack", Type: expr.TMsg("Ack")}}},
+			{Name: EvFail},
+			{Name: EvTimeout},
+			{Name: EvRetry},
+			{Name: EvFinish},
+		},
+		Transitions: []fsm.Transition{
+			{Name: "send", From: StReady, Event: EvSend, To: StWait,
+				Outputs: []fsm.Output{{Message: "Packet", Fields: map[string]expr.Expr{
+					"seq":     expr.MustParse("seq"),
+					"payload": expr.MustParse("data"),
+				}}}},
+			{Name: "ack", From: StWait, Event: EvOK, To: StReady,
+				Guard:   expr.MustParse("ack.seq == seq"),
+				Assigns: []fsm.Assign{{Var: "seq", Expr: expr.MustParse("seq + 1")}}},
+			{Name: "fail", From: StWait, Event: EvFail, To: StReady},
+			{Name: "timeout", From: StWait, Event: EvTimeout, To: StTimeout},
+			{Name: "retry", From: StTimeout, Event: EvRetry, To: StReady},
+			{Name: "finish", From: StReady, Event: EvFinish, To: StSent},
+		},
+		Ignores: []fsm.Ignore{
+			// Stale acks and late timers arriving in Ready are no-ops.
+			{State: StReady, Event: EvOK, Doc: "stale ack after advance"},
+			{State: StReady, Event: EvFail, Doc: "late failure signal"},
+			{State: StReady, Event: EvTimeout, Doc: "late timer"},
+			{State: StReady, Event: EvRetry, Doc: "late retry"},
+			{State: StWait, Event: EvSend, Doc: "window is 1: cannot send while waiting"},
+			{State: StWait, Event: EvRetry, Doc: "not timed out"},
+			{State: StWait, Event: EvFinish, Doc: "cannot finish with data in flight"},
+			{State: StTimeout, Event: EvSend},
+			{State: StTimeout, Event: EvOK, Doc: "ack after timeout: host decides via RETRY"},
+			{State: StTimeout, Event: EvFail},
+			{State: StTimeout, Event: EvTimeout},
+			{State: StTimeout, Event: EvFinish},
+		},
+		Messages: messages(),
+	}
+}
+
+// ReceiverSpec returns the paper's receiver:
+//
+//	RECV : (seq : Byte) → (data : ListByte) →
+//	       CheckPacket … → RecvTrans (ReadyFor seq) (ReadyFor (seq+1))
+//
+// extended with the duplicate-ack reply for retransmitted packets (the
+// paper's receiver "will reject a packet"; re-acknowledging the rejected
+// duplicate is what lets the sender make progress when acks are lost) and
+// a CLOSE event to a final state so consistent termination is checkable.
+func ReceiverSpec() *fsm.Spec {
+	return &fsm.Spec{
+		Name: "ArqReceiver",
+		Doc:  "Stop-and-wait ARQ receiver (paper §3.4).",
+		Vars: []fsm.Var{{Name: "seq", Type: expr.TU8}},
+		States: []fsm.State{
+			{Name: StReadyFor, Init: true, Doc: "waiting for packet `seq`"},
+			{Name: StClosed, Final: true},
+		},
+		Events: []fsm.Event{
+			{Name: EvRecv, Params: []fsm.Param{{Name: "p", Type: expr.TMsg("Packet")}}},
+			{Name: EvClose},
+		},
+		Transitions: []fsm.Transition{
+			{Name: "accept", From: StReadyFor, Event: EvRecv, To: StReadyFor,
+				Guard:   expr.MustParse("p.seq == seq"),
+				Assigns: []fsm.Assign{{Var: "seq", Expr: expr.MustParse("seq + 1")}},
+				Outputs: []fsm.Output{{Message: "Ack", Fields: map[string]expr.Expr{
+					"seq": expr.MustParse("p.seq"),
+				}}}},
+			{Name: "dupack", From: StReadyFor, Event: EvRecv, To: StReadyFor,
+				Guard: expr.MustParse("p.seq != seq"),
+				Outputs: []fsm.Output{{Message: "Ack", Fields: map[string]expr.Expr{
+					"seq": expr.MustParse("p.seq"),
+				}}}},
+			{Name: "close", From: StReadyFor, Event: EvClose, To: StClosed},
+		},
+		Messages: messages(),
+	}
+}

@@ -1,0 +1,216 @@
+// Package asn1s implements a small ASN.1-style abstract-syntax system:
+// abstract types (INTEGER, BOOLEAN, OCTET STRING, ENUMERATED, SEQUENCE)
+// with *separate*, pluggable encoding rules.
+//
+// It exists as the paper's second §2.1 baseline: "ASN.1 … uses abstract
+// data types to define data structures … and relies on the use of an
+// associated set of formal encoding rules … The use of different encoding
+// rules can give different on-the-wire packets for the same ASN.1."
+// This package demonstrates exactly that property — the same abstract
+// value encodes differently under the TLV (BER/DER-flavoured) and packed
+// (PER-flavoured) rules — and, like ABNF, it has nowhere to state
+// behavioural or cross-field semantic constraints; that is the boundary
+// the wire/fsm layers of this repository cross.
+package asn1s
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind enumerates the abstract type kinds.
+type Kind int
+
+// Abstract type kinds.
+const (
+	KindInteger Kind = iota + 1
+	KindBoolean
+	KindOctetString
+	KindEnumerated
+	KindSequence
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInteger:
+		return "INTEGER"
+	case KindBoolean:
+		return "BOOLEAN"
+	case KindOctetString:
+		return "OCTET STRING"
+	case KindEnumerated:
+		return "ENUMERATED"
+	case KindSequence:
+		return "SEQUENCE"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Type is an abstract ASN.1-style type.
+type Type struct {
+	Kind Kind
+	// Name is the type reference name (optional for inline types).
+	Name string
+	// Enum lists the named values of an ENUMERATED type, in value order.
+	Enum []string
+	// Fields are the components of a SEQUENCE.
+	Fields []FieldDef
+	// Lo and Hi constrain INTEGER values when Constrained is true
+	// (a value-range subtype; the packed rules exploit it).
+	Constrained bool
+	Lo, Hi      int64
+}
+
+// FieldDef is one component of a SEQUENCE.
+type FieldDef struct {
+	Name string
+	Type *Type
+}
+
+// Convenience constructors.
+
+// Integer returns an unconstrained INTEGER type.
+func Integer() *Type { return &Type{Kind: KindInteger} }
+
+// IntegerRange returns a range-constrained INTEGER subtype.
+func IntegerRange(lo, hi int64) *Type {
+	return &Type{Kind: KindInteger, Constrained: true, Lo: lo, Hi: hi}
+}
+
+// Boolean returns the BOOLEAN type.
+func Boolean() *Type { return &Type{Kind: KindBoolean} }
+
+// OctetString returns the OCTET STRING type.
+func OctetString() *Type { return &Type{Kind: KindOctetString} }
+
+// Enumerated returns an ENUMERATED type over the given names.
+func Enumerated(names ...string) *Type {
+	return &Type{Kind: KindEnumerated, Enum: names}
+}
+
+// Sequence returns a SEQUENCE with the given components.
+func Sequence(name string, fields ...FieldDef) *Type {
+	return &Type{Kind: KindSequence, Name: name, Fields: fields}
+}
+
+// Value is an abstract value of an abstract type.
+type Value struct {
+	Int   int64
+	Bool  bool
+	Bytes []byte
+	Enum  string
+	Seq   map[string]Value
+}
+
+// IntVal builds an INTEGER value.
+func IntVal(v int64) Value { return Value{Int: v} }
+
+// BoolVal builds a BOOLEAN value.
+func BoolVal(v bool) Value { return Value{Bool: v} }
+
+// BytesVal builds an OCTET STRING value.
+func BytesVal(b []byte) Value {
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	return Value{Bytes: cp}
+}
+
+// EnumVal builds an ENUMERATED value.
+func EnumVal(name string) Value { return Value{Enum: name} }
+
+// SeqVal builds a SEQUENCE value.
+func SeqVal(fields map[string]Value) Value {
+	cp := make(map[string]Value, len(fields))
+	for k, v := range fields {
+		cp[k] = v
+	}
+	return Value{Seq: cp}
+}
+
+// Validation errors.
+var (
+	// ErrBadValue is returned when a value does not inhabit its type.
+	ErrBadValue = errors.New("asn1s: value does not match type")
+	// ErrTruncated is returned when decoding runs out of input.
+	ErrTruncated = errors.New("asn1s: truncated encoding")
+	// ErrMalformed is returned for syntactically invalid encodings.
+	ErrMalformed = errors.New("asn1s: malformed encoding")
+)
+
+// Validate checks that the value inhabits the type (the only "semantics"
+// ASN.1 can express: per-field range and enumeration membership; there is
+// no way to relate one field to another).
+func Validate(t *Type, v Value) error {
+	switch t.Kind {
+	case KindInteger:
+		if t.Constrained && (v.Int < t.Lo || v.Int > t.Hi) {
+			return fmt.Errorf("%w: %d outside [%d, %d]", ErrBadValue, v.Int, t.Lo, t.Hi)
+		}
+		return nil
+	case KindBoolean:
+		return nil
+	case KindOctetString:
+		return nil
+	case KindEnumerated:
+		for _, n := range t.Enum {
+			if n == v.Enum {
+				return nil
+			}
+		}
+		return fmt.Errorf("%w: %q is not one of %v", ErrBadValue, v.Enum, t.Enum)
+	case KindSequence:
+		if v.Seq == nil {
+			return fmt.Errorf("%w: sequence value required", ErrBadValue)
+		}
+		for _, f := range t.Fields {
+			fv, ok := v.Seq[f.Name]
+			if !ok {
+				return fmt.Errorf("%w: missing component %q", ErrBadValue, f.Name)
+			}
+			if err := Validate(f.Type, fv); err != nil {
+				return fmt.Errorf("component %q: %w", f.Name, err)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown kind", ErrBadValue)
+	}
+}
+
+// EncodingRules is the pluggable encoding-rule interface: the paper's
+// point is precisely that the abstract syntax does not determine the
+// wire format.
+type EncodingRules interface {
+	// Name identifies the rule set ("tlv", "packed").
+	Name() string
+	// Encode serialises a validated value of the type.
+	Encode(t *Type, v Value) ([]byte, error)
+	// Decode parses a value of the type, returning unconsumed input.
+	Decode(t *Type, data []byte) (Value, []byte, error)
+}
+
+// Marshal validates and encodes under the given rules.
+func Marshal(r EncodingRules, t *Type, v Value) ([]byte, error) {
+	if err := Validate(t, v); err != nil {
+		return nil, err
+	}
+	return r.Encode(t, v)
+}
+
+// Unmarshal decodes and validates under the given rules, requiring the
+// input to be fully consumed.
+func Unmarshal(r EncodingRules, t *Type, data []byte) (Value, error) {
+	v, rest, err := r.Decode(t, data)
+	if err != nil {
+		return Value{}, err
+	}
+	if len(rest) != 0 {
+		return Value{}, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(rest))
+	}
+	if err := Validate(t, v); err != nil {
+		return Value{}, err
+	}
+	return v, nil
+}

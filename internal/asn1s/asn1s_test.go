@@ -1,0 +1,234 @@
+package asn1s
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// arqPacketType is the paper's ARQ packet in abstract syntax: ASN.1 can
+// say a packet has these typed components, but it has no way to state
+// that `chk` is a checksum *of* the other fields — the gap the paper's
+// DSL closes.
+func arqPacketType() *Type {
+	return Sequence("Packet",
+		FieldDef{Name: "seq", Type: IntegerRange(0, 255)},
+		FieldDef{Name: "chk", Type: IntegerRange(0, 255)},
+		FieldDef{Name: "payload", Type: OctetString()},
+	)
+}
+
+func samplePacket() Value {
+	return SeqVal(map[string]Value{
+		"seq":     IntVal(7),
+		"chk":     IntVal(99),
+		"payload": BytesVal([]byte("hello")),
+	})
+}
+
+func TestRoundTripBothRules(t *testing.T) {
+	typ := arqPacketType()
+	v := samplePacket()
+	for _, rules := range []EncodingRules{TLV{}, Packed{}} {
+		enc, err := Marshal(rules, typ, v)
+		if err != nil {
+			t.Fatalf("%s: %v", rules.Name(), err)
+		}
+		got, err := Unmarshal(rules, typ, enc)
+		if err != nil {
+			t.Fatalf("%s: %v", rules.Name(), err)
+		}
+		if got.Seq["seq"].Int != 7 || got.Seq["chk"].Int != 99 {
+			t.Errorf("%s: decoded %+v", rules.Name(), got)
+		}
+		if !bytes.Equal(got.Seq["payload"].Bytes, []byte("hello")) {
+			t.Errorf("%s: payload mismatch", rules.Name())
+		}
+	}
+}
+
+// TestDifferentRulesDifferentWire is the paper's §2.1 observation: "the
+// use of different encoding rules can give different on-the-wire packets
+// for the same ASN.1".
+func TestDifferentRulesDifferentWire(t *testing.T) {
+	typ := arqPacketType()
+	v := samplePacket()
+	tlv, err := Marshal(TLV{}, typ, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := Marshal(Packed{}, typ, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(tlv, packed) {
+		t.Fatal("two rule sets produced identical wire formats")
+	}
+	if len(packed) >= len(tlv) {
+		t.Errorf("packed (%d bytes) not smaller than TLV (%d bytes)", len(packed), len(tlv))
+	}
+	t.Logf("same abstract value: tlv=%d bytes, packed=%d bytes", len(tlv), len(packed))
+}
+
+func TestValidateConstraints(t *testing.T) {
+	typ := arqPacketType()
+	bad := samplePacket()
+	bad.Seq["seq"] = IntVal(300) // outside 0..255
+	if _, err := Marshal(TLV{}, typ, bad); !errors.Is(err, ErrBadValue) {
+		t.Errorf("range violation err = %v", err)
+	}
+	missing := SeqVal(map[string]Value{"seq": IntVal(1)})
+	if err := Validate(typ, missing); !errors.Is(err, ErrBadValue) {
+		t.Errorf("missing component err = %v", err)
+	}
+	e := Enumerated("red", "green", "blue")
+	if err := Validate(e, EnumVal("mauve")); !errors.Is(err, ErrBadValue) {
+		t.Errorf("enum err = %v", err)
+	}
+	if err := Validate(e, EnumVal("green")); err != nil {
+		t.Errorf("valid enum err = %v", err)
+	}
+}
+
+// TestCannotExpressChecksumRelation documents the boundary: a packet with
+// a checksum that is *wrong* for its payload still validates and
+// round-trips — ASN.1 cannot relate fields. (Contrast wire.Decode, which
+// rejects it.)
+func TestCannotExpressChecksumRelation(t *testing.T) {
+	typ := arqPacketType()
+	inconsistent := SeqVal(map[string]Value{
+		"seq":     IntVal(1),
+		"chk":     IntVal(0), // wrong for any non-empty payload
+		"payload": BytesVal([]byte{1, 2, 3}),
+	})
+	for _, rules := range []EncodingRules{TLV{}, Packed{}} {
+		enc, err := Marshal(rules, typ, inconsistent)
+		if err != nil {
+			t.Fatalf("%s rejected what ASN.1 cannot check: %v", rules.Name(), err)
+		}
+		if _, err := Unmarshal(rules, typ, enc); err != nil {
+			t.Fatalf("%s: %v", rules.Name(), err)
+		}
+	}
+}
+
+func TestEnumeratedAndBooleanRoundTrip(t *testing.T) {
+	typ := Sequence("S",
+		FieldDef{Name: "colour", Type: Enumerated("red", "green", "blue")},
+		FieldDef{Name: "flag", Type: Boolean()},
+		FieldDef{Name: "count", Type: Integer()},
+	)
+	v := SeqVal(map[string]Value{
+		"colour": EnumVal("blue"),
+		"flag":   BoolVal(true),
+		"count":  IntVal(-12345),
+	})
+	for _, rules := range []EncodingRules{TLV{}, Packed{}} {
+		enc, err := Marshal(rules, typ, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Unmarshal(rules, typ, enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Seq["colour"].Enum != "blue" || !got.Seq["flag"].Bool || got.Seq["count"].Int != -12345 {
+			t.Errorf("%s: %+v", rules.Name(), got)
+		}
+	}
+}
+
+func TestDecodeRejections(t *testing.T) {
+	typ := arqPacketType()
+	good, err := Marshal(TLV{}, typ, samplePacket())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(TLV{}, typ, good[:3]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated err = %v", err)
+	}
+	if _, err := Unmarshal(TLV{}, typ, append(good, 0x00)); !errors.Is(err, ErrMalformed) {
+		t.Errorf("trailing err = %v", err)
+	}
+	wrongTag := append([]byte(nil), good...)
+	wrongTag[0] = tagOctetString
+	if _, err := Unmarshal(TLV{}, typ, wrongTag); !errors.Is(err, ErrMalformed) {
+		t.Errorf("wrong tag err = %v", err)
+	}
+}
+
+func TestLongFormTLVLength(t *testing.T) {
+	typ := OctetString()
+	big := BytesVal(make([]byte, 300)) // needs long-form length
+	enc, err := Marshal(TLV{}, typ, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(TLV{}, typ, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Bytes) != 300 {
+		t.Errorf("len = %d", len(got.Bytes))
+	}
+}
+
+// Property: both rule sets round-trip arbitrary constrained values.
+func TestQuickRoundTrip(t *testing.T) {
+	typ := arqPacketType()
+	for _, rules := range []EncodingRules{TLV{}, Packed{}} {
+		rules := rules
+		f := func(seq, chk uint8, payload []byte) bool {
+			if len(payload) > 1000 {
+				payload = payload[:1000]
+			}
+			v := SeqVal(map[string]Value{
+				"seq":     IntVal(int64(seq)),
+				"chk":     IntVal(int64(chk)),
+				"payload": BytesVal(payload),
+			})
+			enc, err := Marshal(rules, typ, v)
+			if err != nil {
+				return false
+			}
+			got, err := Unmarshal(rules, typ, enc)
+			if err != nil {
+				return false
+			}
+			return got.Seq["seq"].Int == int64(seq) &&
+				got.Seq["chk"].Int == int64(chk) &&
+				bytes.Equal(got.Seq["payload"].Bytes, payload)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", rules.Name(), err)
+		}
+	}
+}
+
+// Property: integers of any magnitude survive TLV round-trip.
+func TestQuickIntegerRoundTrip(t *testing.T) {
+	typ := Integer()
+	f := func(v int64) bool {
+		enc, err := Marshal(TLV{}, typ, IntVal(v))
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(TLV{}, typ, enc)
+		return err == nil && got.Int == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindInteger: "INTEGER", KindBoolean: "BOOLEAN", KindOctetString: "OCTET STRING",
+		KindEnumerated: "ENUMERATED", KindSequence: "SEQUENCE", Kind(99): "UNKNOWN",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}

@@ -1,0 +1,336 @@
+package asn1s
+
+import (
+	"fmt"
+)
+
+// TLV implements BER/DER-flavoured tag-length-value encoding rules:
+// every value is a (tag, length, contents) triple, self-describing but
+// byte-hungry.
+type TLV struct{}
+
+var _ EncodingRules = TLV{}
+
+// Tags (universal-class numbers, as in X.690).
+const (
+	tagBoolean     = 0x01
+	tagInteger     = 0x02
+	tagOctetString = 0x04
+	tagEnumerated  = 0x0A
+	tagSequence    = 0x30
+)
+
+// Name implements EncodingRules.
+func (TLV) Name() string { return "tlv" }
+
+// Encode implements EncodingRules.
+func (r TLV) Encode(t *Type, v Value) ([]byte, error) {
+	switch t.Kind {
+	case KindInteger:
+		return wrapTLV(tagInteger, encodeInt(v.Int)), nil
+	case KindBoolean:
+		b := byte(0x00)
+		if v.Bool {
+			b = 0xFF
+		}
+		return wrapTLV(tagBoolean, []byte{b}), nil
+	case KindOctetString:
+		return wrapTLV(tagOctetString, v.Bytes), nil
+	case KindEnumerated:
+		idx := enumIndex(t, v.Enum)
+		if idx < 0 {
+			return nil, fmt.Errorf("%w: enum %q", ErrBadValue, v.Enum)
+		}
+		return wrapTLV(tagEnumerated, encodeInt(int64(idx))), nil
+	case KindSequence:
+		var contents []byte
+		for _, f := range t.Fields {
+			enc, err := r.Encode(f.Type, v.Seq[f.Name])
+			if err != nil {
+				return nil, fmt.Errorf("component %q: %w", f.Name, err)
+			}
+			contents = append(contents, enc...)
+		}
+		return wrapTLV(tagSequence, contents), nil
+	default:
+		return nil, fmt.Errorf("%w: unknown kind", ErrBadValue)
+	}
+}
+
+// Decode implements EncodingRules.
+func (r TLV) Decode(t *Type, data []byte) (Value, []byte, error) {
+	wantTag := map[Kind]byte{
+		KindInteger: tagInteger, KindBoolean: tagBoolean,
+		KindOctetString: tagOctetString, KindEnumerated: tagEnumerated,
+		KindSequence: tagSequence,
+	}[t.Kind]
+	tag, contents, rest, err := splitTLV(data)
+	if err != nil {
+		return Value{}, nil, err
+	}
+	if tag != wantTag {
+		return Value{}, nil, fmt.Errorf("%w: tag %#x, want %#x", ErrMalformed, tag, wantTag)
+	}
+	switch t.Kind {
+	case KindInteger:
+		n, err := decodeInt(contents)
+		if err != nil {
+			return Value{}, nil, err
+		}
+		return IntVal(n), rest, nil
+	case KindBoolean:
+		if len(contents) != 1 {
+			return Value{}, nil, fmt.Errorf("%w: boolean length %d", ErrMalformed, len(contents))
+		}
+		return BoolVal(contents[0] != 0), rest, nil
+	case KindOctetString:
+		return BytesVal(contents), rest, nil
+	case KindEnumerated:
+		n, err := decodeInt(contents)
+		if err != nil {
+			return Value{}, nil, err
+		}
+		if n < 0 || int(n) >= len(t.Enum) {
+			return Value{}, nil, fmt.Errorf("%w: enum index %d", ErrMalformed, n)
+		}
+		return EnumVal(t.Enum[n]), rest, nil
+	case KindSequence:
+		fields := make(map[string]Value, len(t.Fields))
+		inner := contents
+		for _, f := range t.Fields {
+			var fv Value
+			fv, inner, err = r.Decode(f.Type, inner)
+			if err != nil {
+				return Value{}, nil, fmt.Errorf("component %q: %w", f.Name, err)
+			}
+			fields[f.Name] = fv
+		}
+		if len(inner) != 0 {
+			return Value{}, nil, fmt.Errorf("%w: %d stray bytes in sequence", ErrMalformed, len(inner))
+		}
+		return Value{Seq: fields}, rest, nil
+	default:
+		return Value{}, nil, fmt.Errorf("%w: unknown kind", ErrBadValue)
+	}
+}
+
+func wrapTLV(tag byte, contents []byte) []byte {
+	out := []byte{tag}
+	n := len(contents)
+	if n < 0x80 {
+		out = append(out, byte(n))
+	} else {
+		// long form: one length-of-length byte is plenty here (< 2^32).
+		var lenBytes []byte
+		for v := n; v > 0; v >>= 8 {
+			lenBytes = append([]byte{byte(v)}, lenBytes...)
+		}
+		out = append(out, 0x80|byte(len(lenBytes)))
+		out = append(out, lenBytes...)
+	}
+	return append(out, contents...)
+}
+
+func splitTLV(data []byte) (tag byte, contents, rest []byte, err error) {
+	if len(data) < 2 {
+		return 0, nil, nil, ErrTruncated
+	}
+	tag = data[0]
+	n := int(data[1])
+	off := 2
+	if n >= 0x80 {
+		lenLen := n & 0x7F
+		if lenLen == 0 || lenLen > 4 || len(data) < 2+lenLen {
+			return 0, nil, nil, ErrMalformed
+		}
+		n = 0
+		for i := 0; i < lenLen; i++ {
+			n = n<<8 | int(data[2+i])
+		}
+		off = 2 + lenLen
+	}
+	if len(data) < off+n {
+		return 0, nil, nil, ErrTruncated
+	}
+	return tag, data[off : off+n], data[off+n:], nil
+}
+
+// encodeInt emits a minimal two's-complement big-endian integer.
+func encodeInt(v int64) []byte {
+	if v == 0 {
+		return []byte{0}
+	}
+	var out []byte
+	for i := 7; i >= 0; i-- {
+		out = append(out, byte(v>>uint(8*i)))
+	}
+	// strip redundant leading bytes, keeping the sign bit meaningful
+	for len(out) > 1 {
+		if (out[0] == 0x00 && out[1] < 0x80) || (out[0] == 0xFF && out[1] >= 0x80) {
+			out = out[1:]
+			continue
+		}
+		break
+	}
+	return out
+}
+
+func decodeInt(b []byte) (int64, error) {
+	if len(b) == 0 || len(b) > 8 {
+		return 0, fmt.Errorf("%w: integer length %d", ErrMalformed, len(b))
+	}
+	v := int64(0)
+	if b[0] >= 0x80 {
+		v = -1 // sign-extend
+	}
+	for _, by := range b {
+		v = v<<8 | int64(by)
+	}
+	return v, nil
+}
+
+// Packed implements PER-flavoured packed encoding rules: no tags, no
+// per-field lengths where the type already determines them; constrained
+// integers use just enough bits, rounded here to whole bytes for clarity.
+// The same abstract value is considerably smaller than under TLV —
+// demonstrating that the abstract syntax does not fix the wire format.
+type Packed struct{}
+
+var _ EncodingRules = Packed{}
+
+// Name implements EncodingRules.
+func (Packed) Name() string { return "packed" }
+
+// Encode implements EncodingRules.
+func (r Packed) Encode(t *Type, v Value) ([]byte, error) {
+	switch t.Kind {
+	case KindInteger:
+		if t.Constrained {
+			span := uint64(t.Hi - t.Lo)
+			n := bytesFor(span)
+			off := uint64(v.Int - t.Lo)
+			out := make([]byte, n)
+			for i := 0; i < n; i++ {
+				out[i] = byte(off >> uint(8*(n-1-i)))
+			}
+			return out, nil
+		}
+		body := encodeInt(v.Int)
+		return append([]byte{byte(len(body))}, body...), nil
+	case KindBoolean:
+		if v.Bool {
+			return []byte{1}, nil
+		}
+		return []byte{0}, nil
+	case KindOctetString:
+		if len(v.Bytes) > 0xFFFF {
+			return nil, fmt.Errorf("%w: octet string too long", ErrBadValue)
+		}
+		out := []byte{byte(len(v.Bytes) >> 8), byte(len(v.Bytes))}
+		return append(out, v.Bytes...), nil
+	case KindEnumerated:
+		idx := enumIndex(t, v.Enum)
+		if idx < 0 {
+			return nil, fmt.Errorf("%w: enum %q", ErrBadValue, v.Enum)
+		}
+		return []byte{byte(idx)}, nil
+	case KindSequence:
+		var out []byte
+		for _, f := range t.Fields {
+			enc, err := r.Encode(f.Type, v.Seq[f.Name])
+			if err != nil {
+				return nil, fmt.Errorf("component %q: %w", f.Name, err)
+			}
+			out = append(out, enc...)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown kind", ErrBadValue)
+	}
+}
+
+// Decode implements EncodingRules.
+func (r Packed) Decode(t *Type, data []byte) (Value, []byte, error) {
+	switch t.Kind {
+	case KindInteger:
+		if t.Constrained {
+			n := bytesFor(uint64(t.Hi - t.Lo))
+			if len(data) < n {
+				return Value{}, nil, ErrTruncated
+			}
+			off := uint64(0)
+			for i := 0; i < n; i++ {
+				off = off<<8 | uint64(data[i])
+			}
+			return IntVal(t.Lo + int64(off)), data[n:], nil
+		}
+		if len(data) < 1 {
+			return Value{}, nil, ErrTruncated
+		}
+		n := int(data[0])
+		if len(data) < 1+n {
+			return Value{}, nil, ErrTruncated
+		}
+		v, err := decodeInt(data[1 : 1+n])
+		if err != nil {
+			return Value{}, nil, err
+		}
+		return IntVal(v), data[1+n:], nil
+	case KindBoolean:
+		if len(data) < 1 {
+			return Value{}, nil, ErrTruncated
+		}
+		return BoolVal(data[0] != 0), data[1:], nil
+	case KindOctetString:
+		if len(data) < 2 {
+			return Value{}, nil, ErrTruncated
+		}
+		n := int(data[0])<<8 | int(data[1])
+		if len(data) < 2+n {
+			return Value{}, nil, ErrTruncated
+		}
+		return BytesVal(data[2 : 2+n]), data[2+n:], nil
+	case KindEnumerated:
+		if len(data) < 1 {
+			return Value{}, nil, ErrTruncated
+		}
+		idx := int(data[0])
+		if idx >= len(t.Enum) {
+			return Value{}, nil, fmt.Errorf("%w: enum index %d", ErrMalformed, idx)
+		}
+		return EnumVal(t.Enum[idx]), data[1:], nil
+	case KindSequence:
+		fields := make(map[string]Value, len(t.Fields))
+		rest := data
+		var err error
+		for _, f := range t.Fields {
+			var fv Value
+			fv, rest, err = r.Decode(f.Type, rest)
+			if err != nil {
+				return Value{}, nil, fmt.Errorf("component %q: %w", f.Name, err)
+			}
+			fields[f.Name] = fv
+		}
+		return Value{Seq: fields}, rest, nil
+	default:
+		return Value{}, nil, fmt.Errorf("%w: unknown kind", ErrBadValue)
+	}
+}
+
+func enumIndex(t *Type, name string) int {
+	for i, n := range t.Enum {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func bytesFor(span uint64) int {
+	n := 1
+	for span > 0xFF {
+		span >>= 8
+		n++
+	}
+	return n
+}

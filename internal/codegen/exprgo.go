@@ -1,0 +1,243 @@
+package codegen
+
+import (
+	"fmt"
+	"strconv"
+
+	"protodsl/internal/expr"
+	"protodsl/internal/wire"
+)
+
+// varBinding tells the translator how a free variable appears in the
+// generated Go code.
+type varBinding struct {
+	code string
+	typ  expr.Type
+	// checkedMsg is true when the variable is a Checked witness wrapper
+	// (message-typed event parameters); field access goes through
+	// .Value().
+	checkedMsg bool
+}
+
+// goTranslator compiles expr ASTs to Go source. It mirrors the typing
+// rules of expr.Check (widths promote to the wider operand, arithmetic
+// wraps at the promoted width) by inserting explicit conversions, so the
+// generated code computes exactly what the interpreter computes.
+type goTranslator struct {
+	messages map[string]*wire.Message
+	vars     map[string]varBinding
+}
+
+func goUintType(bits int) string {
+	switch {
+	case bits <= 8:
+		return "uint8"
+	case bits <= 16:
+		return "uint16"
+	case bits <= 32:
+		return "uint32"
+	default:
+		return "uint64"
+	}
+}
+
+func normBits(bits int) int {
+	switch {
+	case bits <= 8:
+		return 8
+	case bits <= 16:
+		return 16
+	case bits <= 32:
+		return 32
+	default:
+		return 64
+	}
+}
+
+// castTo converts uint code between widths; identity otherwise.
+func castTo(code string, from, to expr.Type) string {
+	if from.Kind != expr.KindUint || to.Kind != expr.KindUint {
+		return code
+	}
+	if normBits(from.Bits) == normBits(to.Bits) {
+		return code
+	}
+	return goUintType(to.Bits) + "(" + code + ")"
+}
+
+// translate returns Go source computing e, with its expr type.
+func (g *goTranslator) translate(e expr.Expr) (string, expr.Type, error) {
+	switch n := e.(type) {
+	case *expr.Lit:
+		switch n.Val.Kind() {
+		case expr.KindUint:
+			return strconv.FormatUint(n.Val.AsUint(), 10), expr.TUint(n.Val.Bits()), nil
+		case expr.KindBool:
+			return strconv.FormatBool(n.Val.AsBool()), expr.TBool, nil
+		case expr.KindString:
+			return strconv.Quote(n.Val.AsString()), expr.TString, nil
+		default:
+			return "", expr.Type{}, fmt.Errorf("codegen: unsupported literal kind %s", n.Val.Kind())
+		}
+	case *expr.Ident:
+		b, ok := g.vars[n.Name]
+		if !ok {
+			return "", expr.Type{}, fmt.Errorf("codegen: unbound variable %q", n.Name)
+		}
+		return b.code, b.typ, nil
+	case *expr.FieldAccess:
+		return g.translateField(n)
+	case *expr.Unary:
+		return g.translateUnary(n)
+	case *expr.Binary:
+		return g.translateBinary(n)
+	case *expr.Call:
+		return g.translateCall(n)
+	default:
+		return "", expr.Type{}, fmt.Errorf("codegen: unknown expression node %T", e)
+	}
+}
+
+func (g *goTranslator) translateField(n *expr.FieldAccess) (string, expr.Type, error) {
+	ident, ok := n.X.(*expr.Ident)
+	if !ok {
+		return "", expr.Type{}, fmt.Errorf("codegen: field access base must be a variable, got %s", n.X)
+	}
+	b, bound := g.vars[ident.Name]
+	if !bound {
+		return "", expr.Type{}, fmt.Errorf("codegen: unbound variable %q", ident.Name)
+	}
+	if b.typ.Kind != expr.KindMsg {
+		return "", expr.Type{}, fmt.Errorf("codegen: field access on non-message %q", ident.Name)
+	}
+	msg, ok := g.messages[b.typ.MsgName]
+	if !ok {
+		return "", expr.Type{}, fmt.Errorf("codegen: unknown message type %q", b.typ.MsgName)
+	}
+	f, ok := msg.Field(n.Name)
+	if !ok {
+		return "", expr.Type{}, fmt.Errorf("codegen: message %s has no field %q", msg.Name, n.Name)
+	}
+	base := b.code
+	if b.checkedMsg {
+		base += ".Value()"
+	}
+	return base + "." + goName(n.Name), f.Type(), nil
+}
+
+func (g *goTranslator) translateUnary(n *expr.Unary) (string, expr.Type, error) {
+	xc, xt, err := g.translate(n.X)
+	if err != nil {
+		return "", expr.Type{}, err
+	}
+	switch n.Op {
+	case expr.OpNot:
+		return "(!" + xc + ")", expr.TBool, nil
+	case expr.OpNeg:
+		return "(-" + xc + ")", xt, nil
+	default:
+		return "", expr.Type{}, fmt.Errorf("codegen: unsupported unary op %s", n.Op)
+	}
+}
+
+func (g *goTranslator) translateBinary(n *expr.Binary) (string, expr.Type, error) {
+	xc, xt, err := g.translate(n.X)
+	if err != nil {
+		return "", expr.Type{}, err
+	}
+	yc, yt, err := g.translate(n.Y)
+	if err != nil {
+		return "", expr.Type{}, err
+	}
+	switch n.Op {
+	case expr.OpAnd, expr.OpOr:
+		return "(" + xc + " " + n.Op.String() + " " + yc + ")", expr.TBool, nil
+	case expr.OpEq, expr.OpNe:
+		if xt.Kind == expr.KindUint {
+			// Compare at uint64 so differing widths compare numerically,
+			// matching the interpreter.
+			return "(uint64(" + xc + ") " + n.Op.String() + " uint64(" + yc + "))", expr.TBool, nil
+		}
+		if xt.Kind == expr.KindBytes {
+			return "(string(" + xc + ") " + n.Op.String() + " string(" + yc + "))", expr.TBool, nil
+		}
+		return "(" + xc + " " + n.Op.String() + " " + yc + ")", expr.TBool, nil
+	case expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe:
+		return "(uint64(" + xc + ") " + n.Op.String() + " uint64(" + yc + "))", expr.TBool, nil
+	case expr.OpAdd, expr.OpSub, expr.OpMul, expr.OpBitAnd, expr.OpBitOr, expr.OpBitXor:
+		target := expr.TUint(maxInt(xt.Bits, yt.Bits))
+		code := "(" + castTo(xc, xt, target) + " " + n.Op.String() + " " + castTo(yc, yt, target) + ")"
+		return code, target, nil
+	case expr.OpDiv, expr.OpMod:
+		// Generated code cannot return an error from the middle of an
+		// expression, so the divisor must be a non-zero literal.
+		lit, ok := n.Y.(*expr.Lit)
+		if !ok || lit.Val.Kind() != expr.KindUint || lit.Val.AsUint() == 0 {
+			return "", expr.Type{}, fmt.Errorf(
+				"codegen: %s requires a non-zero literal divisor (got %s)", n.Op, n.Y)
+		}
+		target := expr.TUint(maxInt(xt.Bits, yt.Bits))
+		code := "(" + castTo(xc, xt, target) + " " + n.Op.String() + " " + castTo(yc, yt, target) + ")"
+		return code, target, nil
+	case expr.OpShl, expr.OpShr:
+		return "(" + xc + " " + n.Op.String() + " " + castTo(yc, yt, expr.TU64) + ")", xt, nil
+	default:
+		return "", expr.Type{}, fmt.Errorf("codegen: unsupported binary op %s", n.Op)
+	}
+}
+
+func (g *goTranslator) translateCall(n *expr.Call) (string, expr.Type, error) {
+	switch n.Func {
+	case "len":
+		if len(n.Args) != 1 {
+			return "", expr.Type{}, fmt.Errorf("codegen: len takes 1 argument")
+		}
+		ac, at, err := g.translate(n.Args[0])
+		if err != nil {
+			return "", expr.Type{}, err
+		}
+		if at.Kind != expr.KindBytes && at.Kind != expr.KindString {
+			return "", expr.Type{}, fmt.Errorf("codegen: len requires bytes or string")
+		}
+		return "uint32(len(" + ac + "))", expr.TU32, nil
+	case "u8", "u16", "u32", "u64":
+		if len(n.Args) != 1 {
+			return "", expr.Type{}, fmt.Errorf("codegen: %s takes 1 argument", n.Func)
+		}
+		ac, at, err := g.translate(n.Args[0])
+		if err != nil {
+			return "", expr.Type{}, err
+		}
+		if at.Kind != expr.KindUint {
+			return "", expr.Type{}, fmt.Errorf("codegen: %s requires uint", n.Func)
+		}
+		bits := map[string]int{"u8": 8, "u16": 16, "u32": 32, "u64": 64}[n.Func]
+		return goUintType(bits) + "(" + ac + ")", expr.TUint(bits), nil
+	case "min", "max":
+		if len(n.Args) != 2 {
+			return "", expr.Type{}, fmt.Errorf("codegen: %s takes 2 arguments", n.Func)
+		}
+		ac, at, err := g.translate(n.Args[0])
+		if err != nil {
+			return "", expr.Type{}, err
+		}
+		bc, bt, err := g.translate(n.Args[1])
+		if err != nil {
+			return "", expr.Type{}, err
+		}
+		target := expr.TUint(maxInt(at.Bits, bt.Bits))
+		// Go 1.21+ builtins min/max work on any ordered type.
+		code := n.Func + "(" + castTo(ac, at, target) + ", " + castTo(bc, bt, target) + ")"
+		return code, target, nil
+	default:
+		return "", expr.Type{}, fmt.Errorf(
+			"codegen: builtin %q is not supported in generated machine code", n.Func)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

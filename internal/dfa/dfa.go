@@ -1,0 +1,336 @@
+// Package dfa implements the Marriott et al. [9] baseline the paper
+// contrasts with (§4.2): resource-usage verification by checking an
+// *approximate model* of program behaviour against a deterministic
+// finite-state automaton describing the allowed call sequences.
+//
+// The analysis is path-insensitive: branch conditions are abstracted
+// away, so both arms of every branch are explored regardless of
+// correlation between branches. That makes the analysis sound (it never
+// misses a real misuse expressible in its model) but incomplete: programs
+// whose correctness depends on correlated conditions are flagged even
+// though no concrete execution misbehaves — the false positives that the
+// paper's types-carry-the-states approach avoids ("This allows us to
+// relate the real program, rather than an approximate model, to the
+// permitted behaviour"). ExactCheck enumerates concrete executions as the
+// ground truth; experiment E10 compares the two on a seeded suite.
+package dfa
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DFA is a deterministic automaton over call symbols. Missing transitions
+// mean the call is illegal in that state.
+type DFA struct {
+	init      string
+	trans     map[string]map[string]string
+	accepting map[string]bool
+}
+
+// New creates a DFA with the given initial state.
+func New(init string) *DFA {
+	return &DFA{
+		init:      init,
+		trans:     map[string]map[string]string{init: {}},
+		accepting: map[string]bool{},
+	}
+}
+
+// AddTransition declares from --sym--> to.
+func (d *DFA) AddTransition(from, sym, to string) {
+	if d.trans[from] == nil {
+		d.trans[from] = map[string]string{}
+	}
+	d.trans[from][sym] = to
+	if d.trans[to] == nil {
+		d.trans[to] = map[string]string{}
+	}
+}
+
+// SetAccepting marks states in which a program may legally terminate.
+func (d *DFA) SetAccepting(states ...string) {
+	for _, s := range states {
+		d.accepting[s] = true
+	}
+}
+
+// step returns the successor state, or "" for an illegal call.
+func (d *DFA) step(state, sym string) string {
+	next, ok := d.trans[state][sym]
+	if !ok {
+		return ""
+	}
+	return next
+}
+
+// Stmt is a node of the abstract program IR.
+type Stmt interface{ stmtNode() }
+
+// Call invokes one resource-API symbol.
+type Call struct{ Sym string }
+
+// Seq runs statements in order.
+type Seq struct{ Stmts []Stmt }
+
+// If branches on an abstract condition. CondID ties correlated branches
+// together: concrete executions give every occurrence of the same CondID
+// the same truth value, which the path-insensitive analysis ignores.
+type If struct {
+	CondID int
+	Then   Stmt
+	Else   Stmt // may be nil
+}
+
+// Loop repeats its body an environment-chosen number of times (0..2 in
+// concrete enumeration; fixpoint in the analysis).
+type Loop struct{ Body Stmt }
+
+func (*Call) stmtNode() {}
+func (*Seq) stmtNode()  {}
+func (*If) stmtNode()   {}
+func (*Loop) stmtNode() {}
+
+// Finding reports a (possible) misuse.
+type Finding struct {
+	// Sym is the offending call ("" for bad termination).
+	Sym string
+	// State is the DFA state in which it happened.
+	State string
+	Msg   string
+}
+
+// String renders the finding.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s in state %s: %s", f.Sym, f.State, f.Msg)
+}
+
+// Analyze runs the path-insensitive abstract analysis: it propagates the
+// *set* of possible DFA states through the program and reports any call
+// that is illegal in any member of the set, plus non-accepting
+// termination. A nil slice means the program is (abstractly) clean.
+func (d *DFA) Analyze(prog Stmt) []Finding {
+	var findings []Finding
+	seen := map[string]bool{}
+	report := func(f Finding) {
+		key := f.Sym + "|" + f.State + "|" + f.Msg
+		if !seen[key] {
+			seen[key] = true
+			findings = append(findings, f)
+		}
+	}
+	final := d.analyze(prog, stateSet{d.init: true}, report)
+	for s := range final {
+		if !d.accepting[s] {
+			report(Finding{State: s, Msg: "program may terminate in non-accepting state"})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		return findings[i].String() < findings[j].String()
+	})
+	return findings
+}
+
+type stateSet map[string]bool
+
+func (s stateSet) key() string {
+	names := make([]string, 0, len(s))
+	for n := range s {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}
+
+func (d *DFA) analyze(stmt Stmt, in stateSet, report func(Finding)) stateSet {
+	switch s := stmt.(type) {
+	case *Call:
+		out := stateSet{}
+		for st := range in {
+			next := d.step(st, s.Sym)
+			if next == "" {
+				report(Finding{Sym: s.Sym, State: st, Msg: "call not permitted"})
+				continue
+			}
+			out[next] = true
+		}
+		return out
+	case *Seq:
+		cur := in
+		for _, sub := range s.Stmts {
+			cur = d.analyze(sub, cur, report)
+		}
+		return cur
+	case *If:
+		thenOut := d.analyze(s.Then, in, report)
+		elseOut := in
+		if s.Else != nil {
+			elseOut = d.analyze(s.Else, in, report)
+		}
+		return union(thenOut, elseOut)
+	case *Loop:
+		// Fixpoint: zero or more iterations.
+		cur := in
+		for {
+			next := union(cur, d.analyze(s.Body, cur, report))
+			if next.key() == cur.key() {
+				return cur
+			}
+			cur = next
+		}
+	default:
+		return in
+	}
+}
+
+func union(a, b stateSet) stateSet {
+	out := stateSet{}
+	for s := range a {
+		out[s] = true
+	}
+	for s := range b {
+		out[s] = true
+	}
+	return out
+}
+
+// ErrTooManyPaths is returned by ExactCheck when the enumeration bound is
+// exceeded.
+var ErrTooManyPaths = errors.New("too many concrete paths")
+
+// ExactCheck enumerates the program's concrete executions — every
+// assignment of truth values to condition IDs and loop iteration counts
+// in {0, 1, 2} — and runs each against the DFA. It returns the findings
+// of the first misbehaving execution, or nil if every concrete execution
+// is clean. This is the ground truth the approximate analysis is compared
+// against (up to the loop bound).
+func (d *DFA) ExactCheck(prog Stmt, maxPaths int) ([]Finding, error) {
+	condIDs := map[int]bool{}
+	loops := 0
+	var scan func(Stmt)
+	scan = func(s Stmt) {
+		switch n := s.(type) {
+		case *If:
+			condIDs[n.CondID] = true
+			scan(n.Then)
+			if n.Else != nil {
+				scan(n.Else)
+			}
+		case *Seq:
+			for _, sub := range n.Stmts {
+				scan(sub)
+			}
+		case *Loop:
+			loops++
+			scan(n.Body)
+		}
+	}
+	scan(prog)
+
+	ids := make([]int, 0, len(condIDs))
+	for id := range condIDs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	nPaths := 1 << len(ids)
+	loopChoices := pow(3, loops)
+	if maxPaths <= 0 {
+		maxPaths = 1 << 16
+	}
+	if nPaths*loopChoices > maxPaths {
+		return nil, fmt.Errorf("%w: %d", ErrTooManyPaths, nPaths*loopChoices)
+	}
+
+	for condMask := 0; condMask < nPaths; condMask++ {
+		conds := map[int]bool{}
+		for i, id := range ids {
+			conds[id] = condMask&(1<<i) != 0
+		}
+		for loopMask := 0; loopMask < loopChoices; loopMask++ {
+			iters := loopIters(loopMask, loops)
+			trace := buildTrace(prog, conds, iters, new(int))
+			if f := d.runTrace(trace); f != nil {
+				return f, nil
+			}
+		}
+	}
+	return nil, nil
+}
+
+func pow(base, exp int) int {
+	out := 1
+	for i := 0; i < exp; i++ {
+		out *= base
+	}
+	return out
+}
+
+func loopIters(mask, n int) []int {
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = mask % 3
+		mask /= 3
+	}
+	return out
+}
+
+func buildTrace(stmt Stmt, conds map[int]bool, iters []int, loopIdx *int) []string {
+	switch s := stmt.(type) {
+	case *Call:
+		return []string{s.Sym}
+	case *Seq:
+		var out []string
+		for _, sub := range s.Stmts {
+			out = append(out, buildTrace(sub, conds, iters, loopIdx)...)
+		}
+		return out
+	case *If:
+		if conds[s.CondID] {
+			return buildTrace(s.Then, conds, iters, loopIdx)
+		}
+		if s.Else != nil {
+			return buildTrace(s.Else, conds, iters, loopIdx)
+		}
+		return nil
+	case *Loop:
+		n := iters[*loopIdx]
+		*loopIdx++
+		var out []string
+		for i := 0; i < n; i++ {
+			out = append(out, buildTrace(s.Body, conds, iters, loopIdx)...)
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+func (d *DFA) runTrace(trace []string) []Finding {
+	state := d.init
+	for _, sym := range trace {
+		next := d.step(state, sym)
+		if next == "" {
+			return []Finding{{Sym: sym, State: state, Msg: "call not permitted"}}
+		}
+		state = next
+	}
+	if !d.accepting[state] {
+		return []Finding{{State: state, Msg: "terminated in non-accepting state"}}
+	}
+	return nil
+}
+
+// SocketDFA returns the canonical open/send/close discipline used by the
+// E10 suite: closed --open--> opened --send--> opened --close--> closed,
+// terminating only in closed.
+func SocketDFA() *DFA {
+	d := New("closed")
+	d.AddTransition("closed", "open", "opened")
+	d.AddTransition("opened", "send", "opened")
+	d.AddTransition("opened", "close", "closed")
+	d.SetAccepting("closed")
+	return d
+}

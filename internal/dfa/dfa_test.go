@@ -1,0 +1,163 @@
+package dfa
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCorrectProgramClean(t *testing.T) {
+	d := SocketDFA()
+	prog := &Seq{Stmts: []Stmt{
+		&Call{Sym: "open"},
+		&Call{Sym: "send"},
+		&Call{Sym: "send"},
+		&Call{Sym: "close"},
+	}}
+	if f := d.Analyze(prog); len(f) != 0 {
+		t.Errorf("analysis flagged a correct program: %v", f)
+	}
+	exact, err := d.ExactCheck(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact != nil {
+		t.Errorf("exact check flagged a correct program: %v", exact)
+	}
+}
+
+func TestRealBugCaughtByBoth(t *testing.T) {
+	d := SocketDFA()
+	// use-after-close
+	prog := &Seq{Stmts: []Stmt{
+		&Call{Sym: "open"},
+		&Call{Sym: "close"},
+		&Call{Sym: "send"},
+	}}
+	if f := d.Analyze(prog); len(f) == 0 {
+		t.Error("analysis missed a real bug")
+	}
+	exact, err := d.ExactCheck(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact == nil {
+		t.Error("exact check missed a real bug")
+	}
+}
+
+// TestCorrelatedBranchesFalsePositive is the E10 centrepiece: the
+// path-insensitive analysis flags a program that no concrete execution
+// can break, because it ignores that both branches share one condition.
+// This is exactly the approximation the paper's approach avoids.
+func TestCorrelatedBranchesFalsePositive(t *testing.T) {
+	d := SocketDFA()
+	prog := &Seq{Stmts: []Stmt{
+		&If{CondID: 1, Then: &Call{Sym: "open"}},
+		&If{CondID: 1, Then: &Seq{Stmts: []Stmt{
+			&Call{Sym: "send"},
+			&Call{Sym: "close"},
+		}}},
+	}}
+	findings := d.Analyze(prog)
+	if len(findings) == 0 {
+		t.Fatal("expected the approximate analysis to flag the correlated program")
+	}
+	exact, err := d.ExactCheck(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact != nil {
+		t.Fatalf("no concrete execution misbehaves, but exact check found %v", exact)
+	}
+}
+
+func TestUnclosedTermination(t *testing.T) {
+	d := SocketDFA()
+	prog := &Seq{Stmts: []Stmt{&Call{Sym: "open"}, &Call{Sym: "send"}}}
+	found := false
+	for _, f := range d.Analyze(prog) {
+		if f.State == "opened" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("non-accepting termination not flagged")
+	}
+	exact, err := d.ExactCheck(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact == nil {
+		t.Error("exact check missed non-accepting termination")
+	}
+}
+
+func TestLoopFixpoint(t *testing.T) {
+	d := SocketDFA()
+	// Opening and closing in a loop is fine.
+	ok := &Loop{Body: &Seq{Stmts: []Stmt{
+		&Call{Sym: "open"}, &Call{Sym: "send"}, &Call{Sym: "close"},
+	}}}
+	if f := d.Analyze(ok); len(f) != 0 {
+		t.Errorf("clean loop flagged: %v", f)
+	}
+	// Opening repeatedly without closing is a bug (double open).
+	bad := &Loop{Body: &Call{Sym: "open"}}
+	if f := d.Analyze(bad); len(f) == 0 {
+		t.Error("double-open loop not flagged")
+	}
+	exact, err := d.ExactCheck(bad, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact == nil {
+		t.Error("exact check missed double open (needs >= 2 iterations)")
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	d := SocketDFA()
+	// Both arms legal: open then (send|nothing) then close.
+	prog := &Seq{Stmts: []Stmt{
+		&Call{Sym: "open"},
+		&If{CondID: 1, Then: &Call{Sym: "send"}, Else: &Seq{}},
+		&Call{Sym: "close"},
+	}}
+	if f := d.Analyze(prog); len(f) != 0 {
+		t.Errorf("flagged: %v", f)
+	}
+}
+
+func TestExactCheckPathBound(t *testing.T) {
+	d := SocketDFA()
+	var stmts []Stmt
+	stmts = append(stmts, &Call{Sym: "open"})
+	for i := 0; i < 20; i++ {
+		stmts = append(stmts, &If{CondID: i, Then: &Call{Sym: "send"}})
+	}
+	stmts = append(stmts, &Call{Sym: "close"})
+	_, err := d.ExactCheck(&Seq{Stmts: stmts}, 1000)
+	if !errors.Is(err, ErrTooManyPaths) {
+		t.Errorf("err = %v, want ErrTooManyPaths", err)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Sym: "send", State: "closed", Msg: "call not permitted"}
+	if f.String() == "" {
+		t.Error("empty rendering")
+	}
+}
+
+func TestAnalyzeDeduplicatesFindings(t *testing.T) {
+	d := SocketDFA()
+	// The same illegal call reached through two paths reports once.
+	prog := &Seq{Stmts: []Stmt{
+		&If{CondID: 1, Then: &Seq{}, Else: &Seq{}},
+		&Call{Sym: "send"}, // in closed: illegal
+	}}
+	findings := d.Analyze(prog)
+	if len(findings) != 1 {
+		t.Errorf("findings = %v, want exactly 1", findings)
+	}
+}

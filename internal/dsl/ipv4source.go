@@ -1,0 +1,29 @@
+package dsl
+
+// IPv4Source is the canonical .pdsl definition of the RFC 791 IPv4
+// header — the paper's Figure 1 expressed in the surface DSL rather than
+// through the Go API (internal/ipv4 builds the same message
+// programmatically; tests assert byte-for-byte agreement, including via
+// generated code). It exercises every bit-level feature of the wire
+// layer: sub-byte fields, a field crossing no byte boundary cleanly
+// (fragment_offset: 13 bits), an Internet-checksum field and an
+// expression-computed options length.
+const IPv4Source = `// RFC 791 Internet Datagram Header (paper Figure 1).
+protocol ipv4 {
+    message IPv4Header {
+        version: u4
+        ihl: u4
+        tos: u8
+        total_length: u16
+        identification: u16
+        flags: u3
+        fragment_offset: u13
+        ttl: u8
+        protocol: u8
+        header_checksum: u16 = checksum inet16
+        source: u32
+        destination: u32
+        options: bytes[(ihl - 5) * 4]
+    }
+}
+`

@@ -1,0 +1,50 @@
+package dsl
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSpecFilesMatchCanonicalSources keeps the on-disk .pdsl files under
+// examples/specs in sync with the embedded canonical sources that the
+// tests, tools and generated code are built from.
+func TestSpecFilesMatchCanonicalSources(t *testing.T) {
+	for _, tc := range []struct {
+		file string
+		want string
+	}{
+		{"arq.pdsl", ARQSource},
+		{"ipv4.pdsl", IPv4Source},
+	} {
+		path := filepath.Join("..", "..", "examples", "specs", tc.file)
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.file, err)
+		}
+		if string(got) != tc.want {
+			t.Errorf("%s is out of sync with the embedded source", tc.file)
+		}
+	}
+}
+
+// TestIPv4SourceCompiles covers the second canonical source end to end.
+func TestIPv4SourceCompiles(t *testing.T) {
+	proto, reports, err := Compile(IPv4Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proto.Name != "ipv4" || len(proto.MessageOrder) != 1 {
+		t.Errorf("proto = %+v", proto)
+	}
+	if len(reports) != 0 {
+		t.Errorf("reports for a machine-less protocol: %d", len(reports))
+	}
+	m := proto.Messages["IPv4Header"]
+	if m == nil || len(m.Fields) != 13 {
+		t.Fatalf("fields = %d, want 13", len(m.Fields))
+	}
+	if m.Fields[0].Bits != 4 || m.Fields[6].Bits != 13 {
+		t.Error("bit widths wrong (version u4, fragment_offset u13)")
+	}
+}

@@ -1,0 +1,171 @@
+package expr
+
+import "fmt"
+
+// TypeError reports a static typing failure in an expression.
+type TypeError struct {
+	Offset int
+	Msg    string
+}
+
+// Error implements error.
+func (e *TypeError) Error() string {
+	return fmt.Sprintf("type error at offset %d: %s", e.Offset, e.Msg)
+}
+
+func typeErrf(pos int, format string, args ...any) error {
+	return &TypeError{Offset: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Check type-checks the expression against the environment and returns its
+// static type. Checking is a prerequisite for evaluation: an expression
+// that checks cannot fail at runtime except for division by zero (which
+// Eval reports as an error rather than panicking).
+func Check(e Expr, env Env) (Type, error) {
+	switch n := e.(type) {
+	case *Lit:
+		switch n.Val.Kind() {
+		case KindBool:
+			return TBool, nil
+		case KindUint:
+			return TUint(n.Val.Bits()), nil
+		case KindString:
+			return TString, nil
+		case KindBytes:
+			return TBytes, nil
+		default:
+			return Type{}, typeErrf(n.Offset, "invalid literal")
+		}
+	case *Ident:
+		t, ok := env.VarType(n.Name)
+		if !ok {
+			return Type{}, typeErrf(n.Offset, "undefined variable %q", n.Name)
+		}
+		return t, nil
+	case *FieldAccess:
+		xt, err := Check(n.X, env)
+		if err != nil {
+			return Type{}, err
+		}
+		if xt.Kind != KindMsg {
+			return Type{}, typeErrf(n.Offset, "field access on non-message type %s", xt)
+		}
+		ft, ok := env.FieldType(xt.MsgName, n.Name)
+		if !ok {
+			return Type{}, typeErrf(n.Offset, "message %s has no field %q", xt.MsgName, n.Name)
+		}
+		return ft, nil
+	case *Unary:
+		return checkUnary(n, env)
+	case *Binary:
+		return checkBinary(n, env)
+	case *Call:
+		b, ok := LookupBuiltin(n.Func)
+		if !ok {
+			return Type{}, typeErrf(n.Offset, "unknown function %q", n.Func)
+		}
+		argTypes := make([]Type, len(n.Args))
+		for i, a := range n.Args {
+			t, err := Check(a, env)
+			if err != nil {
+				return Type{}, err
+			}
+			argTypes[i] = t
+		}
+		rt, err := b.CheckArgs(argTypes)
+		if err != nil {
+			return Type{}, typeErrf(n.Offset, "%v", err)
+		}
+		return rt, nil
+	default:
+		return Type{}, typeErrf(e.Pos(), "unknown expression node %T", e)
+	}
+}
+
+func checkUnary(n *Unary, env Env) (Type, error) {
+	xt, err := Check(n.X, env)
+	if err != nil {
+		return Type{}, err
+	}
+	switch n.Op {
+	case OpNot:
+		if xt.Kind != KindBool {
+			return Type{}, typeErrf(n.Offset, "operator ! requires bool, got %s", xt)
+		}
+		return TBool, nil
+	case OpNeg:
+		if xt.Kind != KindUint {
+			return Type{}, typeErrf(n.Offset, "operator - requires uint, got %s", xt)
+		}
+		return xt, nil
+	default:
+		return Type{}, typeErrf(n.Offset, "invalid unary operator %s", n.Op)
+	}
+}
+
+func checkBinary(n *Binary, env Env) (Type, error) {
+	xt, err := Check(n.X, env)
+	if err != nil {
+		return Type{}, err
+	}
+	yt, err := Check(n.Y, env)
+	if err != nil {
+		return Type{}, err
+	}
+	switch n.Op {
+	case OpOr, OpAnd:
+		if xt.Kind != KindBool || yt.Kind != KindBool {
+			return Type{}, typeErrf(n.Offset, "operator %s requires bools, got %s and %s", n.Op, xt, yt)
+		}
+		return TBool, nil
+	case OpEq, OpNe:
+		if !comparable(xt, yt) {
+			return Type{}, typeErrf(n.Offset, "cannot compare %s and %s", xt, yt)
+		}
+		return TBool, nil
+	case OpLt, OpLe, OpGt, OpGe:
+		if xt.Kind != KindUint || yt.Kind != KindUint {
+			return Type{}, typeErrf(n.Offset, "operator %s requires uints, got %s and %s", n.Op, xt, yt)
+		}
+		return TBool, nil
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpBitAnd, OpBitOr, OpBitXor:
+		if xt.Kind != KindUint || yt.Kind != KindUint {
+			return Type{}, typeErrf(n.Offset, "operator %s requires uints, got %s and %s", n.Op, xt, yt)
+		}
+		return TUint(maxInt(xt.Bits, yt.Bits)), nil
+	case OpShl, OpShr:
+		if xt.Kind != KindUint || yt.Kind != KindUint {
+			return Type{}, typeErrf(n.Offset, "operator %s requires uints, got %s and %s", n.Op, xt, yt)
+		}
+		return xt, nil
+	default:
+		return Type{}, typeErrf(n.Offset, "invalid binary operator %s", n.Op)
+	}
+}
+
+func comparable(a, b Type) bool {
+	if a.Kind == KindUint && b.Kind == KindUint {
+		return true // widths may differ; values compare numerically
+	}
+	return a.Equal(b)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// CheckBool type-checks the expression and requires it to be boolean.
+// It is the entry point used for transition guards and constraints.
+func CheckBool(e Expr, env Env) error {
+	t, err := Check(e, env)
+	if err != nil {
+		return err
+	}
+	if t.Kind != KindBool {
+		return typeErrf(e.Pos(), "expression must be bool, got %s", t)
+	}
+	return nil
+}

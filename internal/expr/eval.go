@@ -1,0 +1,212 @@
+package expr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDivisionByZero is returned by Eval when a / or % has a zero divisor.
+// It is the only runtime failure a type-checked expression can produce.
+var ErrDivisionByZero = errors.New("division by zero")
+
+// EvalError reports an evaluation failure with location context.
+type EvalError struct {
+	Offset int
+	Err    error
+}
+
+// Error implements error.
+func (e *EvalError) Error() string {
+	return fmt.Sprintf("eval error at offset %d: %v", e.Offset, e.Err)
+}
+
+// Unwrap exposes the underlying cause for errors.Is/As.
+func (e *EvalError) Unwrap() error { return e.Err }
+
+func evalErrf(pos int, err error) error {
+	return &EvalError{Offset: pos, Err: err}
+}
+
+// Eval evaluates a (type-checked) expression against the scope.
+// Evaluation is total: it always terminates, and the only possible errors
+// are division by zero and — for expressions that were not checked first —
+// kind mismatches and missing variables.
+func Eval(e Expr, scope Scope) (Value, error) {
+	switch n := e.(type) {
+	case *Lit:
+		return n.Val, nil
+	case *Ident:
+		v, ok := scope.VarValue(n.Name)
+		if !ok {
+			return Value{}, evalErrf(n.Offset, fmt.Errorf("undefined variable %q", n.Name))
+		}
+		return v, nil
+	case *FieldAccess:
+		x, err := Eval(n.X, scope)
+		if err != nil {
+			return Value{}, err
+		}
+		if x.Kind() != KindMsg {
+			return Value{}, evalErrf(n.Offset, fmt.Errorf("field access on %s value", x.Kind()))
+		}
+		f, ok := x.Field(n.Name)
+		if !ok {
+			return Value{}, evalErrf(n.Offset, fmt.Errorf("message %s has no field %q", x.MsgName(), n.Name))
+		}
+		return f, nil
+	case *Unary:
+		return evalUnary(n, scope)
+	case *Binary:
+		return evalBinary(n, scope)
+	case *Call:
+		b, ok := LookupBuiltin(n.Func)
+		if !ok {
+			return Value{}, evalErrf(n.Offset, fmt.Errorf("unknown function %q", n.Func))
+		}
+		args := make([]Value, len(n.Args))
+		for i, a := range n.Args {
+			v, err := Eval(a, scope)
+			if err != nil {
+				return Value{}, err
+			}
+			args[i] = v
+		}
+		v, err := b.Eval(args)
+		if err != nil {
+			return Value{}, evalErrf(n.Offset, err)
+		}
+		return v, nil
+	default:
+		return Value{}, evalErrf(e.Pos(), fmt.Errorf("unknown expression node %T", e))
+	}
+}
+
+// EvalBool evaluates an expression expected to produce a boolean.
+func EvalBool(e Expr, scope Scope) (bool, error) {
+	v, err := Eval(e, scope)
+	if err != nil {
+		return false, err
+	}
+	if v.Kind() != KindBool {
+		return false, evalErrf(e.Pos(), fmt.Errorf("expected bool result, got %s", v.Kind()))
+	}
+	return v.AsBool(), nil
+}
+
+func evalUnary(n *Unary, scope Scope) (Value, error) {
+	x, err := Eval(n.X, scope)
+	if err != nil {
+		return Value{}, err
+	}
+	switch n.Op {
+	case OpNot:
+		if x.Kind() != KindBool {
+			return Value{}, evalErrf(n.Offset, fmt.Errorf("! requires bool, got %s", x.Kind()))
+		}
+		return Bool(!x.AsBool()), nil
+	case OpNeg:
+		if x.Kind() != KindUint {
+			return Value{}, evalErrf(n.Offset, fmt.Errorf("- requires uint, got %s", x.Kind()))
+		}
+		// Two's-complement negation at the operand's width.
+		return Uint(-x.AsUint(), x.Bits()), nil
+	default:
+		return Value{}, evalErrf(n.Offset, fmt.Errorf("invalid unary op %s", n.Op))
+	}
+}
+
+func evalBinary(n *Binary, scope Scope) (Value, error) {
+	// Short-circuit logical operators.
+	if n.Op == OpAnd || n.Op == OpOr {
+		xb, err := EvalBool(n.X, scope)
+		if err != nil {
+			return Value{}, err
+		}
+		if n.Op == OpAnd && !xb {
+			return Bool(false), nil
+		}
+		if n.Op == OpOr && xb {
+			return Bool(true), nil
+		}
+		yb, err := EvalBool(n.Y, scope)
+		if err != nil {
+			return Value{}, err
+		}
+		return Bool(yb), nil
+	}
+
+	x, err := Eval(n.X, scope)
+	if err != nil {
+		return Value{}, err
+	}
+	y, err := Eval(n.Y, scope)
+	if err != nil {
+		return Value{}, err
+	}
+
+	switch n.Op {
+	case OpEq:
+		return Bool(equalValues(x, y)), nil
+	case OpNe:
+		return Bool(!equalValues(x, y)), nil
+	}
+
+	if x.Kind() != KindUint || y.Kind() != KindUint {
+		return Value{}, evalErrf(n.Offset, fmt.Errorf("operator %s requires uints, got %s and %s", n.Op, x.Kind(), y.Kind()))
+	}
+	a, b := x.AsUint(), y.AsUint()
+	bits := maxInt(x.Bits(), y.Bits())
+	switch n.Op {
+	case OpLt:
+		return Bool(a < b), nil
+	case OpLe:
+		return Bool(a <= b), nil
+	case OpGt:
+		return Bool(a > b), nil
+	case OpGe:
+		return Bool(a >= b), nil
+	case OpAdd:
+		return Uint(a+b, bits), nil
+	case OpSub:
+		return Uint(a-b, bits), nil
+	case OpMul:
+		return Uint(a*b, bits), nil
+	case OpDiv:
+		if b == 0 {
+			return Value{}, evalErrf(n.Offset, ErrDivisionByZero)
+		}
+		return Uint(a/b, bits), nil
+	case OpMod:
+		if b == 0 {
+			return Value{}, evalErrf(n.Offset, ErrDivisionByZero)
+		}
+		return Uint(a%b, bits), nil
+	case OpBitAnd:
+		return Uint(a&b, bits), nil
+	case OpBitOr:
+		return Uint(a|b, bits), nil
+	case OpBitXor:
+		return Uint(a^b, bits), nil
+	case OpShl:
+		if b >= 64 {
+			return Uint(0, x.Bits()), nil
+		}
+		return Uint(a<<b, x.Bits()), nil
+	case OpShr:
+		if b >= 64 {
+			return Uint(0, x.Bits()), nil
+		}
+		return Uint(a>>b, x.Bits()), nil
+	default:
+		return Value{}, evalErrf(n.Offset, fmt.Errorf("invalid binary op %s", n.Op))
+	}
+}
+
+// equalValues compares values, treating uints of different widths as
+// numerically comparable (mirroring Check's comparability rule).
+func equalValues(x, y Value) bool {
+	if x.Kind() == KindUint && y.Kind() == KindUint {
+		return x.AsUint() == y.AsUint()
+	}
+	return x.Equal(y)
+}

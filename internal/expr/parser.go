@@ -1,0 +1,208 @@
+package expr
+
+// Parse parses the source text of a single expression.
+func Parse(src string) (Expr, error) {
+	p := &parser{lex: lexer{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	e, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.lex.errf(p.tok.pos, "unexpected trailing input")
+	}
+	return e, nil
+}
+
+// MustParse is Parse but panics on error. It is intended for statically
+// known expressions in tests and package-internal tables.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic("expr.MustParse(" + src + "): " + err.Error())
+	}
+	return e
+}
+
+type parser struct {
+	lex lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+// binding powers; higher binds tighter. Mirrors Go's precedence levels.
+func precedence(op Op) int {
+	switch op {
+	case OpOr:
+		return 1
+	case OpAnd:
+		return 2
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return 3
+	case OpAdd, OpSub, OpBitOr, OpBitXor:
+		return 4
+	case OpMul, OpDiv, OpMod, OpBitAnd, OpShl, OpShr:
+		return 5
+	default:
+		return 0
+	}
+}
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if p.tok.kind != tokOp {
+			return left, nil
+		}
+		prec := precedence(p.tok.op)
+		if prec == 0 || prec < minPrec {
+			return left, nil
+		}
+		op := p.tok.op
+		pos := p.tok.pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, X: left, Y: right, Offset: pos}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.tok.kind == tokOp && (p.tok.op == OpNot || p.tok.op == OpSub) {
+		op := p.tok.op
+		if op == OpSub {
+			op = OpNeg
+		}
+		pos := p.tok.pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: op, X: x, Offset: pos}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokDot {
+		pos := p.tok.pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokIdent {
+			return nil, p.lex.errf(p.tok.pos, "expected field name after '.'")
+		}
+		e = &FieldAccess{X: e, Name: p.tok.text, Offset: pos}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch p.tok.kind {
+	case tokInt:
+		v := p.tok.u
+		pos := p.tok.pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Lit{Val: Uint(v, FitBits(v)), Offset: pos}, nil
+	case tokString:
+		s := p.tok.text
+		pos := p.tok.pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Lit{Val: Str(s), Offset: pos}, nil
+	case tokIdent:
+		name := p.tok.text
+		pos := p.tok.pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch name {
+		case "true":
+			return &Lit{Val: Bool(true), Offset: pos}, nil
+		case "false":
+			return &Lit{Val: Bool(false), Offset: pos}, nil
+		}
+		if p.tok.kind == tokLParen {
+			return p.parseCall(name, pos)
+		}
+		return &Ident{Name: name, Offset: pos}, nil
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseBinary(0)
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, p.lex.errf(p.tok.pos, "expected ')'")
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.lex.errf(p.tok.pos, "expected expression")
+	}
+}
+
+func (p *parser) parseCall(name string, pos int) (Expr, error) {
+	// current token is '('
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	if p.tok.kind != tokRParen {
+		for {
+			a, err := p.parseBinary(0)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if p.tok.kind == tokComma {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+	}
+	if p.tok.kind != tokRParen {
+		return nil, p.lex.errf(p.tok.pos, "expected ')' in call to %s", name)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return &Call{Func: name, Args: args, Offset: pos}, nil
+}

@@ -1,0 +1,107 @@
+package expr
+
+import "fmt"
+
+// Type describes the static type of an expression.
+type Type struct {
+	Kind Kind
+	// Bits is the width of a KindUint type (8, 16, 32 or 64).
+	Bits int
+	// MsgName is the message type name for KindMsg types.
+	MsgName string
+}
+
+// Convenience type constructors.
+var (
+	TBool   = Type{Kind: KindBool}
+	TU8     = Type{Kind: KindUint, Bits: 8}
+	TU16    = Type{Kind: KindUint, Bits: 16}
+	TU32    = Type{Kind: KindUint, Bits: 32}
+	TU64    = Type{Kind: KindUint, Bits: 64}
+	TBytes  = Type{Kind: KindBytes}
+	TString = Type{Kind: KindString}
+)
+
+// TUint returns an unsigned integer type of the given (normalised) width.
+func TUint(bits int) Type { return Type{Kind: KindUint, Bits: normBits(bits)} }
+
+// TMsg returns a message type.
+func TMsg(name string) Type { return Type{Kind: KindMsg, MsgName: name} }
+
+// String renders the type.
+func (t Type) String() string {
+	switch t.Kind {
+	case KindUint:
+		return fmt.Sprintf("u%d", t.Bits)
+	case KindMsg:
+		return t.MsgName
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Equal reports type identity. Uint widths must match; message names
+// must match.
+func (t Type) Equal(o Type) bool {
+	return t.Kind == o.Kind && t.Bits == o.Bits && t.MsgName == o.MsgName
+}
+
+// AssignableFrom reports whether a value of type src may be assigned to a
+// target of type t. Uints are assignable across widths (the value is
+// truncated on assignment, matching wrapping semantics).
+func (t Type) AssignableFrom(src Type) bool {
+	if t.Kind == KindUint && src.Kind == KindUint {
+		return true
+	}
+	return t.Equal(src)
+}
+
+// Env supplies the static typing context for Check: the types of free
+// variables and of message fields.
+type Env interface {
+	// VarType returns the declared type of a variable.
+	VarType(name string) (Type, bool)
+	// FieldType returns the type of a field of the named message type.
+	FieldType(msg, field string) (Type, bool)
+}
+
+// MapEnv is an Env backed by plain maps. The zero value is usable.
+type MapEnv struct {
+	Vars   map[string]Type
+	Fields map[string]map[string]Type // message name -> field name -> type
+}
+
+var _ Env = MapEnv{}
+
+// VarType implements Env.
+func (e MapEnv) VarType(name string) (Type, bool) {
+	t, ok := e.Vars[name]
+	return t, ok
+}
+
+// FieldType implements Env.
+func (e MapEnv) FieldType(msg, field string) (Type, bool) {
+	fs, ok := e.Fields[msg]
+	if !ok {
+		return Type{}, false
+	}
+	t, ok := fs[field]
+	return t, ok
+}
+
+// Scope supplies runtime variable values for Eval.
+type Scope interface {
+	// VarValue returns the current value of a variable.
+	VarValue(name string) (Value, bool)
+}
+
+// MapScope is a Scope backed by a map.
+type MapScope map[string]Value
+
+var _ Scope = MapScope{}
+
+// VarValue implements Scope.
+func (s MapScope) VarValue(name string) (Value, bool) {
+	v, ok := s[name]
+	return v, ok
+}

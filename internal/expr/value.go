@@ -1,0 +1,311 @@
+// Package expr implements the total expression language shared by the
+// protocol DSL: field computations, transition guards and variable
+// assignments are all written in it.
+//
+// The language is total by construction — it has no loops, no recursion and
+// no user-defined functions — so every expression evaluates in bounded time.
+// This mirrors the totality requirement the paper places on its
+// dependently-typed host language (§3.1: "We require programs to be total").
+//
+// Unsigned integers carry an explicit bit width (8, 16, 32 or 64) and
+// arithmetic wraps at the promoted width, so `seq + 1` over an 8-bit
+// sequence number wraps from 255 to 0 exactly as the paper's `Byte`
+// arithmetic does.
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime kinds of values.
+type Kind int
+
+// Value kinds. KindInvalid is deliberately the zero value so that
+// uninitialised values are detectably invalid.
+const (
+	KindInvalid Kind = iota
+	KindBool
+	KindUint
+	KindBytes
+	KindString
+	KindMsg
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindBool:
+		return "bool"
+	case KindUint:
+		return "uint"
+	case KindBytes:
+		return "bytes"
+	case KindString:
+		return "string"
+	case KindMsg:
+		return "message"
+	default:
+		return "invalid"
+	}
+}
+
+// Value is a runtime value of the expression language.
+//
+// The zero value is invalid; construct values with the Bool, Uint, Bytes,
+// Str and Msg helpers.
+type Value struct {
+	kind Kind
+	b    bool
+	u    uint64
+	bits int
+	bs   []byte
+	s    string
+	msg  map[string]Value
+	name string // message type name when kind == KindMsg
+}
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Uint returns an unsigned integer value of the given bit width
+// (8, 16, 32 or 64). The value is truncated to the width.
+func Uint(v uint64, bits int) Value {
+	return Value{kind: KindUint, u: truncate(v, bits), bits: normBits(bits)}
+}
+
+// U8 returns an 8-bit unsigned value.
+func U8(v uint64) Value { return Uint(v, 8) }
+
+// U16 returns a 16-bit unsigned value.
+func U16(v uint64) Value { return Uint(v, 16) }
+
+// U32 returns a 32-bit unsigned value.
+func U32(v uint64) Value { return Uint(v, 32) }
+
+// U64 returns a 64-bit unsigned value.
+func U64(v uint64) Value { return Uint(v, 64) }
+
+// Bytes returns a byte-slice value. The slice is copied so later caller
+// mutations cannot alias into the value.
+func Bytes(b []byte) Value {
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	return Value{kind: KindBytes, bs: cp}
+}
+
+// Str returns a string value.
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// Msg returns a message value with the given type name and fields.
+// The field map is copied.
+func Msg(name string, fields map[string]Value) Value {
+	cp := make(map[string]Value, len(fields))
+	for k, v := range fields {
+		cp[k] = v
+	}
+	return Value{kind: KindMsg, name: name, msg: cp}
+}
+
+// Kind reports the kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsValid reports whether the value has been initialised.
+func (v Value) IsValid() bool { return v.kind != KindInvalid }
+
+// AsBool returns the boolean payload. It must only be called when
+// Kind() == KindBool.
+func (v Value) AsBool() bool { return v.b }
+
+// AsUint returns the unsigned integer payload.
+func (v Value) AsUint() uint64 { return v.u }
+
+// Bits returns the bit width of an unsigned integer value.
+func (v Value) Bits() int { return v.bits }
+
+// AsBytes returns the byte payload. The returned slice is a copy.
+func (v Value) AsBytes() []byte {
+	cp := make([]byte, len(v.bs))
+	copy(cp, v.bs)
+	return cp
+}
+
+// RawBytes returns the byte payload without copying. Callers must not
+// mutate the result.
+func (v Value) RawBytes() []byte { return v.bs }
+
+// AsString returns the string payload.
+func (v Value) AsString() string { return v.s }
+
+// MsgName returns the message type name of a message value.
+func (v Value) MsgName() string { return v.name }
+
+// Field returns the named field of a message value.
+func (v Value) Field(name string) (Value, bool) {
+	f, ok := v.msg[name]
+	return f, ok
+}
+
+// MsgFields returns a copy of the fields of a message value.
+func (v Value) MsgFields() map[string]Value {
+	cp := make(map[string]Value, len(v.msg))
+	for k, val := range v.msg {
+		cp[k] = val
+	}
+	return cp
+}
+
+// WithBits returns a copy of an unsigned value truncated to the given
+// bit width. For other kinds it returns the value unchanged.
+func (v Value) WithBits(bits int) Value {
+	if v.kind != KindUint {
+		return v
+	}
+	return Uint(v.u, bits)
+}
+
+// Equal reports deep structural equality of two values.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindBool:
+		return v.b == o.b
+	case KindUint:
+		return v.u == o.u
+	case KindBytes:
+		return string(v.bs) == string(o.bs)
+	case KindString:
+		return v.s == o.s
+	case KindMsg:
+		if v.name != o.name || len(v.msg) != len(o.msg) {
+			return false
+		}
+		for k, fv := range v.msg {
+			ov, ok := o.msg[k]
+			if !ok || !fv.Equal(ov) {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// String renders the value for diagnostics.
+func (v Value) String() string {
+	switch v.kind {
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	case KindUint:
+		return fmt.Sprintf("%d:u%d", v.u, v.bits)
+	case KindBytes:
+		return fmt.Sprintf("0x%x", v.bs)
+	case KindString:
+		return strconv.Quote(v.s)
+	case KindMsg:
+		var sb strings.Builder
+		sb.WriteString(v.name)
+		sb.WriteString("{")
+		first := true
+		for _, k := range sortedKeys(v.msg) {
+			if !first {
+				sb.WriteString(", ")
+			}
+			first = false
+			sb.WriteString(k)
+			sb.WriteString(": ")
+			sb.WriteString(v.msg[k].String())
+		}
+		sb.WriteString("}")
+		return sb.String()
+	default:
+		return "<invalid>"
+	}
+}
+
+// HashKey returns a deterministic string usable as a map key for state
+// hashing (used by the model checker). It is injective for the value
+// domain used by protocol specs.
+func (v Value) HashKey() string {
+	switch v.kind {
+	case KindBool:
+		if v.b {
+			return "b1"
+		}
+		return "b0"
+	case KindUint:
+		return "u" + strconv.FormatUint(v.u, 16)
+	case KindBytes:
+		return "y" + string(v.bs)
+	case KindString:
+		return "s" + v.s
+	case KindMsg:
+		var sb strings.Builder
+		sb.WriteString("m")
+		sb.WriteString(v.name)
+		for _, k := range sortedKeys(v.msg) {
+			sb.WriteString("|")
+			sb.WriteString(k)
+			sb.WriteString("=")
+			sb.WriteString(v.msg[k].HashKey())
+		}
+		return sb.String()
+	default:
+		return "?"
+	}
+}
+
+func sortedKeys(m map[string]Value) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// insertion sort: field maps are tiny.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+func normBits(bits int) int {
+	switch {
+	case bits <= 8:
+		return 8
+	case bits <= 16:
+		return 16
+	case bits <= 32:
+		return 32
+	default:
+		return 64
+	}
+}
+
+func truncate(v uint64, bits int) uint64 {
+	bits = normBits(bits)
+	if bits >= 64 {
+		return v
+	}
+	return v & ((1 << uint(bits)) - 1)
+}
+
+// FitBits returns the smallest normalised width (8, 16, 32, 64) that can
+// represent v. Integer literals adopt this width so byte arithmetic wraps
+// naturally (255 + 1 == 0 at width 8).
+func FitBits(v uint64) int {
+	switch {
+	case v <= 0xFF:
+		return 8
+	case v <= 0xFFFF:
+		return 16
+	case v <= 0xFFFFFFFF:
+		return 32
+	default:
+		return 64
+	}
+}

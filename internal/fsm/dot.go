@@ -1,0 +1,57 @@
+package fsm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the specification as a Graphviz digraph: states as nodes
+// (initial double-circled via an entry arrow, finals double-circled),
+// transitions as labelled edges (event, guard, actions). The output is
+// deterministic in the spec, so it is safe to golden-test and diff.
+func Dot(s *Spec) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", s.Name)
+	sb.WriteString("\trankdir=LR;\n")
+	sb.WriteString("\tnode [shape=circle];\n")
+	sb.WriteString("\t__start [shape=point];\n")
+
+	for _, st := range s.States {
+		attrs := []string{fmt.Sprintf("label=%q", st.Name)}
+		if st.Final {
+			attrs = append(attrs, "shape=doublecircle")
+		}
+		fmt.Fprintf(&sb, "\t%q [%s];\n", st.Name, strings.Join(attrs, ", "))
+	}
+	if init := s.InitState(); init != "" {
+		fmt.Fprintf(&sb, "\t__start -> %q;\n", init)
+	}
+
+	for i := range s.Transitions {
+		t := &s.Transitions[i]
+		label := t.Event
+		if t.Guard != nil {
+			label += "\\n[" + t.Guard.String() + "]"
+		}
+		for _, a := range t.Assigns {
+			label += "\\n" + a.Var + " := " + a.Expr.String()
+		}
+		for _, o := range t.Outputs {
+			label += "\\n! " + o.Message
+		}
+		fmt.Fprintf(&sb, "\t%q -> %q [label=%q];\n", t.From, t.To, label)
+	}
+
+	// Ignored events as a note per state (dashed self-loops clutter).
+	byState := make(map[string][]string)
+	for _, ig := range s.Ignores {
+		byState[ig.State] = append(byState[ig.State], ig.Event)
+	}
+	for _, st := range s.States {
+		if evs := byState[st.Name]; len(evs) > 0 {
+			fmt.Fprintf(&sb, "\t// state %s ignores: %s\n", st.Name, strings.Join(evs, ", "))
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

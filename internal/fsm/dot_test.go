@@ -1,0 +1,51 @@
+package fsm
+
+import (
+	"strings"
+	"testing"
+
+	"protodsl/internal/expr"
+)
+
+func TestDotRendering(t *testing.T) {
+	s := senderSpec()
+	dot := Dot(s)
+	for _, want := range []string{
+		`digraph "Sender" {`,
+		`"Sent" [label="Sent", shape=doublecircle];`,
+		`__start -> "Ready";`,
+		`"Ready" -> "Wait"`,
+		`seq := seq + 1`,
+		`! Packet`,
+		`// state Timeout ignores:`,
+		`[ack.seq == seq]`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestDotDeterministic(t *testing.T) {
+	a := Dot(senderSpec())
+	b := Dot(senderSpec())
+	if a != b {
+		t.Error("Dot output is not deterministic")
+	}
+}
+
+func TestDotMinimalSpec(t *testing.T) {
+	s := &Spec{
+		Name:   "Tiny",
+		States: []State{{Name: "A", Init: true}},
+		Events: []Event{{Name: "E"}},
+		Transitions: []Transition{
+			{From: "A", Event: "E", To: "A",
+				Guard: expr.MustParse("true")},
+		},
+	}
+	dot := Dot(s)
+	if !strings.Contains(dot, `"A" -> "A"`) {
+		t.Errorf("self loop missing:\n%s", dot)
+	}
+}

@@ -1,0 +1,290 @@
+package fsm
+
+import (
+	"errors"
+	"fmt"
+
+	"protodsl/internal/expr"
+)
+
+// Interpreter errors.
+var (
+	// ErrInvalidTransition is returned by Step for an event that is
+	// neither handled nor ignored in the current state — the dynamic
+	// enforcement of the soundness property (generated code enforces the
+	// same property at Go compile time).
+	ErrInvalidTransition = errors.New("invalid transition")
+	// ErrUnknownEvent is returned for events the spec does not declare.
+	ErrUnknownEvent = errors.New("unknown event")
+	// ErrBadArg is returned when event arguments do not match the event's
+	// declared parameters.
+	ErrBadArg = errors.New("bad event argument")
+)
+
+// OutputMsg is a message emission produced by a fired transition: field
+// values ready for wire encoding.
+type OutputMsg struct {
+	Message string
+	Fields  map[string]expr.Value
+}
+
+// StepResult describes the effect of one Step call.
+type StepResult struct {
+	// From and To are the machine states before and after the step.
+	From, To string
+	// Fired is the transition that fired (nil when Ignored or Rejected).
+	Fired *Transition
+	// Outputs are the messages emitted by the fired transition.
+	Outputs []OutputMsg
+	// Ignored is true when the event was declared-ignored in this state.
+	Ignored bool
+	// Rejected is true when transitions exist for (state, event) but no
+	// guard held. Rejection is a *defined* outcome (the receiver in §3.4
+	// "will reject a packet" whose sequence number does not match).
+	Rejected bool
+}
+
+// Machine executes a checked Spec. It is the DSL interpreter — the
+// paper's execTrans: only valid transitions can be executed, and every
+// step's effect is fully determined by the spec.
+//
+// Machine is not safe for concurrent use; drive each instance from one
+// goroutine (or the deterministic simulator's event loop).
+type Machine struct {
+	spec  *Spec
+	state string
+	vars  map[string]expr.Value
+	steps uint64
+}
+
+// NewMachine checks the spec and instantiates it in its initial state.
+// Specs with check errors are refused: execution is only defined for
+// specs whose soundness and completeness have been established.
+func NewMachine(spec *Spec) (*Machine, error) {
+	report := Check(spec)
+	if !report.OK() {
+		return nil, &CheckSpecError{Report: report}
+	}
+	return newMachineUnchecked(spec), nil
+}
+
+// newMachineUnchecked instantiates without re-running Check. Internal
+// callers (the model checker, test generation) use it after checking once.
+func newMachineUnchecked(spec *Spec) *Machine {
+	vars := make(map[string]expr.Value, len(spec.Vars))
+	for _, v := range spec.Vars {
+		if v.Init.IsValid() {
+			vars[v.Name] = v.Init
+		} else {
+			vars[v.Name] = zeroValue(v.Type)
+		}
+	}
+	return &Machine{spec: spec, state: spec.InitState(), vars: vars}
+}
+
+// NewMachineFromChecked instantiates a machine for a spec already known
+// to pass Check; the caller supplies the report as evidence.
+func NewMachineFromChecked(spec *Spec, report *Report) (*Machine, error) {
+	if report == nil || report.Spec != spec.Name || !report.OK() {
+		return nil, fmt.Errorf("spec %s: not accompanied by a passing check report", spec.Name)
+	}
+	return newMachineUnchecked(spec), nil
+}
+
+// Spec returns the machine's specification.
+func (m *Machine) Spec() *Spec { return m.spec }
+
+// State returns the current state name.
+func (m *Machine) State() string { return m.state }
+
+// InFinal reports whether the machine is in a final state.
+func (m *Machine) InFinal() bool {
+	st, ok := m.spec.StateByName(m.state)
+	return ok && st.Final
+}
+
+// Var returns the current value of a machine variable.
+func (m *Machine) Var(name string) (expr.Value, bool) {
+	v, ok := m.vars[name]
+	return v, ok
+}
+
+// Vars returns a copy of all machine variables.
+func (m *Machine) Vars() map[string]expr.Value {
+	out := make(map[string]expr.Value, len(m.vars))
+	for k, v := range m.vars {
+		out[k] = v
+	}
+	return out
+}
+
+// Steps returns the number of Step calls that fired or ignored an event.
+func (m *Machine) Steps() uint64 { return m.steps }
+
+// Clone returns an independent copy of the machine (used by the model
+// checker to branch the state space).
+func (m *Machine) Clone() *Machine {
+	return &Machine{spec: m.spec, state: m.state, vars: m.Vars(), steps: m.steps}
+}
+
+// Reset returns the machine to its initial state and variable values.
+func (m *Machine) Reset() {
+	fresh := newMachineUnchecked(m.spec)
+	m.state = fresh.state
+	m.vars = fresh.vars
+	m.steps = 0
+}
+
+// StateKey returns a deterministic hash key of (state, vars) for state-
+// space exploration.
+func (m *Machine) StateKey() string {
+	key := m.state
+	for _, v := range m.spec.Vars {
+		key += "|" + v.Name + "=" + m.vars[v.Name].HashKey()
+	}
+	return key
+}
+
+// stepScope resolves variables then event arguments.
+type stepScope struct {
+	vars map[string]expr.Value
+	args map[string]expr.Value
+}
+
+var _ expr.Scope = stepScope{}
+
+func (s stepScope) VarValue(name string) (expr.Value, bool) {
+	if v, ok := s.args[name]; ok {
+		return v, ok
+	}
+	v, ok := s.vars[name]
+	return v, ok
+}
+
+// Step delivers an event (with arguments bound by parameter name) to the
+// machine.
+//
+// Semantics: the transitions declared for (state, event) are tried in
+// declaration order; the first whose guard holds fires. Firing evaluates
+// all assignment right-hand sides against the *pre*-state (simultaneous
+// assignment), applies them, evaluates outputs, and moves to the target
+// state. If no transition is declared and the event is not ignored, Step
+// returns ErrInvalidTransition.
+func (m *Machine) Step(event string, args map[string]expr.Value) (StepResult, error) {
+	ev, ok := m.spec.EventByName(event)
+	if !ok {
+		return StepResult{}, fmt.Errorf("machine %s: %w: %q", m.spec.Name, ErrUnknownEvent, event)
+	}
+	if err := m.checkArgs(ev, args); err != nil {
+		return StepResult{}, err
+	}
+
+	res := StepResult{From: m.state, To: m.state}
+	ts := m.spec.TransitionsFrom(m.state, event)
+	if len(ts) == 0 {
+		if m.spec.Ignored(m.state, event) {
+			res.Ignored = true
+			m.steps++
+			return res, nil
+		}
+		return StepResult{}, fmt.Errorf("machine %s: %w: event %q in state %q",
+			m.spec.Name, ErrInvalidTransition, event, m.state)
+	}
+
+	scope := stepScope{vars: m.vars, args: args}
+	for _, t := range ts {
+		if t.Guard != nil {
+			hold, err := expr.EvalBool(t.Guard, scope)
+			if err != nil {
+				return StepResult{}, fmt.Errorf("machine %s: guard of %s: %w", m.spec.Name, t.String(), err)
+			}
+			if !hold {
+				continue
+			}
+		}
+		return m.fire(t, scope, res)
+	}
+	res.Rejected = true
+	m.steps++
+	return res, nil
+}
+
+func (m *Machine) fire(t *Transition, scope stepScope, res StepResult) (StepResult, error) {
+	// Simultaneous assignment: evaluate all RHS first.
+	newVals := make([]expr.Value, len(t.Assigns))
+	for i, a := range t.Assigns {
+		v, err := expr.Eval(a.Expr, scope)
+		if err != nil {
+			return StepResult{}, fmt.Errorf("machine %s: assign %s: %w", m.spec.Name, a.Var, err)
+		}
+		decl, _ := m.spec.VarByName(a.Var)
+		newVals[i] = coerce(v, decl.Type)
+	}
+	// Outputs are evaluated against the pre-state too: they describe the
+	// packet being sent *by* this transition.
+	for _, o := range t.Outputs {
+		fields := make(map[string]expr.Value, len(o.Fields))
+		for name, e := range o.Fields {
+			v, err := expr.Eval(e, scope)
+			if err != nil {
+				return StepResult{}, fmt.Errorf("machine %s: output %s field %s: %w",
+					m.spec.Name, o.Message, name, err)
+			}
+			fields[name] = v
+		}
+		res.Outputs = append(res.Outputs, OutputMsg{Message: o.Message, Fields: fields})
+	}
+	for i, a := range t.Assigns {
+		m.vars[a.Var] = newVals[i]
+	}
+	m.state = t.To
+	m.steps++
+	res.To = t.To
+	res.Fired = t
+	return res, nil
+}
+
+func (m *Machine) checkArgs(ev *Event, args map[string]expr.Value) error {
+	for _, p := range ev.Params {
+		v, ok := args[p.Name]
+		if !ok {
+			return fmt.Errorf("machine %s: event %s: %w: missing %q",
+				m.spec.Name, ev.Name, ErrBadArg, p.Name)
+		}
+		if !kindMatches(p.Type, v) {
+			return fmt.Errorf("machine %s: event %s: %w: %q has kind %s, want %s",
+				m.spec.Name, ev.Name, ErrBadArg, p.Name, v.Kind(), p.Type)
+		}
+	}
+	for name := range args {
+		found := false
+		for _, p := range ev.Params {
+			if p.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("machine %s: event %s: %w: unexpected argument %q",
+				m.spec.Name, ev.Name, ErrBadArg, name)
+		}
+	}
+	return nil
+}
+
+func kindMatches(t expr.Type, v expr.Value) bool {
+	if t.Kind != v.Kind() {
+		return false
+	}
+	if t.Kind == expr.KindMsg {
+		return t.MsgName == v.MsgName()
+	}
+	return true
+}
+
+func coerce(v expr.Value, t expr.Type) expr.Value {
+	if t.Kind == expr.KindUint && v.Kind() == expr.KindUint {
+		return v.WithBits(t.Bits)
+	}
+	return v
+}

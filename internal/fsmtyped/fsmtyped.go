@@ -1,0 +1,85 @@
+// Package fsmtyped is the Go-generics embedding of the paper's typed
+// transition discipline (§3.4):
+//
+//	data SendTrans : SendSt → SendSt → ⋆
+//	execTrans : SendTrans s s′ → Machine s → IO (Machine s′)
+//
+// Each protocol state is a distinct Go type implementing State, and a
+// transition is a Transition[From, To] — a function value whose type
+// *is* its specification. Applying a transition to the wrong state is a
+// Go compile error, which is this embedding's version of "only valid
+// transitions can be executed" (soundness). The runtime Log plays the
+// role of the IO monad's trace: every executed transition is recorded.
+//
+// What Go cannot express is value-indexed states (the paper's
+// `Ready seq`); the sequence number lives as a field of the state type
+// and value-level invariants are enforced by the constructors and
+// checked in tests. See DESIGN.md §2 for the full mapping.
+package fsmtyped
+
+import "fmt"
+
+// State is implemented by the per-state types of a typed machine.
+type State interface {
+	// StateName returns the state's name for logging and diagnostics.
+	StateName() string
+}
+
+// Transition is a typed transition function from state From to state To.
+// The type parameters carry the paper's SendTrans indexing: a
+// Transition[Wait, Ready] value cannot be applied to a Ready state.
+type Transition[From, To State] func(From) (To, error)
+
+// Entry records one executed transition.
+type Entry struct {
+	Name string
+	From string
+	To   string
+	Err  bool
+}
+
+// String renders the entry.
+func (e Entry) String() string {
+	if e.Err {
+		return fmt.Sprintf("%s: %s -> (failed)", e.Name, e.From)
+	}
+	return fmt.Sprintf("%s: %s -> %s", e.Name, e.From, e.To)
+}
+
+// Log records executed transitions; it is the observable trace of a typed
+// machine's run. The zero value is ready to use.
+type Log struct {
+	entries []Entry
+}
+
+// Entries returns a copy of the recorded transitions.
+func (l *Log) Entries() []Entry {
+	out := make([]Entry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// Len returns the number of recorded transitions.
+func (l *Log) Len() int { return len(l.entries) }
+
+// Exec applies a typed transition to a state and records it in the log
+// (which may be nil for unlogged execution). The signature enforces that
+// the source state's type matches the transition's domain — the
+// compile-time soundness guarantee.
+func Exec[From, To State](l *Log, name string, from From, t Transition[From, To]) (To, error) {
+	to, err := t(from)
+	if l != nil {
+		toName := ""
+		if err == nil {
+			toName = to.StateName()
+		}
+		l.entries = append(l.entries, Entry{
+			Name: name, From: from.StateName(), To: toName, Err: err != nil,
+		})
+	}
+	if err != nil {
+		var zero To
+		return zero, fmt.Errorf("transition %s from %s: %w", name, from.StateName(), err)
+	}
+	return to, nil
+}

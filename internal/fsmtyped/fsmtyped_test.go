@@ -1,0 +1,92 @@
+package fsmtyped
+
+import (
+	"errors"
+	"testing"
+)
+
+type stIdle struct{ N int }
+type stBusy struct{ N int }
+type stDone struct{ N int }
+
+func (stIdle) StateName() string { return "Idle" }
+func (stBusy) StateName() string { return "Busy" }
+func (stDone) StateName() string { return "Done" }
+
+func start() Transition[stIdle, stBusy] {
+	return func(s stIdle) (stBusy, error) { return stBusy{N: s.N + 1}, nil }
+}
+
+func finish() Transition[stBusy, stDone] {
+	return func(s stBusy) (stDone, error) { return stDone{N: s.N}, nil }
+}
+
+func failing() Transition[stBusy, stDone] {
+	return func(stBusy) (stDone, error) { return stDone{}, errors.New("boom") }
+}
+
+func TestExecChainsTypedTransitions(t *testing.T) {
+	var log Log
+	busy, err := Exec(&log, "start", stIdle{N: 1}, start())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := Exec(&log, "finish", busy, finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.N != 2 {
+		t.Errorf("N = %d, want 2", done.N)
+	}
+	entries := log.Entries()
+	if len(entries) != 2 || log.Len() != 2 {
+		t.Fatalf("log = %v", entries)
+	}
+	if entries[0].Name != "start" || entries[0].From != "Idle" || entries[0].To != "Busy" {
+		t.Errorf("entry 0 = %+v", entries[0])
+	}
+	if entries[1].String() != "finish: Busy -> Done" {
+		t.Errorf("entry 1 renders %q", entries[1].String())
+	}
+
+	// The compile-time guarantee: the following do not type-check.
+	//	Exec(&log, "bad", stIdle{}, finish())  // finish needs stBusy
+	//	Exec(&log, "bad", done, start())       // start needs stIdle
+}
+
+func TestExecRecordsFailure(t *testing.T) {
+	var log Log
+	_, err := Exec(&log, "failing", stBusy{}, failing())
+	if err == nil {
+		t.Fatal("want error")
+	}
+	entries := log.Entries()
+	if len(entries) != 1 || !entries[0].Err || entries[0].To != "" {
+		t.Errorf("entries = %v", entries)
+	}
+	if entries[0].String() != "failing: Busy -> (failed)" {
+		t.Errorf("renders %q", entries[0].String())
+	}
+}
+
+func TestExecNilLog(t *testing.T) {
+	busy, err := Exec[stIdle, stBusy](nil, "start", stIdle{N: 5}, start())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busy.N != 6 {
+		t.Errorf("N = %d", busy.N)
+	}
+}
+
+func TestLogEntriesIsCopy(t *testing.T) {
+	var log Log
+	if _, err := Exec(&log, "start", stIdle{}, start()); err != nil {
+		t.Fatal(err)
+	}
+	entries := log.Entries()
+	entries[0].Name = "tampered"
+	if log.Entries()[0].Name != "start" {
+		t.Error("Entries exposed internals")
+	}
+}

@@ -1,0 +1,132 @@
+package loc
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"protodsl/internal/dsl"
+)
+
+func TestAnalyzeSimpleFunction(t *testing.T) {
+	src := `package p
+
+import "fmt"
+
+func parse(data []byte) (byte, error) {
+	if len(data) < 4 {
+		return 0, fmt.Errorf("short")
+	}
+	seq := data[0]
+	if err := validate(data); err != nil {
+		return 0, err
+	}
+	sum := byte(0)
+	for _, b := range data {
+		sum += b
+	}
+	return seq + sum, nil
+}
+
+func validate(data []byte) error { return nil }
+`
+	rep, err := AnalyzeSource("test.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CodeLines == 0 {
+		t.Fatal("no code lines counted")
+	}
+	// Both if-blocks (2 + 3 lines incl. braces... counted by line span)
+	// are overhead; the arithmetic loop is not.
+	if rep.OverheadLines == 0 {
+		t.Fatal("no overhead lines found")
+	}
+	if rep.Fraction() <= 0.2 || rep.Fraction() >= 0.9 {
+		t.Errorf("fraction = %.2f, expected a middling value for this mixed function", rep.Fraction())
+	}
+}
+
+func TestAnalyzeNoOverhead(t *testing.T) {
+	src := `package p
+
+func add(a, b int) int {
+	c := a + b
+	return c * 2
+}
+`
+	rep, err := AnalyzeSource("t.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OverheadLines != 0 {
+		t.Errorf("pure arithmetic classified as overhead: %s", rep)
+	}
+	if rep.CodeLines != 2 {
+		t.Errorf("code lines = %d, want 2", rep.CodeLines)
+	}
+}
+
+func TestAnalyzeParseError(t *testing.T) {
+	if _, err := AnalyzeSource("bad.go", "this is not go"); err == nil {
+		t.Error("junk accepted")
+	}
+}
+
+// TestE2SocketsBaselineIsErrorHeavy measures the actual hand-written
+// baseline in this repository: the paper's "50% or more" claim should
+// hold for it (we accept >= 40% to keep the test robust to edits, and
+// the experiment harness reports the exact number).
+func TestE2SocketsBaselineIsErrorHeavy(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "sockets", "sockets.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := AnalyzeSource("sockets.go", string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sockets baseline: %s", rep)
+	if rep.Fraction() < 0.40 {
+		t.Errorf("hand-written baseline overhead = %.1f%%, expected the C-style code to be error-check heavy",
+			100*rep.Fraction())
+	}
+}
+
+// TestE2DSLHasNoErrorHandling: the DSL definition contains zero
+// error-handling lines — validation is the compiler's job.
+func TestE2DSLHasNoErrorHandling(t *testing.T) {
+	n := CountDSLLines(dsl.ARQSource)
+	if n == 0 {
+		t.Fatal("no DSL lines counted")
+	}
+	if n > 80 {
+		t.Errorf("ARQ DSL is %d lines — suspiciously large for the comparison", n)
+	}
+}
+
+func TestReportAddAndString(t *testing.T) {
+	a := Report{CodeLines: 10, OverheadLines: 5}
+	b := Report{CodeLines: 10, OverheadLines: 1}
+	a.Add(b)
+	if a.CodeLines != 20 || a.OverheadLines != 6 {
+		t.Errorf("Add: %+v", a)
+	}
+	if a.Fraction() != 0.3 {
+		t.Errorf("fraction = %f", a.Fraction())
+	}
+	if a.String() == "" {
+		t.Error("empty string")
+	}
+	var zero Report
+	if zero.Fraction() != 0 {
+		t.Error("zero fraction")
+	}
+}
+
+func TestCountDSLLines(t *testing.T) {
+	src := "a\n// comment only\n\nb // trailing\n  \n"
+	if n := CountDSLLines(src); n != 2 {
+		t.Errorf("CountDSLLines = %d, want 2", n)
+	}
+}

@@ -1,0 +1,212 @@
+// Package metrics provides the small statistics toolkit the experiment
+// harness uses: streaming summaries, fixed-bucket histograms and table
+// rendering. Everything is deterministic and allocation-light.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary accumulates a stream of float64 observations.
+type Summary struct {
+	n          uint64
+	sum, sumSq float64
+	min, max   float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(v float64) {
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	s.n++
+	s.sum += v
+	s.sumSq += v * v
+}
+
+// N returns the number of observations.
+func (s *Summary) N() uint64 { return s.n }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 when empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// Sum returns the total.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// StdDev returns the population standard deviation (0 when n < 2).
+func (s *Summary) StdDev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	mean := s.Mean()
+	v := s.sumSq/float64(s.n) - mean*mean
+	if v < 0 {
+		v = 0 // numeric noise
+	}
+	return math.Sqrt(v)
+}
+
+// String renders the summary.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f",
+		s.n, s.Mean(), s.StdDev(), s.min, s.max)
+}
+
+// Percentiles computes the requested percentiles (each in [0,100]) over a
+// sample slice. The input is not modified.
+func Percentiles(sample []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(sample) == 0 {
+		return out
+	}
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	for i, p := range ps {
+		if p <= 0 {
+			out[i] = sorted[0]
+			continue
+		}
+		if p >= 100 {
+			out[i] = sorted[len(sorted)-1]
+			continue
+		}
+		rank := p / 100 * float64(len(sorted)-1)
+		lo := int(math.Floor(rank))
+		hi := int(math.Ceil(rank))
+		frac := rank - float64(lo)
+		out[i] = sorted[lo]*(1-frac) + sorted[hi]*frac
+	}
+	return out
+}
+
+// Histogram counts observations into equal-width buckets over [Lo, Hi);
+// out-of-range values land in the under/overflow counters.
+type Histogram struct {
+	Lo, Hi    float64
+	buckets   []uint64
+	underflow uint64
+	overflow  uint64
+}
+
+// NewHistogram creates a histogram with n equal-width buckets.
+func NewHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if n < 1 || hi <= lo {
+		return nil, fmt.Errorf("metrics: invalid histogram [%g,%g)/%d", lo, hi, n)
+	}
+	return &Histogram{Lo: lo, Hi: hi, buckets: make([]uint64, n)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	switch {
+	case v < h.Lo:
+		h.underflow++
+	case v >= h.Hi:
+		h.overflow++
+	default:
+		idx := int((v - h.Lo) / (h.Hi - h.Lo) * float64(len(h.buckets)))
+		if idx >= len(h.buckets) {
+			idx = len(h.buckets) - 1
+		}
+		h.buckets[idx]++
+	}
+}
+
+// Bucket returns the count of bucket i.
+func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i] }
+
+// Buckets returns a copy of the bucket counts.
+func (h *Histogram) Buckets() []uint64 {
+	out := make([]uint64, len(h.buckets))
+	copy(out, h.buckets)
+	return out
+}
+
+// Outliers returns the underflow and overflow counts.
+func (h *Histogram) Outliers() (under, over uint64) { return h.underflow, h.overflow }
+
+// Table renders aligned experiment tables: a header row plus data rows.
+type Table struct {
+	Title  string
+	Header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteString("\n")
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Header)
+	rule := make([]string, len(t.Header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.StdDev() != 0 || s.N() != 0 {
+		t.Error("empty summary not zero")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 || s.Sum() != 40 {
+		t.Errorf("n=%d sum=%f", s.N(), s.Sum())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("mean = %f", s.Mean())
+	}
+	if math.Abs(s.StdDev()-2) > 1e-9 {
+		t.Errorf("stddev = %f, want 2", s.StdDev())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min=%f max=%f", s.Min(), s.Max())
+	}
+	if !strings.Contains(s.String(), "n=8") {
+		t.Error("String misses n")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	sample := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	got := Percentiles(sample, 0, 50, 100)
+	if got[0] != 1 || got[2] != 10 {
+		t.Errorf("p0=%f p100=%f", got[0], got[2])
+	}
+	if got[1] != 5.5 {
+		t.Errorf("p50 = %f, want 5.5", got[1])
+	}
+	// Out-of-range percentiles clamp.
+	got = Percentiles(sample, -5, 200)
+	if got[0] != 1 || got[1] != 10 {
+		t.Errorf("clamped = %v", got)
+	}
+	// Empty sample.
+	if got := Percentiles(nil, 50); got[0] != 0 {
+		t.Errorf("empty p50 = %f", got[0])
+	}
+	// Input must not be mutated.
+	in := []float64{3, 1, 2}
+	Percentiles(in, 50)
+	if in[0] != 3 {
+		t.Error("input mutated")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{-1, 0, 1.9, 2, 9.99, 10, 100} {
+		h.Add(v)
+	}
+	under, over := h.Outliers()
+	if under != 1 || over != 2 {
+		t.Errorf("under=%d over=%d", under, over)
+	}
+	if h.Bucket(0) != 2 { // 0 and 1.9
+		t.Errorf("bucket 0 = %d", h.Bucket(0))
+	}
+	if h.Bucket(1) != 1 { // 2
+		t.Errorf("bucket 1 = %d", h.Bucket(1))
+	}
+	if h.Bucket(4) != 1 { // 9.99
+		t.Errorf("bucket 4 = %d", h.Bucket(4))
+	}
+	b := h.Buckets()
+	b[0] = 999
+	if h.Bucket(0) == 999 {
+		t.Error("Buckets exposed internals")
+	}
+	if _, err := NewHistogram(10, 0, 5); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("zero buckets accepted")
+	}
+}
+
+func TestQuickSummaryMeanBounds(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Summary
+		finite := 0
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			// Keep magnitudes bounded so the running sum cannot overflow.
+			v = math.Mod(v, 1e6)
+			s.Add(v)
+			finite++
+		}
+		if finite == 0 {
+			return true
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-9 && m <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("E5: loss sweep", "loss", "goodput", "ok")
+	tb.AddRow("0%", 1234.5678, true)
+	tb.AddRow("50%", 12.3, false)
+	if tb.Rows() != 2 {
+		t.Errorf("rows = %d", tb.Rows())
+	}
+	out := tb.String()
+	if !strings.Contains(out, "E5: loss sweep") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "1234.568") {
+		t.Errorf("float not formatted: %s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Errorf("lines = %d, want 5 (title, header, rule, 2 rows)", len(lines))
+	}
+	// Header and rule align.
+	if len(lines) >= 3 && len(strings.TrimRight(lines[1], " ")) == 0 {
+		t.Error("empty header line")
+	}
+}

@@ -1,0 +1,178 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// LinkParams configures one direction of a link. The zero value is a
+// perfect, instantaneous link.
+type LinkParams struct {
+	// Delay is the fixed propagation delay.
+	Delay time.Duration
+	// Jitter adds a uniform random extra delay in [0, Jitter).
+	Jitter time.Duration
+	// LossProb is the probability a packet is silently dropped.
+	LossProb float64
+	// DupProb is the probability a packet is delivered twice.
+	DupProb float64
+	// CorruptProb is the probability a random bit of the payload flips.
+	CorruptProb float64
+	// ReorderProb is the probability a packet is held back by an extra
+	// ReorderDelay, letting later packets overtake it.
+	ReorderProb float64
+	// ReorderDelay is the hold-back applied to reordered packets.
+	ReorderDelay time.Duration
+	// Bandwidth, if positive, limits the link to this many bytes per
+	// second; packets queue behind one another (serialisation delay).
+	Bandwidth int64
+	// MTU, if positive, silently drops packets larger than this.
+	MTU int
+}
+
+type link struct {
+	params    LinkParams
+	busyUntil time.Duration
+}
+
+// Endpoint is a network attachment point. Handlers run inside the
+// simulator event loop.
+type Endpoint struct {
+	sim     *Sim
+	addr    Addr
+	handler func(from Addr, data []byte)
+
+	// Counters.
+	sent     uint64
+	received uint64
+}
+
+// NewEndpoint registers a new endpoint.
+func (s *Sim) NewEndpoint(name string) (*Endpoint, error) {
+	addr := Addr(name)
+	if _, exists := s.endpoints[addr]; exists {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateEndpoint, name)
+	}
+	e := &Endpoint{sim: s, addr: addr}
+	s.endpoints[addr] = e
+	return e, nil
+}
+
+// Addr returns the endpoint's address.
+func (e *Endpoint) Addr() Addr { return e.addr }
+
+// Sent returns the number of packets sent from this endpoint.
+func (e *Endpoint) Sent() uint64 { return e.sent }
+
+// Received returns the number of packets delivered to this endpoint.
+func (e *Endpoint) Received() uint64 { return e.received }
+
+// SetHandler installs the receive callback. A nil handler discards
+// incoming packets.
+func (e *Endpoint) SetHandler(fn func(from Addr, data []byte)) { e.handler = fn }
+
+// Connect installs a bidirectional link with identical parameters in both
+// directions.
+func (s *Sim) Connect(a, b *Endpoint, p LinkParams) {
+	s.ConnectDirectional(a, b, p)
+	s.ConnectDirectional(b, a, p)
+}
+
+// ConnectDirectional installs (or replaces) the from→to link.
+func (s *Sim) ConnectDirectional(from, to *Endpoint, p LinkParams) {
+	s.links[linkKey{from.addr, to.addr}] = &link{params: p}
+}
+
+// SetLinkParams updates the parameters of an existing directional link
+// (used by experiments that vary conditions mid-run). It returns false if
+// the link does not exist.
+func (s *Sim) SetLinkParams(from, to Addr, p LinkParams) bool {
+	l, ok := s.links[linkKey{from, to}]
+	if !ok {
+		return false
+	}
+	l.params = p
+	return true
+}
+
+// Send transmits data from e to the destination address. The payload is
+// copied. Delivery (or loss) is decided by the link's parameters using
+// the simulation PRNG.
+func (e *Endpoint) Send(to Addr, data []byte) error {
+	s := e.sim
+	l, ok := s.links[linkKey{e.addr, to}]
+	if !ok {
+		return fmt.Errorf("%w: %s -> %s", ErrNoRoute, e.addr, to)
+	}
+	dst, ok := s.endpoints[to]
+	if !ok {
+		return fmt.Errorf("%w: %s -> %s (no such endpoint)", ErrNoRoute, e.addr, to)
+	}
+	e.sent++
+	s.stats.Sent++
+	payload := make([]byte, len(data))
+	copy(payload, data)
+	s.traceEvent(TraceSend, e.addr, to, len(payload))
+
+	p := l.params
+	if p.MTU > 0 && len(payload) > p.MTU {
+		s.stats.Dropped++
+		s.traceEvent(TraceDrop, e.addr, to, len(payload))
+		return nil
+	}
+	if p.LossProb > 0 && s.rng.Float64() < p.LossProb {
+		s.stats.Dropped++
+		s.traceEvent(TraceDrop, e.addr, to, len(payload))
+		return nil
+	}
+
+	// Serialisation delay under a bandwidth cap: packets queue FIFO.
+	txStart := s.now
+	if p.Bandwidth > 0 {
+		if l.busyUntil > txStart {
+			txStart = l.busyUntil
+		}
+		txTime := time.Duration(float64(len(payload)) / float64(p.Bandwidth) * float64(time.Second))
+		l.busyUntil = txStart + txTime
+		txStart = l.busyUntil
+	}
+
+	deliverAt := txStart + p.Delay
+	if p.Jitter > 0 {
+		deliverAt += time.Duration(s.rng.Int63n(int64(p.Jitter)))
+	}
+	if p.ReorderProb > 0 && s.rng.Float64() < p.ReorderProb {
+		s.stats.Reordered++
+		deliverAt += p.ReorderDelay
+	}
+
+	if p.CorruptProb > 0 && s.rng.Float64() < p.CorruptProb && len(payload) > 0 {
+		bit := s.rng.Intn(8 * len(payload))
+		payload[bit/8] ^= 1 << uint(7-bit%8)
+		s.stats.Corrupted++
+		s.traceEvent(TraceCorrupt, e.addr, to, len(payload))
+	}
+
+	s.scheduleDelivery(e.addr, dst, payload, deliverAt)
+
+	if p.DupProb > 0 && s.rng.Float64() < p.DupProb {
+		dupAt := deliverAt + p.Delay/2 + 1
+		dup := make([]byte, len(payload))
+		copy(dup, payload)
+		s.stats.Duplicated++
+		s.traceEvent(TraceDup, e.addr, to, len(payload))
+		s.scheduleDelivery(e.addr, dst, dup, dupAt)
+	}
+	return nil
+}
+
+func (s *Sim) scheduleDelivery(from Addr, dst *Endpoint, payload []byte, at time.Duration) {
+	s.schedule(at, func() {
+		dst.received++
+		s.stats.Delivered++
+		s.traceEvent(TraceDeliver, from, dst.addr, len(payload))
+		if dst.handler != nil {
+			dst.handler(from, payload)
+		}
+	})
+}

@@ -1,0 +1,197 @@
+// Package netsim is a deterministic discrete-event network simulator.
+//
+// It is the substrate the paper's protocols run on in this reproduction:
+// the paper targets real (wireless, mobile) networks; we substitute a
+// simulator that reproduces the behaviours those networks inject — loss,
+// duplication, corruption, reordering, delay jitter and bandwidth limits —
+// under a seeded PRNG so every experiment is reproducible bit-for-bit.
+//
+// The simulator is single-threaded: protocol handlers run inside the
+// event loop, so no locking is needed and runs are deterministic. Virtual
+// time advances only when the event queue does.
+package netsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Simulation errors.
+var (
+	// ErrNoRoute is returned by Send when no link connects the endpoints.
+	ErrNoRoute = errors.New("no route between endpoints")
+	// ErrBudgetExceeded is returned by RunUntilIdle when the event budget
+	// is exhausted before the queue drains (a likely livelock).
+	ErrBudgetExceeded = errors.New("event budget exceeded")
+	// ErrDuplicateEndpoint is returned when an endpoint name is reused.
+	ErrDuplicateEndpoint = errors.New("duplicate endpoint name")
+)
+
+// Addr identifies an endpoint.
+type Addr string
+
+// event is a scheduled callback. seq breaks ties deterministically.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a simulation instance. Create with New; not safe for concurrent
+// use (by design — see the package comment).
+type Sim struct {
+	now       time.Duration
+	queue     eventHeap
+	rng       *rand.Rand
+	nextSeq   uint64
+	endpoints map[Addr]*Endpoint
+	links     map[linkKey]*link
+	stats     Stats
+	trace     []TraceEvent
+	tracing   bool
+	processed uint64
+}
+
+type linkKey struct{ from, to Addr }
+
+// New creates a simulator seeded for deterministic runs.
+func New(seed int64) *Sim {
+	return &Sim{
+		rng:       rand.New(rand.NewSource(seed)),
+		endpoints: make(map[Addr]*Endpoint),
+		links:     make(map[linkKey]*link),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Processed returns the number of events executed so far.
+func (s *Sim) Processed() uint64 { return s.processed }
+
+// EnableTrace turns on event tracing (off by default: traces grow).
+func (s *Sim) EnableTrace() { s.tracing = true }
+
+// Trace returns a copy of the recorded trace.
+func (s *Sim) Trace() []TraceEvent {
+	out := make([]TraceEvent, len(s.trace))
+	copy(out, s.trace)
+	return out
+}
+
+// Stats returns a snapshot of the simulator's packet counters.
+func (s *Sim) Stats() Stats { return s.stats }
+
+// schedule enqueues fn at absolute virtual time at.
+func (s *Sim) schedule(at time.Duration, fn func()) *event {
+	if at < s.now {
+		at = s.now
+	}
+	e := &event{at: at, seq: s.nextSeq, fn: fn}
+	s.nextSeq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// Timer is a cancellable scheduled callback, the primitive protocol
+// timeouts are built from.
+type Timer struct {
+	ev        *event
+	cancelled bool
+	fired     bool
+}
+
+// Cancel prevents the timer from firing. Cancelling an already-fired or
+// already-cancelled timer is a no-op.
+func (t *Timer) Cancel() { t.cancelled = true }
+
+// Fired reports whether the callback has run.
+func (t *Timer) Fired() bool { return t.fired }
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool { return !t.fired && !t.cancelled }
+
+// After schedules fn to run after virtual duration d and returns a
+// cancellable timer.
+func (s *Sim) After(d time.Duration, fn func()) *Timer {
+	t := &Timer{}
+	t.ev = s.schedule(s.now+d, func() {
+		if t.cancelled {
+			return
+		}
+		t.fired = true
+		fn()
+	})
+	return t
+}
+
+// Post schedules fn to run "immediately" (at the current time, after any
+// events already queued for this instant).
+func (s *Sim) Post(fn func()) { s.schedule(s.now, fn) }
+
+// Run processes events until the queue is empty or virtual time would
+// exceed `until`. It returns the number of events processed.
+func (s *Sim) Run(until time.Duration) int {
+	n := 0
+	for len(s.queue) > 0 {
+		next := s.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = next.at
+		next.fn()
+		s.processed++
+		n++
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return n
+}
+
+// RunUntilIdle processes events until the queue drains, failing if more
+// than maxEvents fire (which indicates a livelock such as an
+// ever-rescheduling timer).
+func (s *Sim) RunUntilIdle(maxEvents int) error {
+	for n := 0; len(s.queue) > 0; n++ {
+		if n >= maxEvents {
+			return fmt.Errorf("%w: %d events", ErrBudgetExceeded, maxEvents)
+		}
+		next := heap.Pop(&s.queue).(*event)
+		s.now = next.at
+		next.fn()
+		s.processed++
+	}
+	return nil
+}
+
+// Idle reports whether no events are pending.
+func (s *Sim) Idle() bool { return len(s.queue) == 0 }
+
+// Rand exposes the simulation PRNG so protocol components (e.g. random
+// relay choice) share the deterministic seed.
+func (s *Sim) Rand() *rand.Rand { return s.rng }

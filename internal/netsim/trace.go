@@ -1,0 +1,73 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// TraceKind classifies trace events.
+type TraceKind int
+
+// Trace event kinds.
+const (
+	TraceSend TraceKind = iota + 1
+	TraceDeliver
+	TraceDrop
+	TraceDup
+	TraceCorrupt
+)
+
+// String returns the kind name.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceSend:
+		return "send"
+	case TraceDeliver:
+		return "deliver"
+	case TraceDrop:
+		return "drop"
+	case TraceDup:
+		return "dup"
+	case TraceCorrupt:
+		return "corrupt"
+	default:
+		return "unknown"
+	}
+}
+
+// TraceEvent is one entry of the simulation trace.
+type TraceEvent struct {
+	At   time.Duration
+	Kind TraceKind
+	From Addr
+	To   Addr
+	Size int
+}
+
+// String renders the event.
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("%12s %-8s %s -> %s (%d bytes)", e.At, e.Kind, e.From, e.To, e.Size)
+}
+
+func (s *Sim) traceEvent(kind TraceKind, from, to Addr, size int) {
+	if !s.tracing {
+		return
+	}
+	s.trace = append(s.trace, TraceEvent{At: s.now, Kind: kind, From: from, To: to, Size: size})
+}
+
+// Stats aggregates simulator-level packet counters.
+type Stats struct {
+	Sent       uint64
+	Delivered  uint64
+	Dropped    uint64
+	Duplicated uint64
+	Corrupted  uint64
+	Reordered  uint64
+}
+
+// String renders the counters.
+func (st Stats) String() string {
+	return fmt.Sprintf("sent=%d delivered=%d dropped=%d dup=%d corrupt=%d reorder=%d",
+		st.Sent, st.Delivered, st.Dropped, st.Duplicated, st.Corrupted, st.Reordered)
+}

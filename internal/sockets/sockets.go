@@ -1,0 +1,370 @@
+// Package sockets is the paper's §1 baseline: the same stop-and-wait ARQ
+// protocol, hand-written in the classic C-sockets style — manual buffer
+// packing, explicit state integers, and an error check after every single
+// operation. It is functionally equivalent to internal/arq (the tests
+// assert this) and exists so experiment E2 can measure the claim that
+// "typically, 50% or more of the code will deal with error checking or
+// other software control functions rather than the functionality of the
+// protocol".
+//
+// The style here is deliberately what the paper criticises. Do not clean
+// it up: its verbosity is the measurement.
+package sockets
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"protodsl/internal/netsim"
+)
+
+// Protocol constants, mirroring what a C header would #define.
+const (
+	hdrSize    = 4 // seq(1) + chk(1) + paylen(2)
+	ackSize    = 2 // seq(1) + chk(1)
+	maxPayload = 65535
+
+	stateReady   = 0
+	stateWait    = 1
+	stateTimeout = 2
+	stateSent    = 3
+)
+
+// Error codes in the errno style.
+var (
+	ErrTooBig      = errors.New("payload too large")
+	ErrShortPacket = errors.New("packet too short")
+	ErrBadChecksum = errors.New("bad checksum")
+	ErrBadLength   = errors.New("bad length field")
+	ErrInternal    = errors.New("internal protocol error")
+)
+
+// Result mirrors arq.Result for the harness.
+type Result struct {
+	OK          bool
+	Delivered   [][]byte
+	PacketsSent int
+	Retransmits int
+	Duration    time.Duration
+}
+
+// checksum8 sums all bytes mod 256 with the checksum position zeroed by
+// the caller.
+func checksum8(buf []byte) byte {
+	var sum int
+	for i := 0; i < len(buf); i++ {
+		sum += int(buf[i])
+	}
+	return byte(sum & 0xFF)
+}
+
+// packPacket writes the packet into buf and returns its size.
+// Every precondition is checked by hand.
+func packPacket(buf []byte, seq byte, payload []byte) (int, error) {
+	if payload == nil {
+		payload = []byte{}
+	}
+	if len(payload) > maxPayload {
+		return 0, fmt.Errorf("packPacket: %w: %d bytes", ErrTooBig, len(payload))
+	}
+	need := hdrSize + len(payload)
+	if len(buf) < need {
+		return 0, fmt.Errorf("packPacket: %w: buffer %d < %d", ErrTooBig, len(buf), need)
+	}
+	buf[0] = seq
+	buf[1] = 0 // checksum placeholder
+	buf[2] = byte(len(payload) >> 8)
+	buf[3] = byte(len(payload) & 0xFF)
+	n := copy(buf[hdrSize:], payload)
+	if n != len(payload) {
+		return 0, fmt.Errorf("packPacket: %w: short copy %d", ErrInternal, n)
+	}
+	buf[1] = checksum8(buf[:need])
+	return need, nil
+}
+
+// unpackPacket parses and validates a packet by hand.
+func unpackPacket(data []byte) (seq byte, payload []byte, err error) {
+	if len(data) < hdrSize {
+		return 0, nil, fmt.Errorf("unpackPacket: %w: %d bytes", ErrShortPacket, len(data))
+	}
+	seq = data[0]
+	chk := data[1]
+	plen := int(data[2])<<8 | int(data[3])
+	if plen < 0 || plen > maxPayload {
+		return 0, nil, fmt.Errorf("unpackPacket: %w: %d", ErrBadLength, plen)
+	}
+	if len(data) != hdrSize+plen {
+		return 0, nil, fmt.Errorf("unpackPacket: %w: have %d want %d", ErrBadLength, len(data), hdrSize+plen)
+	}
+	tmp := make([]byte, len(data))
+	n := copy(tmp, data)
+	if n != len(data) {
+		return 0, nil, fmt.Errorf("unpackPacket: %w: short copy", ErrInternal)
+	}
+	tmp[1] = 0
+	if want := checksum8(tmp); chk != want {
+		return 0, nil, fmt.Errorf("unpackPacket: %w: %#x != %#x", ErrBadChecksum, chk, want)
+	}
+	payload = make([]byte, plen)
+	n = copy(payload, data[hdrSize:])
+	if n != plen {
+		return 0, nil, fmt.Errorf("unpackPacket: %w: short payload copy", ErrInternal)
+	}
+	return seq, payload, nil
+}
+
+// packAck writes an ack into buf.
+func packAck(buf []byte, seq byte) (int, error) {
+	if len(buf) < ackSize {
+		return 0, fmt.Errorf("packAck: %w", ErrInternal)
+	}
+	buf[0] = seq
+	buf[1] = 0
+	buf[1] = checksum8(buf[:ackSize])
+	return ackSize, nil
+}
+
+// unpackAck parses and validates an ack.
+func unpackAck(data []byte) (byte, error) {
+	if len(data) != ackSize {
+		return 0, fmt.Errorf("unpackAck: %w: %d bytes", ErrShortPacket, len(data))
+	}
+	seq := data[0]
+	chk := data[1]
+	tmp := [ackSize]byte{data[0], 0}
+	if want := checksum8(tmp[:]); chk != want {
+		return 0, fmt.Errorf("unpackAck: %w: %#x != %#x", ErrBadChecksum, chk, want)
+	}
+	return seq, nil
+}
+
+// sender is the hand-rolled sender control block.
+type sender struct {
+	sim        *netsim.Sim
+	ep         *netsim.Endpoint
+	peer       netsim.Addr
+	state      int
+	seq        byte
+	payloads   [][]byte
+	idx        int
+	timer      *netsim.Timer
+	rto        time.Duration
+	maxRetries int
+	retries    int
+	sent       int
+	retrans    int
+	done       bool
+	ok         bool
+	err        error
+}
+
+func (s *sender) fatal(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+	s.done = true
+	if s.timer != nil {
+		s.timer.Cancel()
+	}
+}
+
+func (s *sender) sendCurrent(isRetrans bool) {
+	if s.state != stateReady {
+		s.fatal(fmt.Errorf("sendCurrent: %w: state %d", ErrInternal, s.state))
+		return
+	}
+	if s.idx < 0 || s.idx >= len(s.payloads) {
+		s.fatal(fmt.Errorf("sendCurrent: %w: index %d", ErrInternal, s.idx))
+		return
+	}
+	payload := s.payloads[s.idx]
+	buf := make([]byte, hdrSize+len(payload))
+	n, err := packPacket(buf, s.seq, payload)
+	if err != nil {
+		s.fatal(err)
+		return
+	}
+	if n != len(buf) {
+		s.fatal(fmt.Errorf("sendCurrent: %w: packed %d != %d", ErrInternal, n, len(buf)))
+		return
+	}
+	if err := s.ep.Send(s.peer, buf); err != nil {
+		s.fatal(err)
+		return
+	}
+	s.sent++
+	if isRetrans {
+		s.retrans++
+	}
+	s.state = stateWait
+	if s.timer != nil {
+		s.timer.Cancel()
+	}
+	s.timer = s.sim.After(s.rto, s.onTimeout)
+}
+
+func (s *sender) step() {
+	if s.done {
+		return
+	}
+	if s.state != stateReady {
+		s.fatal(fmt.Errorf("step: %w: state %d", ErrInternal, s.state))
+		return
+	}
+	if s.idx >= len(s.payloads) {
+		s.state = stateSent
+		s.done = true
+		s.ok = true
+		if s.timer != nil {
+			s.timer.Cancel()
+		}
+		return
+	}
+	s.sendCurrent(false)
+}
+
+func (s *sender) onDatagram(_ netsim.Addr, data []byte) {
+	if s.done {
+		return
+	}
+	ackSeq, err := unpackAck(data)
+	if err != nil {
+		// Corrupted ack: retransmit immediately, but only if waiting.
+		if s.state != stateWait {
+			return
+		}
+		s.state = stateReady
+		s.sendCurrent(true)
+		return
+	}
+	if s.state != stateWait {
+		return // stale ack
+	}
+	if ackSeq != s.seq {
+		return // ack for a different packet: keep waiting
+	}
+	if s.timer != nil {
+		s.timer.Cancel()
+	}
+	s.seq++
+	s.retries = 0
+	s.idx++
+	s.state = stateReady
+	s.step()
+}
+
+func (s *sender) onTimeout() {
+	if s.done {
+		return
+	}
+	if s.state != stateWait {
+		return // late timer
+	}
+	s.state = stateTimeout
+	s.retries++
+	if s.retries > s.maxRetries {
+		s.done = true
+		s.ok = false
+		return
+	}
+	s.state = stateReady
+	s.sendCurrent(true)
+}
+
+// receiver is the hand-rolled receiver control block.
+type receiver struct {
+	ep        *netsim.Endpoint
+	peer      netsim.Addr
+	expect    byte
+	delivered [][]byte
+	err       error
+}
+
+func (r *receiver) onDatagram(_ netsim.Addr, data []byte) {
+	if r.err != nil {
+		return
+	}
+	seq, payload, err := unpackPacket(data)
+	if err != nil {
+		return // drop invalid packets; sender's timer recovers
+	}
+	if seq == r.expect {
+		r.delivered = append(r.delivered, payload)
+		r.expect++
+	}
+	var ackBuf [ackSize]byte
+	n, err := packAck(ackBuf[:], seq)
+	if err != nil {
+		r.err = err
+		return
+	}
+	if n != ackSize {
+		r.err = fmt.Errorf("onDatagram: %w: packed ack %d", ErrInternal, n)
+		return
+	}
+	if err := r.ep.Send(r.peer, ackBuf[:]); err != nil {
+		r.err = err
+		return
+	}
+}
+
+// RunTransfer runs the hand-written protocol over the simulator with the
+// same semantics as arq.RunTransfer.
+func RunTransfer(cfg Config, payloads [][]byte) (*Result, error) {
+	if cfg.RTO == 0 {
+		cfg.RTO = 50 * time.Millisecond
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 10
+	}
+	if cfg.EventBudget == 0 {
+		cfg.EventBudget = 10000 + 200*len(payloads)*(cfg.MaxRetries+1)
+	}
+	sim := netsim.New(cfg.Seed)
+	sEP, err := sim.NewEndpoint("sender")
+	if err != nil {
+		return nil, err
+	}
+	rEP, err := sim.NewEndpoint("receiver")
+	if err != nil {
+		return nil, err
+	}
+	sim.Connect(sEP, rEP, cfg.Link)
+
+	recv := &receiver{ep: rEP, peer: sEP.Addr()}
+	rEP.SetHandler(recv.onDatagram)
+	send := &sender{
+		sim: sim, ep: sEP, peer: rEP.Addr(),
+		payloads: payloads, rto: cfg.RTO, maxRetries: cfg.MaxRetries,
+	}
+	sEP.SetHandler(send.onDatagram)
+	sim.Post(send.step)
+
+	if err := sim.RunUntilIdle(cfg.EventBudget); err != nil {
+		return nil, fmt.Errorf("sockets transfer: %w", err)
+	}
+	if send.err != nil {
+		return nil, fmt.Errorf("sockets transfer: sender: %w", send.err)
+	}
+	if recv.err != nil {
+		return nil, fmt.Errorf("sockets transfer: receiver: %w", recv.err)
+	}
+	return &Result{
+		OK:          send.ok,
+		Delivered:   recv.delivered,
+		PacketsSent: send.sent,
+		Retransmits: send.retrans,
+		Duration:    sim.Now(),
+	}, nil
+}
+
+// Config mirrors arq.Config.
+type Config struct {
+	Link        netsim.LinkParams
+	RTO         time.Duration
+	MaxRetries  int
+	Seed        int64
+	EventBudget int
+}

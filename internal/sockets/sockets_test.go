@@ -1,0 +1,157 @@
+package sockets
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"protodsl/internal/arq"
+	"protodsl/internal/netsim"
+)
+
+func makePayloads(n, size int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		p := make([]byte, size)
+		for j := range p {
+			p[j] = byte(i + j)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	buf := make([]byte, hdrSize+5)
+	n, err := packPacket(buf, 7, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, payload, err := unpackPacket(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 7 || string(payload) != "hello" {
+		t.Errorf("seq=%d payload=%q", seq, payload)
+	}
+}
+
+func TestUnpackRejections(t *testing.T) {
+	buf := make([]byte, hdrSize+3)
+	n, err := packPacket(buf, 1, []byte{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := unpackPacket(buf[:2]); !errors.Is(err, ErrShortPacket) {
+		t.Errorf("short err = %v", err)
+	}
+	bad := append([]byte(nil), buf[:n]...)
+	bad[5] ^= 0x40
+	if _, _, err := unpackPacket(bad); !errors.Is(err, ErrBadChecksum) {
+		t.Errorf("checksum err = %v", err)
+	}
+	long := append(append([]byte(nil), buf[:n]...), 0xAA)
+	if _, _, err := unpackPacket(long); !errors.Is(err, ErrBadLength) {
+		t.Errorf("length err = %v", err)
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	var buf [ackSize]byte
+	if _, err := packAck(buf[:], 9); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := unpackAck(buf[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 9 {
+		t.Errorf("seq = %d", seq)
+	}
+	buf[1] ^= 0xFF
+	if _, err := unpackAck(buf[:]); !errors.Is(err, ErrBadChecksum) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTransferLossy(t *testing.T) {
+	payloads := makePayloads(25, 32)
+	res, err := RunTransfer(Config{
+		Seed: 3,
+		Link: netsim.LinkParams{Delay: time.Millisecond, LossProb: 0.2, CorruptProb: 0.05},
+		RTO:  15 * time.Millisecond, MaxRetries: 50,
+	}, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatal("transfer failed")
+	}
+	if len(res.Delivered) != len(payloads) {
+		t.Fatalf("delivered %d/%d", len(res.Delivered), len(payloads))
+	}
+	for i := range payloads {
+		if !bytes.Equal(res.Delivered[i], payloads[i]) {
+			t.Fatalf("payload %d mismatch", i)
+		}
+	}
+}
+
+// TestEquivalentToDSLImplementation: the hand-written baseline implements
+// the same protocol — identical outcomes on identical seeds.
+func TestEquivalentToDSLImplementation(t *testing.T) {
+	payloads := makePayloads(15, 16)
+	for _, loss := range []float64{0, 0.2} {
+		link := netsim.LinkParams{Delay: time.Millisecond, LossProb: loss, DupProb: 0.05}
+		hand, err := RunTransfer(Config{
+			Seed: 21, Link: link, RTO: 12 * time.Millisecond, MaxRetries: 40,
+		}, payloads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dslRes, err := arq.RunTransfer(arq.Config{
+			Seed: 21, Link: link, RTO: 12 * time.Millisecond, MaxRetries: 40,
+		}, payloads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hand.OK != dslRes.OK {
+			t.Fatalf("loss=%.1f: ok %v vs %v", loss, hand.OK, dslRes.OK)
+		}
+		if len(hand.Delivered) != len(dslRes.Delivered) {
+			t.Fatalf("loss=%.1f: delivered %d vs %d", loss, len(hand.Delivered), len(dslRes.Delivered))
+		}
+		for i := range hand.Delivered {
+			if !bytes.Equal(hand.Delivered[i], dslRes.Delivered[i]) {
+				t.Fatalf("loss=%.1f: delivery %d differs", loss, i)
+			}
+		}
+		if hand.PacketsSent != dslRes.Sender.PacketsSent {
+			t.Errorf("loss=%.1f: packets %d vs %d", loss, hand.PacketsSent, dslRes.Sender.PacketsSent)
+		}
+	}
+}
+
+func TestDeadLinkTimesOut(t *testing.T) {
+	res, err := RunTransfer(Config{
+		Seed: 1, Link: netsim.LinkParams{LossProb: 1},
+		RTO: 5 * time.Millisecond, MaxRetries: 3,
+	}, makePayloads(2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK || len(res.Delivered) != 0 {
+		t.Errorf("ok=%v delivered=%d", res.OK, len(res.Delivered))
+	}
+	if res.PacketsSent != 4 {
+		t.Errorf("packets = %d, want 4", res.PacketsSent)
+	}
+}
+
+func TestOversizePayload(t *testing.T) {
+	buf := make([]byte, hdrSize)
+	if _, err := packPacket(buf, 0, make([]byte, maxPayload+1)); !errors.Is(err, ErrTooBig) {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,117 @@
+package testgen
+
+import (
+	"testing"
+
+	"protodsl/internal/arq"
+	"protodsl/internal/fsm"
+)
+
+func TestGenerateARQSenderSuite(t *testing.T) {
+	spec := arq.SenderSpec()
+	suite, err := Generate(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suite.TransitionsTotal != len(spec.Transitions) {
+		t.Errorf("total = %d", suite.TransitionsTotal)
+	}
+	if suite.Coverage() != 1.0 {
+		t.Errorf("coverage = %.2f, want 1.0 (all sender transitions reachable)", suite.Coverage())
+	}
+	if suite.Count(KindFire) != len(spec.Transitions) {
+		t.Errorf("fire cases = %d, want %d", suite.Count(KindFire), len(spec.Transitions))
+	}
+	// (Wait, OK) with a mismatched ack must yield a rejection case.
+	if suite.Count(KindReject) == 0 {
+		t.Error("no rejection cases generated for guarded transitions")
+	}
+	// All 12 declared ignores are exercised.
+	if got := suite.Count(KindIgnore); got != len(spec.Ignores) {
+		t.Errorf("ignore cases = %d, want %d", got, len(spec.Ignores))
+	}
+}
+
+func TestGeneratedSuiteRunsGreen(t *testing.T) {
+	for _, spec := range []*fsm.Spec{arq.SenderSpec(), arq.ReceiverSpec()} {
+		suite, err := Generate(spec, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if err := Run(spec, suite); err != nil {
+			t.Errorf("%s: generated suite failed on its own spec: %v", spec.Name, err)
+		}
+	}
+}
+
+// TestSuiteDetectsSpecDrift: a suite generated from the correct spec must
+// fail when replayed against a behaviourally different spec — that is
+// what makes it a regression harness.
+func TestSuiteDetectsSpecDrift(t *testing.T) {
+	good := arq.SenderSpec()
+	suite, err := Generate(good, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drifted := arq.SenderSpec()
+	// Change FAIL to land in Timeout instead of Ready.
+	for i := range drifted.Transitions {
+		if drifted.Transitions[i].Name == "fail" {
+			drifted.Transitions[i].To = "Timeout"
+		}
+	}
+	if report := fsm.Check(drifted); !report.OK() {
+		t.Fatalf("drifted spec must still check: %v", report.Errors())
+	}
+	if err := Run(drifted, suite); err == nil {
+		t.Error("suite passed against a drifted spec — no regression power")
+	}
+}
+
+func TestGenerateRefusesBrokenSpec(t *testing.T) {
+	spec := arq.SenderSpec()
+	spec.Transitions[0].To = "Nowhere"
+	if _, err := Generate(spec, Options{}); err == nil {
+		t.Error("broken spec accepted")
+	}
+}
+
+func TestReceiverGuardCoverage(t *testing.T) {
+	// The receiver's two guarded RECV transitions (accept / dupack) need
+	// both a matching and a mismatching packet seq — the guard-aware
+	// candidate generator must find both.
+	suite, err := Generate(arq.ReceiverSpec(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, c := range suite.Cases {
+		if c.Kind == KindFire {
+			names = append(names, c.ExpectTransition)
+		}
+	}
+	found := map[string]bool{}
+	for _, n := range names {
+		found[n] = true
+	}
+	for _, want := range []string{"accept", "dupack", "close"} {
+		if !found[want] {
+			t.Errorf("transition %q not covered: %v", want, names)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindFire.String() != "fire" || KindReject.String() != "reject" ||
+		KindIgnore.String() != "ignore" || Kind(9).String() != "unknown" {
+		t.Error("kind names wrong")
+	}
+}
+
+func TestCoverageEmptySuite(t *testing.T) {
+	s := &Suite{}
+	if s.Coverage() != 0 {
+		t.Error("empty coverage not 0")
+	}
+}

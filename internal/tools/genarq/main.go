@@ -1,0 +1,52 @@
+// Command genarq regenerates the committed generated packages from the
+// canonical DSL sources:
+//
+//	internal/arq/gen/arq_gen.go    from dsl.ARQSource
+//	internal/ipv4/gen/ipv4_gen.go  from dsl.IPv4Source
+//
+// Run from the repository root:
+//
+//	go run ./internal/tools/genarq
+//
+// The codegen drift tests fail when a committed file is stale.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"protodsl/internal/codegen"
+	"protodsl/internal/dsl"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	targets := []struct {
+		src string
+		out string
+	}{
+		{dsl.ARQSource, "internal/arq/gen/arq_gen.go"},
+		{dsl.IPv4Source, "internal/ipv4/gen/ipv4_gen.go"},
+	}
+	for _, t := range targets {
+		proto, _, err := dsl.Compile(t.src)
+		if err != nil {
+			return fmt.Errorf("%s: %w", t.out, err)
+		}
+		src, err := codegen.Generate(proto, codegen.Options{Package: "gen"})
+		if err != nil {
+			return fmt.Errorf("%s: %w", t.out, err)
+		}
+		if err := os.WriteFile(t.out, src, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", t.out, len(src))
+	}
+	return nil
+}

@@ -1,0 +1,345 @@
+// Package tuning implements the paper's third §1.1 behavioural hook:
+// "tuning protocol operation for improved performance … adaptation of
+// protocol timers to reduce overhead in dynamic MANET routing [5]".
+//
+// It provides an RFC 6298-style adaptive retransmission-timeout
+// estimator (SRTT/RTTVAR smoothing, Karn's algorithm, exponential
+// backoff) and a probe/response experiment over the simulator that
+// compares adaptive and fixed timers across RTT regimes — experiment E8.
+package tuning
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"protodsl/internal/netsim"
+)
+
+// RTOEstimator implements RFC 6298 retransmission-timeout estimation.
+// The zero value is not usable; construct with NewRTOEstimator.
+type RTOEstimator struct {
+	srtt        time.Duration
+	rttvar      time.Duration
+	rto         time.Duration
+	min, max    time.Duration
+	backoffMult int
+	initialized bool
+}
+
+// NewRTOEstimator creates an estimator with the given initial RTO and
+// clamp bounds.
+func NewRTOEstimator(initial, min, max time.Duration) (*RTOEstimator, error) {
+	if min <= 0 || max < min || initial < min || initial > max {
+		return nil, fmt.Errorf("tuning: invalid RTO bounds initial=%s min=%s max=%s", initial, min, max)
+	}
+	return &RTOEstimator{rto: initial, min: min, max: max, backoffMult: 1}, nil
+}
+
+// Observe feeds one round-trip-time sample from a *non-retransmitted*
+// exchange (Karn's algorithm: callers must not feed samples from
+// retransmitted probes — acknowledgement ambiguity would corrupt the
+// estimate).
+func (e *RTOEstimator) Observe(rtt time.Duration) {
+	if !e.initialized {
+		e.srtt = rtt
+		e.rttvar = rtt / 2
+		e.initialized = true
+	} else {
+		// RFC 6298: RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - RTT|
+		//           SRTT   = 7/8 SRTT + 1/8 RTT
+		diff := e.srtt - rtt
+		if diff < 0 {
+			diff = -diff
+		}
+		e.rttvar = (3*e.rttvar + diff) / 4
+		e.srtt = (7*e.srtt + rtt) / 8
+	}
+	e.backoffMult = 1
+	// RFC 6298: RTO = SRTT + max(G, 4*RTTVAR). The granularity term G
+	// (we use the configured minimum) keeps the deadline strictly above a
+	// perfectly stable RTT — without it the timer races the response.
+	slack := 4 * e.rttvar
+	if slack < e.min {
+		slack = e.min
+	}
+	e.rto = clampDur(e.srtt+slack, e.min, e.max)
+}
+
+// Backoff doubles the timeout after a retransmission (bounded by max).
+func (e *RTOEstimator) Backoff() {
+	if e.backoffMult < 64 {
+		e.backoffMult *= 2
+	}
+}
+
+// RTO returns the current retransmission timeout.
+func (e *RTOEstimator) RTO() time.Duration {
+	return clampDur(e.rto*time.Duration(e.backoffMult), e.min, e.max)
+}
+
+// SRTT returns the smoothed round-trip time (0 before the first sample).
+func (e *RTOEstimator) SRTT() time.Duration { return e.srtt }
+
+// RTTVar returns the RTT variance estimate.
+func (e *RTOEstimator) RTTVar() time.Duration { return e.rttvar }
+
+func clampDur(d, lo, hi time.Duration) time.Duration {
+	if d < lo {
+		return lo
+	}
+	if d > hi {
+		return hi
+	}
+	return d
+}
+
+// TimerPolicy chooses the probe timeout; the two implementations are the
+// E8 comparanda.
+type TimerPolicy interface {
+	// Timeout returns the deadline to arm for the next probe.
+	Timeout() time.Duration
+	// OnSample feeds a clean RTT sample (not called for retransmitted
+	// probes, per Karn).
+	OnSample(rtt time.Duration)
+	// OnTimeout signals that the probe timed out.
+	OnTimeout()
+	// Name identifies the policy in results.
+	Name() string
+}
+
+// FixedTimer always waits the same duration — the baseline.
+type FixedTimer struct{ D time.Duration }
+
+// Timeout implements TimerPolicy.
+func (f FixedTimer) Timeout() time.Duration { return f.D }
+
+// OnSample implements TimerPolicy.
+func (FixedTimer) OnSample(time.Duration) {}
+
+// OnTimeout implements TimerPolicy.
+func (FixedTimer) OnTimeout() {}
+
+// Name implements TimerPolicy.
+func (f FixedTimer) Name() string { return fmt.Sprintf("fixed(%s)", f.D) }
+
+// AdaptiveTimer adapts through an RTOEstimator.
+type AdaptiveTimer struct{ E *RTOEstimator }
+
+// Timeout implements TimerPolicy.
+func (a AdaptiveTimer) Timeout() time.Duration { return a.E.RTO() }
+
+// OnSample implements TimerPolicy.
+func (a AdaptiveTimer) OnSample(rtt time.Duration) { a.E.Observe(rtt) }
+
+// OnTimeout implements TimerPolicy.
+func (a AdaptiveTimer) OnTimeout() { a.E.Backoff() }
+
+// Name implements TimerPolicy.
+func (AdaptiveTimer) Name() string { return "adaptive(rfc6298)" }
+
+// RTTRegime schedules the link's delay over the run: Delays[i] holds for
+// ProbesPerPhase probes.
+type RTTRegime struct {
+	Name           string
+	Delays         []time.Duration
+	Jitter         time.Duration
+	ProbesPerPhase int
+}
+
+// StableRegime returns a constant-RTT schedule.
+func StableRegime(d time.Duration, probes int) RTTRegime {
+	return RTTRegime{Name: "stable", Delays: []time.Duration{d}, ProbesPerPhase: probes}
+}
+
+// StepRegime returns a schedule that steps between delays — the regime
+// where fixed timers go spurious.
+func StepRegime(probesPerPhase int, delays ...time.Duration) RTTRegime {
+	return RTTRegime{Name: "step", Delays: delays, ProbesPerPhase: probesPerPhase}
+}
+
+// VolatileRegime returns a jittery schedule.
+func VolatileRegime(base, jitter time.Duration, probes int) RTTRegime {
+	return RTTRegime{Name: "volatile", Delays: []time.Duration{base}, Jitter: jitter, ProbesPerPhase: probes}
+}
+
+// Config parameterises a timer experiment run.
+type Config struct {
+	Regime RTTRegime
+	Policy TimerPolicy
+	// LossProb is genuine probe loss (each direction).
+	LossProb float64
+	// MaxRetries bounds retransmissions per probe.
+	MaxRetries int
+	Seed       int64
+}
+
+// Result reports the run.
+type Result struct {
+	Policy string
+	Regime string
+	Probes int
+	// Completed probes (acknowledged, possibly after retransmission).
+	Completed int
+	// Retransmits is the total retransmission count — protocol overhead.
+	Retransmits int
+	// Spurious counts retransmissions that fired while the original
+	// response was still in flight and did arrive — pure waste caused by
+	// a too-short timer (ref [5]'s "overhead" in dynamic conditions).
+	Spurious int
+	// GaveUp counts probes that exhausted MaxRetries.
+	GaveUp int
+	// TotalTime is the virtual time for the whole run.
+	TotalTime time.Duration
+	// MeanLatency is the average time from first transmission to
+	// completion over completed probes.
+	MeanLatency time.Duration
+}
+
+// Run executes the probe/response experiment: one endpoint sends
+// sequence-numbered probes, the responder echoes them, and the policy's
+// timer drives retransmission. Deterministic in Config.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Policy == nil {
+		return nil, errors.New("tuning: no timer policy")
+	}
+	if len(cfg.Regime.Delays) == 0 || cfg.Regime.ProbesPerPhase <= 0 {
+		return nil, errors.New("tuning: empty RTT regime")
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 8
+	}
+
+	sim := netsim.New(cfg.Seed)
+	client, err := sim.NewEndpoint("client")
+	if err != nil {
+		return nil, err
+	}
+	server, err := sim.NewEndpoint("server")
+	if err != nil {
+		return nil, err
+	}
+	firstDelay := cfg.Regime.Delays[0] / 2
+	sim.Connect(client, server, netsim.LinkParams{
+		Delay: firstDelay, Jitter: cfg.Regime.Jitter / 2, LossProb: cfg.LossProb,
+	})
+
+	server.SetHandler(func(from netsim.Addr, data []byte) {
+		_ = server.Send(from, data) // echo
+	})
+
+	totalProbes := len(cfg.Regime.Delays) * cfg.Regime.ProbesPerPhase
+	r := &proberun{
+		cfg: cfg, sim: sim, client: client, server: server.Addr(),
+		res: &Result{Policy: cfg.Policy.Name(), Regime: cfg.Regime.Name, Probes: totalProbes},
+	}
+	r.next()
+	if err := sim.RunUntilIdle(totalProbes*(cfg.MaxRetries+4)*4 + 1000); err != nil {
+		return nil, fmt.Errorf("tuning: %w", err)
+	}
+	r.res.TotalTime = sim.Now()
+	if r.res.Completed > 0 {
+		r.res.MeanLatency = r.latencySum / time.Duration(r.res.Completed)
+	}
+	return r.res, nil
+}
+
+type proberun struct {
+	cfg    Config
+	sim    *netsim.Sim
+	client *netsim.Endpoint
+	server netsim.Addr
+	res    *Result
+
+	probe        int
+	attempt      int
+	start        time.Duration
+	timer        *netsim.Timer
+	acked        bool
+	retransmited bool
+	latencySum   time.Duration
+}
+
+// applyPhase updates the link delay for the current probe's phase.
+func (r *proberun) applyPhase() {
+	phase := r.probe / r.cfg.Regime.ProbesPerPhase
+	if phase >= len(r.cfg.Regime.Delays) {
+		phase = len(r.cfg.Regime.Delays) - 1
+	}
+	d := r.cfg.Regime.Delays[phase] / 2
+	p := netsim.LinkParams{Delay: d, Jitter: r.cfg.Regime.Jitter / 2, LossProb: r.cfg.LossProb}
+	r.sim.SetLinkParams(r.client.Addr(), r.server, p)
+	r.sim.SetLinkParams(r.server, r.client.Addr(), p)
+}
+
+func (r *proberun) next() {
+	if r.probe >= r.res.Probes {
+		return
+	}
+	r.applyPhase()
+	r.attempt = 0
+	r.acked = false
+	r.retransmited = false
+	r.start = r.sim.Now()
+	r.client.SetHandler(r.onResponse)
+	r.transmit()
+}
+
+func (r *proberun) transmit() {
+	payload := []byte{
+		byte(r.probe >> 8), byte(r.probe), byte(r.attempt),
+	}
+	_ = r.client.Send(r.server, payload)
+	r.timer = r.sim.After(r.cfg.Policy.Timeout(), r.onTimeout)
+}
+
+func (r *proberun) onResponse(_ netsim.Addr, data []byte) {
+	if len(data) != 3 {
+		return
+	}
+	probe := int(data[0])<<8 | int(data[1])
+	if probe != r.probe || r.acked {
+		if probe == r.probe && r.acked {
+			return // duplicate response after completion
+		}
+		// A response to an earlier attempt of the current probe, or to a
+		// previous probe: if it answers the probe's first attempt after
+		// we already retransmitted, the retransmission was spurious.
+		return
+	}
+	r.acked = true
+	if r.timer != nil {
+		r.timer.Cancel()
+	}
+	if r.retransmited {
+		// The probe completed, but only after retransmitting. If the
+		// arriving response answers attempt 0, the original was alive all
+		// along: every retransmission of this probe was spurious.
+		if data[2] == 0 {
+			r.res.Spurious += r.attempt
+		}
+	} else {
+		r.cfg.Policy.OnSample(r.sim.Now() - r.start) // Karn: clean sample only
+	}
+	r.res.Completed++
+	r.latencySum += r.sim.Now() - r.start
+	r.probe++
+	r.next()
+}
+
+func (r *proberun) onTimeout() {
+	if r.acked {
+		return
+	}
+	if r.attempt >= r.cfg.MaxRetries {
+		r.res.GaveUp++
+		r.probe++
+		r.next()
+		return
+	}
+	r.attempt++
+	r.retransmited = true
+	r.res.Retransmits++
+	r.cfg.Policy.OnTimeout()
+	r.transmit()
+}

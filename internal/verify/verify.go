@@ -1,0 +1,439 @@
+// Package verify is an explicit-state model checker for systems of fsm
+// machines connected by bounded channels.
+//
+// It exists as the paper's comparison baseline (§3.3): "The state machine
+// representing a protocol may have a large number of states and
+// transitions. Verifying the protocol requires exploring the entire state
+// space." This checker does exactly that — breadth-first exploration of
+// the product state space with invariant checking, deadlock detection and
+// counter-example traces — so experiment E4 can measure how its cost
+// scales with sequence-number space and channel capacity, against the
+// near-constant cost of the spec-level static checks (fsm.Check) the DSL
+// approach uses instead.
+package verify
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"protodsl/internal/expr"
+	"protodsl/internal/fsm"
+)
+
+// Route connects one machine's output messages to another machine's
+// input event through a bounded (optionally lossy) FIFO channel.
+type Route struct {
+	// From is the index of the producing machine; Message selects which
+	// of its outputs travel this route.
+	From    int
+	Message string
+	// To is the consuming machine; the message is delivered as Event with
+	// the message value bound to parameter Param.
+	To    int
+	Event string
+	Param string
+	// Capacity bounds the in-flight messages; sends into a full channel
+	// silently drop the oldest (modelling overrun).
+	Capacity int
+	// Lossy adds a nondeterministic drop move for the channel head.
+	Lossy bool
+}
+
+// EnvEvent declares an environment stimulus: an event the surrounding
+// world may raise at any time (timeouts, application sends), with a
+// finite set of argument bindings to keep the state space enumerable.
+type EnvEvent struct {
+	Machine int
+	Event   string
+	// Args lists alternative argument bindings; nil or empty means the
+	// event is raised once with no arguments.
+	Args []map[string]expr.Value
+}
+
+// System is a closed composition of machines, routes and stimuli.
+type System struct {
+	Specs  []*fsm.Spec
+	Routes []Route
+	Env    []EnvEvent
+}
+
+// Snapshot is the observable global state handed to invariants.
+type Snapshot struct {
+	// States holds each machine's current state name.
+	States []string
+	// Vars holds each machine's variable values.
+	Vars []map[string]expr.Value
+	// Queues holds the message values in flight on each route.
+	Queues [][]expr.Value
+}
+
+// Invariant is a named safety property over global states.
+type Invariant struct {
+	Name string
+	Fn   func(*Snapshot) error
+}
+
+// Violation kinds.
+const (
+	ViolationInvariant = "invariant"
+	ViolationDeadlock  = "deadlock"
+	ViolationStep      = "step-error"
+)
+
+// Violation reports a property failure with a counter-example trace.
+type Violation struct {
+	Kind  string
+	Name  string
+	Msg   string
+	Trace []string // move descriptions from the initial state
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s %s: %s (trace: %s)", v.Kind, v.Name, v.Msg, strings.Join(v.Trace, " ; "))
+}
+
+// Options bounds and configures exploration.
+type Options struct {
+	// MaxStates bounds distinct states explored (0 = 1<<20).
+	MaxStates int
+	// Invariants are checked in every reached state.
+	Invariants []Invariant
+	// CheckDeadlock reports states with no enabled moves where not every
+	// machine is final.
+	CheckDeadlock bool
+	// StopAtFirstViolation ends exploration at the first finding.
+	StopAtFirstViolation bool
+}
+
+// Result summarises an exploration.
+type Result struct {
+	// States is the number of distinct global states reached.
+	States int
+	// Transitions is the number of moves executed.
+	Transitions int
+	// Violations found (empty means the explored space satisfies all
+	// properties).
+	Violations []Violation
+	// Truncated is true when MaxStates stopped exploration early — the
+	// paper's point: "the model may be a simplified (and so unrealistic)
+	// representation".
+	Truncated bool
+}
+
+// node is one explored global state.
+type node struct {
+	machines []*fsm.Machine
+	queues   [][]expr.Value
+	key      string
+	parent   string
+	move     string
+}
+
+// Explore runs breadth-first search over the system's product state
+// space. Specs are checked first; a spec that fails fsm.Check is refused
+// (the model checker verifies *checked* specs against system-level
+// properties the static checker cannot see).
+func Explore(sys *System, opts Options) (*Result, error) {
+	if len(sys.Specs) == 0 {
+		return nil, errors.New("verify: system has no machines")
+	}
+	for _, spec := range sys.Specs {
+		if report := fsm.Check(spec); !report.OK() {
+			return nil, &fsm.CheckSpecError{Report: report}
+		}
+	}
+	for _, r := range sys.Routes {
+		if r.From < 0 || r.From >= len(sys.Specs) || r.To < 0 || r.To >= len(sys.Specs) {
+			return nil, fmt.Errorf("verify: route references machine out of range: %+v", r)
+		}
+		if r.Capacity < 1 {
+			return nil, fmt.Errorf("verify: route %s needs capacity >= 1", r.Message)
+		}
+	}
+	if opts.MaxStates <= 0 {
+		opts.MaxStates = 1 << 20
+	}
+
+	machines := make([]*fsm.Machine, len(sys.Specs))
+	for i, spec := range sys.Specs {
+		m, err := fsm.NewMachine(spec)
+		if err != nil {
+			return nil, err
+		}
+		machines[i] = m
+	}
+	initial := &node{
+		machines: machines,
+		queues:   make([][]expr.Value, len(sys.Routes)),
+	}
+	initial.key = globalKey(initial)
+
+	e := &explorer{sys: sys, opts: opts, res: &Result{}}
+	e.visited = map[string]visitedInfo{initial.key: {}}
+	e.checkState(initial)
+	queue := []*node{initial}
+	e.res.States = 1
+
+	for len(queue) > 0 && !(opts.StopAtFirstViolation && len(e.res.Violations) > 0) {
+		cur := queue[0]
+		queue = queue[1:]
+		moves := e.enabledMoves(cur)
+		productive := false
+		for _, mv := range moves {
+			next, err := e.apply(cur, mv)
+			if err != nil {
+				e.violate(cur, Violation{
+					Kind: ViolationStep, Name: mv.describe(), Msg: err.Error(),
+				})
+				continue
+			}
+			e.res.Transitions++
+			if next == nil {
+				continue // no-op move (ignored/rejected event)
+			}
+			productive = true
+			if _, seen := e.visited[next.key]; seen {
+				continue
+			}
+			if e.res.States >= opts.MaxStates {
+				e.res.Truncated = true
+				continue
+			}
+			e.visited[next.key] = visitedInfo{parent: cur.key, move: mv.describe()}
+			e.res.States++
+			e.checkState(next)
+			queue = append(queue, next)
+		}
+		// Deadlock: the state can never change again (every move — if any —
+		// is a no-op) and the system has not terminated cleanly.
+		if opts.CheckDeadlock && !productive && !allFinal(cur.machines) {
+			e.violate(cur, Violation{
+				Kind: ViolationDeadlock, Name: "deadlock",
+				Msg: "no state-changing moves and not all machines final",
+			})
+		}
+	}
+	return e.res, nil
+}
+
+type visitedInfo struct {
+	parent string
+	move   string
+}
+
+type explorer struct {
+	sys     *System
+	opts    Options
+	res     *Result
+	visited map[string]visitedInfo
+}
+
+// move is one nondeterministic choice: an environment event, a channel
+// delivery, or a lossy drop.
+type move struct {
+	kind    moveKind
+	machine int
+	event   string
+	args    map[string]expr.Value
+	argIdx  int
+	route   int
+}
+
+type moveKind int
+
+const (
+	moveEnv moveKind = iota + 1
+	moveDeliver
+	moveDrop
+)
+
+func (m move) describe() string {
+	switch m.kind {
+	case moveEnv:
+		return fmt.Sprintf("env:%d.%s[%d]", m.machine, m.event, m.argIdx)
+	case moveDeliver:
+		return fmt.Sprintf("deliver:route%d", m.route)
+	case moveDrop:
+		return fmt.Sprintf("drop:route%d", m.route)
+	default:
+		return "?"
+	}
+}
+
+// enabledMoves enumerates the nondeterministic choices in a state.
+func (e *explorer) enabledMoves(n *node) []move {
+	var moves []move
+	for _, env := range e.sys.Env {
+		m := n.machines[env.Machine]
+		if len(m.Spec().TransitionsFrom(m.State(), env.Event)) == 0 &&
+			!m.Spec().Ignored(m.State(), env.Event) {
+			continue // event not executable here
+		}
+		argSets := env.Args
+		if len(argSets) == 0 {
+			argSets = []map[string]expr.Value{nil}
+		}
+		for i, args := range argSets {
+			moves = append(moves, move{
+				kind: moveEnv, machine: env.Machine, event: env.Event, args: args, argIdx: i,
+			})
+		}
+	}
+	for ri, r := range e.sys.Routes {
+		if len(n.queues[ri]) == 0 {
+			continue
+		}
+		dst := n.machines[r.To]
+		if len(dst.Spec().TransitionsFrom(dst.State(), r.Event)) > 0 ||
+			dst.Spec().Ignored(dst.State(), r.Event) {
+			moves = append(moves, move{kind: moveDeliver, route: ri})
+		}
+		if r.Lossy {
+			moves = append(moves, move{kind: moveDrop, route: ri})
+		}
+	}
+	return moves
+}
+
+// apply executes a move on a copy of the state. It returns nil (and no
+// error) when the move is a semantic no-op that cannot change the state.
+func (e *explorer) apply(n *node, mv move) (*node, error) {
+	next := cloneNode(n)
+	switch mv.kind {
+	case moveEnv:
+		res, err := next.machines[mv.machine].Step(mv.event, mv.args)
+		if err != nil {
+			return nil, err
+		}
+		if res.Ignored || res.Rejected {
+			return nil, nil
+		}
+		e.routeOutputs(next, mv.machine, res.Outputs)
+	case moveDeliver:
+		r := e.sys.Routes[mv.route]
+		msg := next.queues[mv.route][0]
+		next.queues[mv.route] = append([]expr.Value(nil), next.queues[mv.route][1:]...)
+		res, err := next.machines[r.To].Step(r.Event, map[string]expr.Value{r.Param: msg})
+		if err != nil {
+			return nil, err
+		}
+		e.routeOutputs(next, r.To, res.Outputs)
+	case moveDrop:
+		next.queues[mv.route] = append([]expr.Value(nil), next.queues[mv.route][1:]...)
+	}
+	next.key = globalKey(next)
+	next.parent = n.key
+	next.move = mv.describe()
+	if next.key == n.key {
+		return nil, nil
+	}
+	return next, nil
+}
+
+// routeOutputs places emitted messages onto their routes.
+func (e *explorer) routeOutputs(n *node, from int, outputs []fsm.OutputMsg) {
+	for _, out := range outputs {
+		for ri, r := range e.sys.Routes {
+			if r.From != from || r.Message != out.Message {
+				continue
+			}
+			msg := expr.Msg(out.Message, out.Fields)
+			q := n.queues[ri]
+			if len(q) >= r.Capacity {
+				q = q[1:] // overrun: oldest message lost
+			}
+			n.queues[ri] = append(append([]expr.Value(nil), q...), msg)
+		}
+	}
+}
+
+func (e *explorer) checkState(n *node) {
+	if len(e.opts.Invariants) == 0 {
+		return
+	}
+	snap := snapshotOf(n)
+	for _, inv := range e.opts.Invariants {
+		if err := inv.Fn(snap); err != nil {
+			e.violate(n, Violation{Kind: ViolationInvariant, Name: inv.Name, Msg: err.Error()})
+		}
+	}
+}
+
+func (e *explorer) violate(n *node, v Violation) {
+	v.Trace = e.traceTo(n.key)
+	e.res.Violations = append(e.res.Violations, v)
+}
+
+// traceTo reconstructs the move sequence from the initial state.
+func (e *explorer) traceTo(key string) []string {
+	var rev []string
+	for cur := key; ; {
+		info, ok := e.visited[cur]
+		if !ok || info.move == "" {
+			break
+		}
+		rev = append(rev, info.move)
+		cur = info.parent
+	}
+	out := make([]string, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+func snapshotOf(n *node) *Snapshot {
+	snap := &Snapshot{
+		States: make([]string, len(n.machines)),
+		Vars:   make([]map[string]expr.Value, len(n.machines)),
+		Queues: make([][]expr.Value, len(n.queues)),
+	}
+	for i, m := range n.machines {
+		snap.States[i] = m.State()
+		snap.Vars[i] = m.Vars()
+	}
+	for i, q := range n.queues {
+		snap.Queues[i] = append([]expr.Value(nil), q...)
+	}
+	return snap
+}
+
+func cloneNode(n *node) *node {
+	machines := make([]*fsm.Machine, len(n.machines))
+	for i, m := range n.machines {
+		machines[i] = m.Clone()
+	}
+	queues := make([][]expr.Value, len(n.queues))
+	for i, q := range n.queues {
+		queues[i] = append([]expr.Value(nil), q...)
+	}
+	return &node{machines: machines, queues: queues}
+}
+
+func globalKey(n *node) string {
+	var sb strings.Builder
+	for _, m := range n.machines {
+		sb.WriteString(m.StateKey())
+		sb.WriteString("#")
+	}
+	for _, q := range n.queues {
+		sb.WriteString("[")
+		for _, msg := range q {
+			sb.WriteString(msg.HashKey())
+			sb.WriteString(",")
+		}
+		sb.WriteString("]")
+	}
+	return sb.String()
+}
+
+func allFinal(machines []*fsm.Machine) bool {
+	for _, m := range machines {
+		if !m.InFinal() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,95 @@
+// Package wire implements the on-the-wire message-format layer of the
+// protocol DSL: bit-granular field layouts in network (big-endian, MSB
+// first) order, computed fields (lengths and checksums), byte-exact
+// encoding and decoding, and rendering of RFC-style ASCII header
+// diagrams (§2.1 of the paper, Figure 1).
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrShortBuffer is returned when a decode runs out of input bytes.
+var ErrShortBuffer = errors.New("short buffer")
+
+// bitWriter appends bit fields MSB-first, matching network bit order.
+type bitWriter struct {
+	buf    []byte
+	bitLen int // number of bits written so far
+}
+
+// writeBits appends the low n bits of v, most significant bit first.
+func (w *bitWriter) writeBits(v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		bit := (v >> uint(i)) & 1
+		byteIdx := w.bitLen / 8
+		if byteIdx >= len(w.buf) {
+			w.buf = append(w.buf, 0)
+		}
+		if bit == 1 {
+			w.buf[byteIdx] |= 1 << uint(7-w.bitLen%8)
+		}
+		w.bitLen++
+	}
+}
+
+// writeBytes appends whole bytes; the writer must be byte-aligned.
+func (w *bitWriter) writeBytes(b []byte) error {
+	if w.bitLen%8 != 0 {
+		return fmt.Errorf("wire: internal: unaligned byte write at bit %d", w.bitLen)
+	}
+	w.buf = append(w.buf, b...)
+	w.bitLen += 8 * len(b)
+	return nil
+}
+
+func (w *bitWriter) aligned() bool { return w.bitLen%8 == 0 }
+
+// bitReader consumes bit fields MSB-first.
+type bitReader struct {
+	buf    []byte
+	bitPos int
+}
+
+// readBits reads n bits MSB-first.
+func (r *bitReader) readBits(n int) (uint64, error) {
+	if r.bitPos+n > 8*len(r.buf) {
+		return 0, ErrShortBuffer
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		byteIdx := r.bitPos / 8
+		bit := (r.buf[byteIdx] >> uint(7-r.bitPos%8)) & 1
+		v = v<<1 | uint64(bit)
+		r.bitPos++
+	}
+	return v, nil
+}
+
+// readBytes reads n whole bytes; the reader must be byte-aligned.
+func (r *bitReader) readBytes(n int) ([]byte, error) {
+	if r.bitPos%8 != 0 {
+		return nil, fmt.Errorf("wire: internal: unaligned byte read at bit %d", r.bitPos)
+	}
+	start := r.bitPos / 8
+	if start+n > len(r.buf) {
+		return nil, ErrShortBuffer
+	}
+	r.bitPos += 8 * n
+	out := make([]byte, n)
+	copy(out, r.buf[start:start+n])
+	return out, nil
+}
+
+// remainingBytes returns the count of unread whole bytes.
+func (r *bitReader) remainingBytes() int {
+	if r.bitPos%8 != 0 {
+		return 0
+	}
+	return len(r.buf) - r.bitPos/8
+}
+
+func (r *bitReader) aligned() bool { return r.bitPos%8 == 0 }
+
+func (r *bitReader) done() bool { return r.bitPos == 8*len(r.buf) }

@@ -1,0 +1,315 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"protodsl/internal/expr"
+)
+
+// Codec errors. Decode failures wrap these sentinel errors so callers can
+// match the failure class with errors.Is.
+var (
+	// ErrChecksumMismatch is returned when a decoded checksum field does
+	// not match the checksum recomputed over the received bytes.
+	ErrChecksumMismatch = errors.New("checksum mismatch")
+	// ErrFieldMismatch is returned when a decoded computed field (e.g. a
+	// length) does not match its recomputed value.
+	ErrFieldMismatch = errors.New("computed field mismatch")
+	// ErrMissingField is returned by Encode when a required plain field
+	// was not supplied.
+	ErrMissingField = errors.New("missing field")
+	// ErrBadFieldValue is returned by Encode when a supplied value has the
+	// wrong kind or does not fit the field.
+	ErrBadFieldValue = errors.New("bad field value")
+	// ErrTrailingBytes is returned by Decode when input remains after the
+	// final field.
+	ErrTrailingBytes = errors.New("trailing bytes after message")
+)
+
+// CodecError decorates a codec failure with message/field context.
+type CodecError struct {
+	Message string
+	Field   string
+	Err     error
+}
+
+// Error implements error.
+func (e *CodecError) Error() string {
+	return fmt.Sprintf("message %s: field %s: %v", e.Message, e.Field, e.Err)
+}
+
+// Unwrap exposes the failure class for errors.Is.
+func (e *CodecError) Unwrap() error { return e.Err }
+
+func codecErr(msg, field string, err error) error {
+	return &CodecError{Message: msg, Field: field, Err: err}
+}
+
+// Encode serialises the message from the given field values.
+//
+// Plain fields must all be present with values of the field's type.
+// Computed fields (lengths, checksums) are filled in automatically; if a
+// computed or auto-length field IS supplied, its value must agree with the
+// computed one (so callers cannot construct self-inconsistent packets —
+// the encode-side half of correctness by construction).
+func (l *Layout) Encode(values map[string]expr.Value) ([]byte, error) {
+	m := l.msg
+	filled := make(map[string]expr.Value, len(m.Fields))
+	for k, v := range values {
+		filled[k] = v
+	}
+
+	// Auto-fill plain uint fields that serve as LenField lengths.
+	for i := range m.Fields {
+		f := &m.Fields[i]
+		if f.Kind != FieldBytes || f.LenKind != LenField {
+			continue
+		}
+		payload, ok := filled[f.Name]
+		if !ok || payload.Kind() != expr.KindBytes {
+			continue // reported as missing/bad below
+		}
+		lenField, _ := m.Field(f.LenField)
+		autoLen := expr.Uint(uint64(len(payload.RawBytes())), lenField.Bits)
+		if prev, ok := filled[f.LenField]; ok && lenField.Compute == nil {
+			if prev.AsUint() != autoLen.AsUint() {
+				return nil, codecErr(m.Name, f.LenField,
+					fmt.Errorf("%w: supplied length %d != payload length %d",
+						ErrBadFieldValue, prev.AsUint(), autoLen.AsUint()))
+			}
+		}
+		if lenField.Compute == nil {
+			filled[f.LenField] = autoLen
+		}
+	}
+
+	// Evaluate expression-computed fields (over plain fields only).
+	scope := expr.MapScope(filled)
+	for i := range m.Fields {
+		f := &m.Fields[i]
+		if f.Compute == nil || f.Compute.Kind != ComputeExpr {
+			continue
+		}
+		v, err := expr.Eval(f.Compute.Expr, scope)
+		if err != nil {
+			return nil, codecErr(m.Name, f.Name, err)
+		}
+		v = v.WithBits(f.Bits)
+		if prev, ok := filled[f.Name]; ok && prev.AsUint() != v.AsUint() {
+			return nil, codecErr(m.Name, f.Name,
+				fmt.Errorf("%w: supplied %d != computed %d", ErrBadFieldValue, prev.AsUint(), v.AsUint()))
+		}
+		filled[f.Name] = v
+	}
+
+	// First pass: serialise with checksum fields zeroed.
+	w := &bitWriter{}
+	for i := range m.Fields {
+		f := &m.Fields[i]
+		if err := encodeField(m, f, filled, w); err != nil {
+			return nil, err
+		}
+	}
+	if !w.aligned() {
+		return nil, codecErr(m.Name, "", fmt.Errorf("encoded size is not byte-aligned"))
+	}
+
+	// Second pass: compute and patch checksum fields.
+	for i := range m.Fields {
+		f := &m.Fields[i]
+		if f.Compute == nil || f.Compute.Kind != ComputeChecksum {
+			continue
+		}
+		off, _ := l.FieldOffset(f.Name)
+		sum := checksumOf(f.Compute.Algo, w.buf)
+		patchUint(w.buf, off/8, f.Bits/8, sum)
+	}
+	return w.buf, nil
+}
+
+func encodeField(m *Message, f *Field, filled map[string]expr.Value, w *bitWriter) error {
+	if f.Compute != nil && f.Compute.Kind == ComputeChecksum {
+		w.writeBits(0, f.Bits) // patched later
+		return nil
+	}
+	v, ok := filled[f.Name]
+	if !ok {
+		return codecErr(m.Name, f.Name, ErrMissingField)
+	}
+	switch f.Kind {
+	case FieldUint:
+		if v.Kind() != expr.KindUint {
+			return codecErr(m.Name, f.Name, fmt.Errorf("%w: expected uint, got %s", ErrBadFieldValue, v.Kind()))
+		}
+		if f.Bits < 64 && v.AsUint() >= 1<<uint(f.Bits) {
+			return codecErr(m.Name, f.Name,
+				fmt.Errorf("%w: value %d does not fit in %d bits", ErrBadFieldValue, v.AsUint(), f.Bits))
+		}
+		w.writeBits(v.AsUint(), f.Bits)
+		return nil
+	case FieldBytes:
+		if v.Kind() != expr.KindBytes {
+			return codecErr(m.Name, f.Name, fmt.Errorf("%w: expected bytes, got %s", ErrBadFieldValue, v.Kind()))
+		}
+		b := v.RawBytes()
+		switch f.LenKind {
+		case LenFixed:
+			if len(b) != f.LenBytes {
+				return codecErr(m.Name, f.Name,
+					fmt.Errorf("%w: fixed-length field needs %d bytes, got %d", ErrBadFieldValue, f.LenBytes, len(b)))
+			}
+		case LenExpr:
+			want, err := expr.Eval(f.LenExpr, expr.MapScope(filled))
+			if err != nil {
+				return codecErr(m.Name, f.Name, err)
+			}
+			if uint64(len(b)) != want.AsUint() {
+				return codecErr(m.Name, f.Name,
+					fmt.Errorf("%w: length expression gives %d, payload is %d bytes", ErrBadFieldValue, want.AsUint(), len(b)))
+			}
+		}
+		return w.writeBytes(b)
+	default:
+		return codecErr(m.Name, f.Name, fmt.Errorf("invalid field kind"))
+	}
+}
+
+// Decode parses and validates the message from data.
+//
+// Every computed field is recomputed and compared against the received
+// value; a successful Decode therefore *is* the validation step that makes
+// the result a checked packet in the sense of §3.3. Callers that need a
+// transferable witness wrap the result with a proof.Validator.
+func (l *Layout) Decode(data []byte) (map[string]expr.Value, error) {
+	m := l.msg
+	r := &bitReader{buf: data}
+	values := make(map[string]expr.Value, len(m.Fields))
+
+	for i := range m.Fields {
+		f := &m.Fields[i]
+		switch f.Kind {
+		case FieldUint:
+			v, err := r.readBits(f.Bits)
+			if err != nil {
+				return nil, codecErr(m.Name, f.Name, err)
+			}
+			values[f.Name] = expr.Uint(v, f.Bits)
+		case FieldBytes:
+			n, err := byteLength(m, f, values, r)
+			if err != nil {
+				return nil, err
+			}
+			b, err := r.readBytes(n)
+			if err != nil {
+				return nil, codecErr(m.Name, f.Name, err)
+			}
+			values[f.Name] = expr.Bytes(b)
+		}
+	}
+	if !r.done() {
+		return nil, codecErr(m.Name, "", fmt.Errorf("%w: %d bytes", ErrTrailingBytes, r.remainingBytes()))
+	}
+
+	// Verify expression-computed fields.
+	scope := expr.MapScope(values)
+	for i := range m.Fields {
+		f := &m.Fields[i]
+		if f.Compute == nil || f.Compute.Kind != ComputeExpr {
+			continue
+		}
+		want, err := expr.Eval(f.Compute.Expr, scope)
+		if err != nil {
+			return nil, codecErr(m.Name, f.Name, err)
+		}
+		if got := values[f.Name]; got.AsUint() != want.WithBits(f.Bits).AsUint() {
+			return nil, codecErr(m.Name, f.Name,
+				fmt.Errorf("%w: received %d, computed %d", ErrFieldMismatch, got.AsUint(), want.AsUint()))
+		}
+	}
+
+	// Verify checksum fields: recompute over the wire bytes with all
+	// checksum fields zeroed.
+	if err := l.verifyChecksums(data, values); err != nil {
+		return nil, err
+	}
+	return values, nil
+}
+
+func (l *Layout) verifyChecksums(data []byte, values map[string]expr.Value) error {
+	m := l.msg
+	var zeroed []byte
+	for i := range m.Fields {
+		f := &m.Fields[i]
+		if f.Compute == nil || f.Compute.Kind != ComputeChecksum {
+			continue
+		}
+		if zeroed == nil {
+			zeroed = make([]byte, len(data))
+			copy(zeroed, data)
+			for j := range m.Fields {
+				g := &m.Fields[j]
+				if g.Compute != nil && g.Compute.Kind == ComputeChecksum {
+					off, _ := l.FieldOffset(g.Name)
+					for k := 0; k < g.Bits/8; k++ {
+						zeroed[off/8+k] = 0
+					}
+				}
+			}
+		}
+		want := checksumOf(f.Compute.Algo, zeroed)
+		if got := values[f.Name].AsUint(); got != want {
+			return codecErr(m.Name, f.Name,
+				fmt.Errorf("%w: received %#x, computed %#x", ErrChecksumMismatch, got, want))
+		}
+	}
+	return nil
+}
+
+func byteLength(m *Message, f *Field, values map[string]expr.Value, r *bitReader) (int, error) {
+	switch f.LenKind {
+	case LenFixed:
+		return f.LenBytes, nil
+	case LenField:
+		v, ok := values[f.LenField]
+		if !ok {
+			return 0, codecErr(m.Name, f.Name, fmt.Errorf("length field %q not yet decoded", f.LenField))
+		}
+		return int(v.AsUint()), nil
+	case LenExpr:
+		v, err := expr.Eval(f.LenExpr, expr.MapScope(values))
+		if err != nil {
+			return 0, codecErr(m.Name, f.Name, err)
+		}
+		return int(v.AsUint()), nil
+	case LenRest:
+		return r.remainingBytes(), nil
+	default:
+		return 0, codecErr(m.Name, f.Name, fmt.Errorf("invalid length discipline"))
+	}
+}
+
+func checksumOf(algo ChecksumAlgo, data []byte) uint64 {
+	switch algo {
+	case ChecksumSum8:
+		var sum uint64
+		for _, b := range data {
+			sum += uint64(b)
+		}
+		return sum & 0xFF
+	case ChecksumInet16:
+		return uint64(expr.Inet16(data))
+	case ChecksumCRC32:
+		return uint64(crc32.ChecksumIEEE(data))
+	default:
+		return 0
+	}
+}
+
+func patchUint(buf []byte, byteOff, nBytes int, v uint64) {
+	for i := 0; i < nBytes; i++ {
+		shift := uint(8 * (nBytes - 1 - i))
+		buf[byteOff+i] = byte(v >> shift)
+	}
+}

@@ -1,0 +1,122 @@
+package wire
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Diagram renders the message layout as an RFC791-style ASCII picture:
+// 32 bits per row, one '+' ruler between rows, field names centred in
+// their bit spans. This regenerates the paper's Figure 1 notation from a
+// machine-checked definition — the "canonical view" of §2.1, but derived
+// from the single source of truth instead of hand-drawn.
+func Diagram(m *Message) string {
+	var sb strings.Builder
+	sb.WriteString(" 0                   1                   2                   3\n")
+	sb.WriteString(" 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1\n")
+	sb.WriteString(rulerLine())
+
+	const rowBits = 32
+	row := make([]cell, 0, 4)
+	rowUsed := 0
+	flushRow := func() {
+		if len(row) == 0 {
+			return
+		}
+		sb.WriteString(renderRow(row, rowUsed))
+		sb.WriteString("\n")
+		sb.WriteString(rulerLine())
+		row = row[:0]
+		rowUsed = 0
+	}
+
+	for i := range m.Fields {
+		f := &m.Fields[i]
+		if f.Kind == FieldBytes {
+			flushRow()
+			label := f.Name
+			switch f.LenKind {
+			case LenFixed:
+				label += fmt.Sprintf(" (%d bytes)", f.LenBytes)
+			case LenField:
+				label += fmt.Sprintf(" (%s bytes)", f.LenField)
+			case LenExpr:
+				label += " (computed length)"
+			case LenRest:
+				label += " (remaining bytes)"
+			}
+			sb.WriteString(renderRow([]cell{{label: label, bits: rowBits}}, rowBits))
+			sb.WriteString("\n")
+			sb.WriteString(rulerLine())
+			continue
+		}
+		remaining := f.Bits
+		first := true
+		for remaining > 0 {
+			space := rowBits - rowUsed
+			take := remaining
+			if take > space {
+				take = space
+			}
+			label := f.Name
+			if f.Compute != nil && f.Compute.Kind == ComputeChecksum {
+				label += " (" + f.Compute.Algo.String() + ")"
+			}
+			if !first || remaining > take {
+				label = f.Name + " (cont.)"
+				if first {
+					label = f.Name
+				}
+			}
+			row = append(row, cell{label: label, bits: take})
+			rowUsed += take
+			remaining -= take
+			first = false
+			if rowUsed == rowBits {
+				flushRow()
+			}
+		}
+	}
+	flushRow()
+	return sb.String()
+}
+
+type cell struct {
+	label string
+	bits  int
+}
+
+func rulerLine() string {
+	return "+" + strings.Repeat("-+", 32) + "\n"
+}
+
+// renderRow renders one 32-bit row: each field occupies 2*bits-1 columns
+// between '|' separators (each bit is one character plus a separator).
+func renderRow(cells []cell, used int) string {
+	var sb strings.Builder
+	sb.WriteString("|")
+	for _, c := range cells {
+		width := 2*c.bits - 1
+		sb.WriteString(centre(c.label, width))
+		sb.WriteString("|")
+	}
+	if used < 32 {
+		// pad an unfinished row (only possible for the final row)
+		width := 2*(32-used) - 1
+		sb.WriteString(centre("", width))
+		sb.WriteString("|")
+	}
+	return sb.String()
+}
+
+func centre(s string, width int) string {
+	if len(s) > width {
+		if width < 1 {
+			return ""
+		}
+		return s[:width]
+	}
+	left := (width - len(s)) / 2
+	right := width - len(s) - left
+	return strings.Repeat(" ", left) + s + strings.Repeat(" ", right)
+}

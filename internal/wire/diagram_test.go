@@ -1,0 +1,55 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiagramFieldSpanningRows(t *testing.T) {
+	// A 64-bit field must span two 32-bit rows with a continuation label.
+	m := &Message{Name: "M", Fields: []Field{
+		{Name: "timestamp", Kind: FieldUint, Bits: 64},
+		{Name: "flag", Kind: FieldUint, Bits: 32},
+	}}
+	if _, err := Compile(m); err != nil {
+		t.Fatal(err)
+	}
+	d := Diagram(m)
+	if !strings.Contains(d, "timestamp") {
+		t.Errorf("missing field name:\n%s", d)
+	}
+	if !strings.Contains(d, "(cont.)") {
+		t.Errorf("missing continuation marker for row-spanning field:\n%s", d)
+	}
+}
+
+func TestDiagramPartialFinalRow(t *testing.T) {
+	// A message ending mid-row still renders aligned rows.
+	m := &Message{Name: "M", Fields: []Field{
+		{Name: "a", Kind: FieldUint, Bits: 16},
+	}}
+	d := Diagram(m)
+	lines := strings.Split(strings.TrimRight(d, "\n"), "\n")
+	ruler := "+" + strings.Repeat("-+", 32)
+	for _, l := range lines[2:] {
+		if len(l) != len(ruler) {
+			t.Errorf("misaligned row %q", l)
+		}
+	}
+}
+
+func TestDiagramLongLabelTruncates(t *testing.T) {
+	m := &Message{Name: "M", Fields: []Field{
+		{Name: "a_very_long_field_name_that_cannot_fit", Kind: FieldUint, Bits: 2},
+		{Name: "b", Kind: FieldUint, Bits: 30},
+	}}
+	d := Diagram(m)
+	// Must not panic and rows stay aligned.
+	lines := strings.Split(strings.TrimRight(d, "\n"), "\n")
+	ruler := "+" + strings.Repeat("-+", 32)
+	for _, l := range lines[2:] {
+		if len(l) != len(ruler) {
+			t.Errorf("misaligned row %q", l)
+		}
+	}
+}
