@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all build test bench lint fmt vet fmtcheck clean
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# One iteration per benchmark: a smoke pass that keeps every benchmark
+# compiling and runnable without burning CI minutes. Use `make benchfull`
+# for real numbers.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+benchfull:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+lint: vet fmtcheck
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+fmtcheck:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+clean:
+	$(GO) clean ./...

@@ -12,6 +12,12 @@ import (
 // paper's §3.4 ARQ protocol as a ready-to-run transfer harness, and the
 // three §1.1 behavioural hooks (fuzzy adaptation, trust routing, timer
 // tuning).
+//
+// The ARQ harnesses run on the compiled execution engine: the sender and
+// receiver machines execute fsm.Program dispatch tables (slot-indexed
+// compiled guards and actions, see CompileSpec) and the wire path uses
+// the reusable-buffer AppendEncode / DecodeInto codecs, so the
+// steady-state transfer loop is allocation-free.
 
 // ---- The paper's ARQ protocol (§3.4) ----
 

@@ -54,9 +54,29 @@ func BenchmarkE1IPv4Codec(b *testing.B) {
 			}
 		}
 	})
+	b.Run("append-encode", func(b *testing.B) {
+		var buf []byte
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := codec.AppendEncode(buf[:0], h)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf = out[:0]
+		}
+	})
 	b.Run("decode+validate", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, _, err := codec.Decode(enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode-in-place", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := codec.DecodeInPlace(enc); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -298,6 +318,91 @@ func BenchmarkE10CheckerVsDFA(b *testing.B) {
 
 // ---- Ablations (DESIGN.md §6) ----
 
+// BenchmarkCompiledVsTreeWalk: the compiled expression engine against the
+// tree-walking interpreter on the ARQ machines' hot expressions — the
+// guards evaluated on every ack/packet plus the sequence-advance
+// assignment. Both paths see identical scopes and produce identical
+// values (asserted by TestCompiledEngineDifferential in internal/dsl).
+func BenchmarkCompiledVsTreeWalk(b *testing.B) {
+	exprs := []string{
+		"ack.seq == seq", // sender OK guard
+		"p.seq == seq",   // receiver accept guard
+		"p.seq != seq",   // receiver dupack guard
+		"seq + 1",        // sequence advance
+	}
+	parsed := make([]expr.Expr, len(exprs))
+	for i, src := range exprs {
+		parsed[i] = expr.MustParse(src)
+	}
+	ack := expr.Msg("Ack", map[string]expr.Value{"seq": expr.U8(7), "chk": expr.U8(0)})
+	pkt := expr.Msg("Packet", map[string]expr.Value{
+		"seq": expr.U8(7), "chk": expr.U8(0), "paylen": expr.U16(3),
+		"payload": expr.Bytes([]byte{1, 2, 3}),
+	})
+
+	b.Run("tree-walk", func(b *testing.B) {
+		scope := expr.MapScope{"seq": expr.U8(7), "ack": ack, "p": pkt}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, e := range parsed {
+				if _, err := expr.Eval(e, scope); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		layout := expr.NewScopeLayout()
+		frame := func() *expr.Frame {
+			seq, a, p := layout.Add("seq"), layout.Add("ack"), layout.Add("p")
+			f := layout.NewFrame()
+			f.Set(seq, expr.U8(7))
+			f.Set(a, ack)
+			f.Set(p, pkt)
+			return f
+		}()
+		compiled := make([]expr.Compiled, len(parsed))
+		for i, e := range parsed {
+			compiled[i] = expr.Compile(e, layout)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, c := range compiled {
+				if _, err := c(frame); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+
+	// The same comparison at machine granularity: a full send/ack step
+	// pair through the interpreter, which executes the compiled program.
+	b.Run("machine-step", func(b *testing.B) {
+		m, err := fsm.NewMachine(arq.SenderSpec())
+		if err != nil {
+			b.Fatal(err)
+		}
+		data := expr.Bytes([]byte{1, 2, 3})
+		sendArgs := map[string]expr.Value{"data": data}
+		ackFields := map[string]expr.Value{"seq": expr.U8(0), "chk": expr.U8(0)}
+		okArgs := map[string]expr.Value{"ack": expr.MsgView("Ack", ackFields)}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Step(arq.EvSend, sendArgs); err != nil {
+				b.Fatal(err)
+			}
+			seq, _ := m.Var("seq")
+			ackFields["seq"] = seq
+			if _, err := m.Step(arq.EvOK, okArgs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkAblationInterpVsCodegen: the fsm interpreter's Step against
 // the generated typed-state transitions, on the ARQ send/ack hot loop.
 func BenchmarkAblationInterpVsCodegen(b *testing.B) {
@@ -374,9 +479,32 @@ func BenchmarkAblationCodecPath(b *testing.B) {
 			}
 		}
 	})
+	b.Run("layout-append-encode", func(b *testing.B) {
+		scratch := map[string]expr.Value{"seq": expr.U8(1), "payload": expr.BytesView(payload)}
+		var buf []byte
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := layout.AppendEncode(buf[:0], scratch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf = out[:0]
+		}
+	})
 	b.Run("layout-decode", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := layout.Decode(enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("layout-decode-into", func(b *testing.B) {
+		vals := make(map[string]expr.Value, 4)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := layout.DecodeInto(vals, enc); err != nil {
 				b.Fatal(err)
 			}
 		}

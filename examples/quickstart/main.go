@@ -69,10 +69,11 @@ func run() error {
 	fmt.Println(protodsl.Diagram(proto.Messages["Ping"]))
 
 	// 3. Encode and decode a message. Decoding validates the CRC; the
-	//    values are only handed out once every check passed.
-	layout, err := protodsl.CompileMessage(proto.Messages["Ping"])
-	if err != nil {
-		return err
+	//    values are only handed out once every check passed. The layout
+	//    was already compiled by CompileProtocol.
+	layout, ok := proto.Layout("Ping")
+	if !ok {
+		return fmt.Errorf("no compiled layout for Ping")
 	}
 	encoded, err := layout.Encode(map[string]protodsl.Value{
 		"seq":  protodsl.U16(1),
@@ -91,7 +92,9 @@ func run() error {
 
 	// 4. Execute the machine. Only transitions the checked spec declares
 	//    can fire; everything else is an error or an explicit ignore.
-	machine, err := protodsl.NewMachine(proto.Machines[0])
+	//    CompileProtocol already lowered the machine to its compiled
+	//    dispatch program, so instantiation is check-free.
+	machine, err := proto.NewMachine(proto.Machines[0].Name)
 	if err != nil {
 		return err
 	}

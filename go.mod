@@ -1,0 +1,3 @@
+module protodsl
+
+go 1.24

@@ -21,6 +21,10 @@ type SenderStats struct {
 
 // Sender drives the checked ARQ sender spec over a simulator endpoint.
 // All methods run inside the simulator event loop.
+//
+// The machine executes the spec's compiled program (fsm.Program), and
+// the wire path uses the reusable-buffer AppendEncode / in-place decode
+// codecs, so the steady-state send/ack loop does not allocate.
 type Sender struct {
 	sim     *netsim.Sim
 	ep      *netsim.Endpoint
@@ -36,6 +40,14 @@ type Sender struct {
 	rto        time.Duration
 	maxRetries int
 	retries    int
+
+	// Reusable hot-loop state. The views handed to the machine are only
+	// read during the Step call (the sender spec stores no message or
+	// bytes parameter in a variable), so reuse is safe.
+	encBuf    []byte
+	sendArgs  map[string]expr.Value
+	okArgs    map[string]expr.Value
+	ackFields map[string]expr.Value
 
 	stats SenderStats
 	done  bool
@@ -59,6 +71,9 @@ func NewSender(sim *netsim.Sim, ep *netsim.Endpoint, peer netsim.Addr,
 	s := &Sender{
 		sim: sim, ep: ep, peer: peer, machine: machine, codec: codec,
 		payloads: payloads, rto: rto, maxRetries: maxRetries,
+		sendArgs:  make(map[string]expr.Value, 1),
+		okArgs:    make(map[string]expr.Value, 1),
+		ackFields: make(map[string]expr.Value, 2),
 	}
 	ep.SetHandler(s.onDatagram)
 	return s, nil
@@ -123,7 +138,8 @@ func (s *Sender) advance() {
 // transmit raises SEND (or re-raises it after FAIL/RETRY) and puts the
 // emitted packet on the wire.
 func (s *Sender) transmit(isRetransmit bool) {
-	res, err := s.machine.Step(EvSend, map[string]expr.Value{"data": expr.Bytes(s.current)})
+	s.sendArgs["data"] = expr.BytesView(s.current)
+	res, err := s.machine.Step(EvSend, s.sendArgs)
 	if err != nil {
 		s.fail(err)
 		return
@@ -133,11 +149,12 @@ func (s *Sender) transmit(isRetransmit bool) {
 		return
 	}
 	out := res.Outputs[0]
-	enc, err := s.codec.Packet.Encode(out.Fields)
+	enc, err := s.codec.Packet.AppendEncode(s.encBuf[:0], out.Fields)
 	if err != nil {
 		s.fail(fmt.Errorf("arq sender: encode: %w", err))
 		return
 	}
+	s.encBuf = enc[:0]
 	if err := s.ep.Send(s.peer, enc); err != nil {
 		s.fail(err)
 		return
@@ -163,7 +180,7 @@ func (s *Sender) onDatagram(_ netsim.Addr, data []byte) {
 	if s.done {
 		return
 	}
-	ack, err := s.codec.DecodeAck(data)
+	ack, err := s.codec.DecodeAckInPlace(data)
 	if err != nil {
 		// Corrupted ack: the paper's FAIL transition — back to Ready and
 		// retransmit immediately.
@@ -179,7 +196,10 @@ func (s *Sender) onDatagram(_ netsim.Addr, data []byte) {
 		return
 	}
 	s.stats.AcksReceived++
-	res, serr := s.machine.Step(EvOK, map[string]expr.Value{"ack": ackValue(ack)})
+	s.ackFields["seq"] = expr.U8(uint64(ack.Value().Seq))
+	s.ackFields["chk"] = expr.U8(0) // already verified; not consulted by guards
+	s.okArgs["ack"] = expr.MsgView("Ack", s.ackFields)
+	res, serr := s.machine.Step(EvOK, s.okArgs)
 	if serr != nil {
 		s.fail(serr)
 		return
@@ -236,13 +256,19 @@ type ReceiverStats struct {
 }
 
 // Receiver drives the checked ARQ receiver spec over a simulator
-// endpoint, delivering accepted payloads in order.
+// endpoint, delivering accepted payloads in order. Like Sender, it runs
+// the compiled program with reusable frames and buffers.
 type Receiver struct {
 	sim     *netsim.Sim
 	ep      *netsim.Endpoint
 	peer    netsim.Addr
 	machine *fsm.Machine
 	codec   *Codec
+
+	// Reusable hot-loop state (see Sender).
+	encBuf    []byte
+	recvArgs  map[string]expr.Value
+	pktFields map[string]expr.Value
 
 	delivered [][]byte
 	stats     ReceiverStats
@@ -259,7 +285,11 @@ func NewReceiver(sim *netsim.Sim, ep *netsim.Endpoint, peer netsim.Addr) (*Recei
 	if err != nil {
 		return nil, fmt.Errorf("arq receiver: %w", err)
 	}
-	r := &Receiver{sim: sim, ep: ep, peer: peer, machine: machine, codec: codec}
+	r := &Receiver{
+		sim: sim, ep: ep, peer: peer, machine: machine, codec: codec,
+		recvArgs:  make(map[string]expr.Value, 1),
+		pktFields: make(map[string]expr.Value, 4),
+	}
 	ep.SetHandler(r.onDatagram)
 	return r, nil
 }
@@ -290,7 +320,9 @@ func (r *Receiver) onDatagram(_ netsim.Addr, data []byte) {
 	if r.err != nil || r.machine.State() == StClosed {
 		return
 	}
-	pkt, err := r.codec.DecodePacket(data)
+	// In-place decode: the payload aliases this delivery's buffer, which
+	// the handler owns from here on.
+	pkt, err := r.codec.DecodePacketInPlace(data)
 	if err != nil {
 		// Unverified packets are never processed (§3.4 guarantee 2): the
 		// machine does not even see the event. The sender's timer covers
@@ -299,7 +331,13 @@ func (r *Receiver) onDatagram(_ netsim.Addr, data []byte) {
 		return
 	}
 	r.stats.PacketsReceived++
-	res, serr := r.machine.Step(EvRecv, map[string]expr.Value{"p": packetValue(pkt)})
+	v := pkt.Value()
+	r.pktFields["seq"] = expr.U8(uint64(v.Seq))
+	r.pktFields["chk"] = expr.U8(0) // already verified; not consulted by guards
+	r.pktFields["paylen"] = expr.U16(uint64(len(v.Payload)))
+	r.pktFields["payload"] = expr.BytesView(v.Payload)
+	r.recvArgs["p"] = expr.MsgView("Packet", r.pktFields)
+	res, serr := r.machine.Step(EvRecv, r.recvArgs)
 	if serr != nil {
 		r.err = serr
 		return
@@ -308,16 +346,17 @@ func (r *Receiver) onDatagram(_ netsim.Addr, data []byte) {
 		return // cannot happen: accept/dupack guards partition seq space
 	}
 	if res.Fired.Name == "accept" {
-		r.delivered = append(r.delivered, pkt.Value().Payload)
+		r.delivered = append(r.delivered, v.Payload)
 	} else {
 		r.stats.Duplicates++
 	}
 	for _, out := range res.Outputs {
-		enc, eerr := r.codec.Ack.Encode(out.Fields)
+		enc, eerr := r.codec.Ack.AppendEncode(r.encBuf[:0], out.Fields)
 		if eerr != nil {
 			r.err = fmt.Errorf("arq receiver: encode ack: %w", eerr)
 			return
 		}
+		r.encBuf = enc[:0]
 		if err := r.ep.Send(r.peer, enc); err != nil {
 			r.err = err
 			return

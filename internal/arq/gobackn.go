@@ -68,6 +68,7 @@ type gbnSender struct {
 	maxRetries int
 	retries    int
 
+	encBuf  []byte // reusable AppendEncodePacket buffer
 	sent    int
 	retrans int
 	done    bool
@@ -112,10 +113,11 @@ func (s *gbnSender) pump() {
 }
 
 func (s *gbnSender) transmit(idx int, isRetrans bool) error {
-	enc, err := s.codec.EncodePacket(uint8(idx%256), s.payloads[idx])
+	enc, err := s.codec.AppendEncodePacket(s.encBuf[:0], uint8(idx%256), s.payloads[idx])
 	if err != nil {
 		return err
 	}
+	s.encBuf = enc[:0]
 	if err := s.ep.Send(s.peer, enc); err != nil {
 		return err
 	}
@@ -139,7 +141,7 @@ func (s *gbnSender) onDatagram(_ netsim.Addr, data []byte) {
 	if s.done {
 		return
 	}
-	ack, err := s.codec.DecodeAck(data)
+	ack, err := s.codec.DecodeAckInPlace(data)
 	if err != nil {
 		return // corrupted ack: the timer recovers
 	}
@@ -183,6 +185,7 @@ type gbnReceiver struct {
 	peer      netsim.Addr
 	codec     *Codec
 	expect    int
+	encBuf    []byte // reusable AppendEncodeAck buffer
 	delivered [][]byte
 	err       error
 }
@@ -191,7 +194,9 @@ func (r *gbnReceiver) onDatagram(_ netsim.Addr, data []byte) {
 	if r.err != nil {
 		return
 	}
-	pkt, err := r.codec.DecodePacket(data)
+	// In-place decode: the accepted payload aliases this delivery's
+	// buffer, which the handler owns from here on.
+	pkt, err := r.codec.DecodePacketInPlace(data)
 	if err != nil {
 		return // unverified packets are never processed
 	}
@@ -203,11 +208,12 @@ func (r *gbnReceiver) onDatagram(_ netsim.Addr, data []byte) {
 	if r.expect == 0 {
 		return
 	}
-	enc, err := r.codec.EncodeAck(uint8((r.expect - 1) % 256))
+	enc, err := r.codec.AppendEncodeAck(r.encBuf[:0], uint8((r.expect-1)%256))
 	if err != nil {
 		r.err = err
 		return
 	}
+	r.encBuf = enc[:0]
 	if err := r.ep.Send(r.peer, enc); err != nil {
 		r.err = err
 	}
@@ -242,14 +248,20 @@ func RunTransferGBN(cfg GBNConfig, payloads [][]byte) (*GBNResult, error) {
 	}
 	sim.Connect(sEP, rEP, cfg.Link)
 
-	codec, err := NewCodec()
+	// One codec per endpoint: the Append/InPlace scratch state makes a
+	// Codec single-owner (see Codec docs).
+	sendCodec, err := NewCodec()
 	if err != nil {
 		return nil, err
 	}
-	recv := &gbnReceiver{ep: rEP, peer: sEP.Addr(), codec: codec}
+	recvCodec, err := NewCodec()
+	if err != nil {
+		return nil, err
+	}
+	recv := &gbnReceiver{ep: rEP, peer: sEP.Addr(), codec: recvCodec}
 	rEP.SetHandler(recv.onDatagram)
 	send := &gbnSender{
-		sim: sim, ep: sEP, peer: rEP.Addr(), codec: codec,
+		sim: sim, ep: sEP, peer: rEP.Addr(), codec: sendCodec,
 		payloads: payloads, window: cfg.Window,
 		rto: cfg.RTO, maxRetries: cfg.MaxRetries,
 	}

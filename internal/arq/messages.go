@@ -52,10 +52,16 @@ func AckMessage() *wire.Message {
 	}
 }
 
-// Codec bundles the compiled layouts for the protocol's messages.
+// Codec bundles the compiled layouts for the protocol's messages, plus
+// reusable scratch state for the allocation-free encode/decode paths.
+// The scratch makes a Codec single-goroutine (like the machines it
+// serves); use one Codec per endpoint.
 type Codec struct {
 	Packet *wire.Layout
 	Ack    *wire.Layout
+
+	encVals map[string]expr.Value // AppendEncode* scratch fields
+	decVals map[string]expr.Value // decode*Into scratch fields
 }
 
 // NewCodec compiles the protocol's message layouts.
@@ -68,7 +74,12 @@ func NewCodec() (*Codec, error) {
 	if err != nil {
 		return nil, fmt.Errorf("compile Ack: %w", err)
 	}
-	return &Codec{Packet: p, Ack: a}, nil
+	return &Codec{
+		Packet:  p,
+		Ack:     a,
+		encVals: make(map[string]expr.Value, 4),
+		decVals: make(map[string]expr.Value, 4),
+	}, nil
 }
 
 // Packet is the decoded, validated form of a data packet. Values are only
@@ -112,6 +123,24 @@ func (c *Codec) EncodePacket(seq uint8, payload []byte) ([]byte, error) {
 	})
 }
 
+// AppendEncodePacket serialises a packet into the tail of dst and
+// returns the extended slice — the allocation-free hot-loop path: the
+// payload is not copied and the field map is the codec's reusable
+// scratch.
+func (c *Codec) AppendEncodePacket(dst []byte, seq uint8, payload []byte) ([]byte, error) {
+	clear(c.encVals)
+	c.encVals["seq"] = expr.U8(uint64(seq))
+	c.encVals["payload"] = expr.BytesView(payload)
+	return c.Packet.AppendEncode(dst, c.encVals)
+}
+
+// AppendEncodeAck serialises an acknowledgement into the tail of dst.
+func (c *Codec) AppendEncodeAck(dst []byte, seq uint8) ([]byte, error) {
+	clear(c.encVals)
+	c.encVals["seq"] = expr.U8(uint64(seq))
+	return c.Ack.AppendEncode(dst, c.encVals)
+}
+
 // DecodePacket parses and validates a received data packet. A non-nil
 // witness is returned only when every wire-level check (checksum, length
 // consistency, no trailing bytes) passed; "no processing occurs on
@@ -125,6 +154,22 @@ func (c *Codec) DecodePacket(data []byte) (CheckedPacket, error) {
 	p := Packet{
 		Seq:     uint8(vals["seq"].AsUint()),
 		Payload: vals["payload"].AsBytes(),
+	}
+	return packetWitness.Validate(p)
+}
+
+// DecodePacketInPlace parses and validates a received data packet using
+// the codec's reusable scratch map. The returned packet's payload
+// aliases data (wire.Layout.DecodeInto semantics), so it is only valid
+// while the caller owns data — the endpoints' per-delivery buffers
+// qualify.
+func (c *Codec) DecodePacketInPlace(data []byte) (CheckedPacket, error) {
+	if err := c.Packet.DecodeInto(c.decVals, data); err != nil {
+		return CheckedPacket{}, err
+	}
+	p := Packet{
+		Seq:     uint8(c.decVals["seq"].AsUint()),
+		Payload: c.decVals["payload"].RawBytes(),
 	}
 	return packetWitness.Validate(p)
 }
@@ -143,22 +188,16 @@ func (c *Codec) DecodeAck(data []byte) (CheckedAck, error) {
 	return ackWitness.Validate(Ack{Seq: uint8(vals["seq"].AsUint())})
 }
 
-// packetValue converts a checked packet back to an expression-language
-// message value for delivery to the fsm interpreter.
-func packetValue(p CheckedPacket) expr.Value {
-	v := p.Value()
-	return expr.Msg("Packet", map[string]expr.Value{
-		"seq":     expr.U8(uint64(v.Seq)),
-		"chk":     expr.U8(0), // already verified; not consulted by guards
-		"paylen":  expr.U16(uint64(len(v.Payload))),
-		"payload": expr.Bytes(v.Payload),
-	})
+// DecodeAckInPlace parses and validates an acknowledgement using the
+// codec's reusable scratch map (no allocations on the success path).
+func (c *Codec) DecodeAckInPlace(data []byte) (CheckedAck, error) {
+	if err := c.Ack.DecodeInto(c.decVals, data); err != nil {
+		return CheckedAck{}, err
+	}
+	return ackWitness.Validate(Ack{Seq: uint8(c.decVals["seq"].AsUint())})
 }
 
-// ackValue converts a checked ack to a message value.
-func ackValue(a CheckedAck) expr.Value {
-	return expr.Msg("Ack", map[string]expr.Value{
-		"seq": expr.U8(uint64(a.Value().Seq)),
-		"chk": expr.U8(0),
-	})
-}
+// The endpoints rebuild expression-language message values for the
+// interpreter from checked packets using reusable field maps and
+// expr.MsgView (see endpoints.go) — the former map-copying packetValue /
+// ackValue helpers were replaced by that allocation-free path.

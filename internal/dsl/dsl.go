@@ -64,6 +64,14 @@ type Protocol struct {
 	MessageOrder []string
 	// Machines in declaration order.
 	Machines []*fsm.Spec
+	// Layouts are the compiled wire layouts, keyed by message name.
+	// Populated by Compile (nil after a bare Parse).
+	Layouts map[string]*wire.Layout
+	// Programs are the compiled execution programs, parallel to Machines.
+	// Populated by Compile (nil after a bare Parse): the interpreter and
+	// simulator endpoints execute these dispatch tables directly instead
+	// of tree-walking the specs.
+	Programs []*fsm.Program
 }
 
 // Machine returns the named machine spec.
@@ -74,6 +82,35 @@ func (p *Protocol) Machine(name string) (*fsm.Spec, bool) {
 		}
 	}
 	return nil, false
+}
+
+// Program returns the named machine's compiled program (only available
+// after Compile).
+func (p *Protocol) Program(name string) (*fsm.Program, bool) {
+	for i, m := range p.Machines {
+		if m.Name == name && i < len(p.Programs) {
+			return p.Programs[i], true
+		}
+	}
+	return nil, false
+}
+
+// NewMachine instantiates the named machine from its precompiled
+// program — no re-check and no re-compilation, unlike fsm.NewMachine on
+// the bare spec. It is only available on protocols built by Compile.
+func (p *Protocol) NewMachine(name string) (*fsm.Machine, error) {
+	prog, ok := p.Program(name)
+	if !ok {
+		return nil, fmt.Errorf("dsl: protocol %s has no compiled machine %q (was it built with Compile?)", p.Name, name)
+	}
+	return prog.NewMachine(), nil
+}
+
+// Layout returns the named message's compiled wire layout (only
+// available after Compile).
+func (p *Protocol) Layout(name string) (*wire.Layout, bool) {
+	l, ok := p.Layouts[name]
+	return l, ok
 }
 
 // ParseError reports a syntax problem with its 1-based line number.
@@ -98,15 +135,24 @@ func Parse(src string) (*Protocol, error) {
 // wire-compile and every machine must pass fsm.Check with no errors.
 // The per-machine reports are returned for diagnostics (they may carry
 // warnings even on success).
+//
+// A successful Compile also lowers every artefact for execution: the
+// message layouts are kept (Protocol.Layouts) and every machine is
+// precompiled into a flat state×event dispatch table of slot-indexed
+// closures (Protocol.Programs) that machines instantiated from the
+// protocol execute directly.
 func Compile(src string) (*Protocol, []*fsm.Report, error) {
 	proto, err := Parse(src)
 	if err != nil {
 		return nil, nil, err
 	}
+	proto.Layouts = make(map[string]*wire.Layout, len(proto.MessageOrder))
 	for _, name := range proto.MessageOrder {
-		if _, err := wire.Compile(proto.Messages[name]); err != nil {
+		layout, err := wire.Compile(proto.Messages[name])
+		if err != nil {
 			return nil, nil, fmt.Errorf("dsl: %w", err)
 		}
+		proto.Layouts[name] = layout
 	}
 	reports := make([]*fsm.Report, 0, len(proto.Machines))
 	for _, m := range proto.Machines {
@@ -115,6 +161,11 @@ func Compile(src string) (*Protocol, []*fsm.Report, error) {
 		if !report.OK() {
 			return nil, reports, &fsm.CheckSpecError{Report: report}
 		}
+		prog, err := fsm.CompileSpecFromChecked(m, report)
+		if err != nil {
+			return nil, reports, fmt.Errorf("dsl: compile machine %s: %w", m.Name, err)
+		}
+		proto.Programs = append(proto.Programs, prog)
 	}
 	return proto, reports, nil
 }

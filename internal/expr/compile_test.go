@@ -1,0 +1,152 @@
+package expr
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestScopeLayoutBasics(t *testing.T) {
+	l := NewScopeLayout()
+	a := l.Add("a")
+	b := l.Add("b")
+	if a != 0 || b != 1 || l.Size() != 2 {
+		t.Fatalf("slots a=%d b=%d size=%d", a, b, l.Size())
+	}
+	if again := l.Add("a"); again != a {
+		t.Errorf("re-adding a moved it to slot %d", again)
+	}
+	cl := l.Clone()
+	cl.Bind("a", 5) // shadow in the clone only
+	if s, _ := cl.Slot("a"); s != 5 || cl.Size() != 6 {
+		t.Errorf("clone bind: slot=%d size=%d", s, cl.Size())
+	}
+	if s, _ := l.Slot("a"); s != 0 {
+		t.Errorf("original layout mutated by clone: slot=%d", s)
+	}
+}
+
+func TestCompileShortCircuitParity(t *testing.T) {
+	// `a || boom/0 == 1` must not evaluate the RHS when a is true — the
+	// same laziness Eval has.
+	e := MustParse("a || 1 / z == 1")
+	l := NewScopeLayout()
+	sa, sz := l.Add("a"), l.Add("z")
+	f := l.NewFrame()
+	f.Set(sa, Bool(true))
+	f.Set(sz, U8(0))
+	v, err := Compile(e, l)(f)
+	if err != nil || !v.AsBool() {
+		t.Fatalf("short-circuit or: v=%v err=%v", v, err)
+	}
+	// With a false, the RHS runs and divides by zero in both engines.
+	f.Set(sa, Bool(false))
+	_, cErr := Compile(e, l)(f)
+	_, eErr := Eval(e, MapScope{"a": Bool(false), "z": U8(0)})
+	if !errors.Is(cErr, ErrDivisionByZero) || !errors.Is(eErr, ErrDivisionByZero) {
+		t.Fatalf("division errors: compiled=%v eval=%v", cErr, eErr)
+	}
+	if cErr.Error() != eErr.Error() {
+		t.Fatalf("error text mismatch:\n compiled: %v\n eval:     %v", cErr, eErr)
+	}
+}
+
+func TestCompileUnsetSlotIsUndefined(t *testing.T) {
+	e := MustParse("x + 1")
+	l := NewScopeLayout()
+	l.Add("x")
+	f := l.NewFrame() // slot left unset
+	_, err := Compile(e, l)(f)
+	if err == nil {
+		t.Fatal("unset slot evaluated successfully")
+	}
+	_, evalErr := Eval(e, MapScope{})
+	if err.Error() != evalErr.Error() {
+		t.Fatalf("undefined variable mismatch:\n compiled: %v\n eval:     %v", err, evalErr)
+	}
+}
+
+func TestBytesViewAliases(t *testing.T) {
+	b := []byte{1, 2, 3}
+	v := BytesView(b)
+	b[0] = 9
+	if v.RawBytes()[0] != 9 {
+		t.Error("BytesView copied its input")
+	}
+	if Bytes(b).RawBytes()[0] != 9 {
+		t.Error("sanity")
+	}
+	c := Bytes(b)
+	b[0] = 1
+	if c.RawBytes()[0] != 9 {
+		t.Error("Bytes did not copy its input")
+	}
+}
+
+func TestMsgViewAliases(t *testing.T) {
+	fields := map[string]Value{"seq": U8(1)}
+	v := MsgView("M", fields)
+	fields["seq"] = U8(2)
+	if got, _ := v.Field("seq"); got.AsUint() != 2 {
+		t.Error("MsgView copied its field map")
+	}
+	m := Msg("M", fields)
+	fields["seq"] = U8(3)
+	if got, _ := m.Field("seq"); got.AsUint() != 2 {
+		t.Error("Msg did not copy its field map")
+	}
+}
+
+// TestCompiledFusedShapesParity drives the peephole-fused closures
+// (msg.field ==/!= var, var op literal) against Eval on success and
+// failure inputs.
+func TestCompiledFusedShapesParity(t *testing.T) {
+	msg := Msg("Ack", map[string]Value{"seq": U8(7)})
+	cases := []struct {
+		src  string
+		vals map[string]Value
+	}{
+		{"ack.seq == seq", map[string]Value{"ack": msg, "seq": U8(7)}},
+		{"ack.seq == seq", map[string]Value{"ack": msg, "seq": U8(8)}},
+		{"ack.seq != seq", map[string]Value{"ack": msg, "seq": U8(8)}},
+		{"ack.nope == seq", map[string]Value{"ack": msg, "seq": U8(8)}},
+		{"ack.seq == seq", map[string]Value{"ack": U8(1), "seq": U8(8)}}, // non-msg
+		{"ack.seq == seq", map[string]Value{"seq": U8(8)}},               // ack undefined
+		{"ack.seq == seq", map[string]Value{"ack": msg}},                 // seq undefined
+		{"seq + 1", map[string]Value{"seq": U8(255)}},                    // wraps to 0
+		{"seq + 1", map[string]Value{"seq": Bool(true)}},                 // kind error
+		{"seq + 1", map[string]Value{}},                                  // undefined
+		{"seq - 300", map[string]Value{"seq": U8(1)}},                    // wide literal
+		{"seq < 16", map[string]Value{"seq": U8(200)}},
+	}
+	for _, tc := range cases {
+		e := MustParse(tc.src)
+		layout := NewScopeLayout()
+		for name := range tc.vals {
+			layout.Add(name)
+		}
+		// Bind referenced-but-missing names nowhere: absent from layout,
+		// matching an absent scope entry.
+		f := layout.NewFrame()
+		for name, v := range tc.vals {
+			slot, _ := layout.Slot(name)
+			f.Set(slot, v)
+		}
+		wantV, wantErr := Eval(e, MapScope(tc.vals))
+		gotV, gotErr := Compile(e, layout)(f)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("%s %v: eval err=%v compiled err=%v", tc.src, tc.vals, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if wantErr.Error() != gotErr.Error() {
+				t.Errorf("%s: error mismatch\n eval:     %v\n compiled: %v", tc.src, wantErr, gotErr)
+			}
+			continue
+		}
+		if !wantV.Equal(gotV) {
+			t.Errorf("%s: eval=%s compiled=%s", tc.src, wantV, gotV)
+		}
+		if wantV.Kind() == KindUint && wantV.Bits() != gotV.Bits() {
+			t.Errorf("%s: width eval=u%d compiled=u%d", tc.src, wantV.Bits(), gotV.Bits())
+		}
+	}
+}

@@ -95,6 +95,12 @@ func Bytes(b []byte) Value {
 	return Value{kind: KindBytes, bs: cp}
 }
 
+// BytesView returns a byte-slice value that aliases b without copying.
+// It is the allocation-free construction path for hot loops (compiled
+// execution, AppendEncode/DecodeInto): the caller must not mutate b while
+// the value is live.
+func BytesView(b []byte) Value { return Value{kind: KindBytes, bs: b} }
+
 // Str returns a string value.
 func Str(s string) Value { return Value{kind: KindString, s: s} }
 
@@ -106,6 +112,14 @@ func Msg(name string, fields map[string]Value) Value {
 		cp[k] = v
 	}
 	return Value{kind: KindMsg, name: name, msg: cp}
+}
+
+// MsgView returns a message value that aliases the field map without
+// copying. It is the allocation-free counterpart of Msg for hot loops:
+// the caller must not mutate fields while the value is live (in
+// particular, not while a machine variable could still hold it).
+func MsgView(name string, fields map[string]Value) Value {
+	return Value{kind: KindMsg, name: name, msg: fields}
 }
 
 // Kind reports the kind of the value.

@@ -44,76 +44,87 @@ type StepResult struct {
 	Rejected bool
 }
 
-// Machine executes a checked Spec. It is the DSL interpreter — the
-// paper's execTrans: only valid transitions can be executed, and every
-// step's effect is fully determined by the spec.
+// Machine executes a checked Spec — the paper's execTrans: only valid
+// transitions can be executed, and every step's effect is fully
+// determined by the spec.
+//
+// Execution runs on the compiled engine: NewMachine lowers the spec to a
+// Program (a flat state×event dispatch table of pre-compiled guard,
+// assignment and output closures over a slot-indexed frame), and Step
+// drives that table directly. The tree-walking expr.Eval path is not
+// consulted at runtime; it remains as the reference semantics that the
+// differential tests compare against.
 //
 // Machine is not safe for concurrent use; drive each instance from one
 // goroutine (or the deterministic simulator's event loop).
 type Machine struct {
-	spec  *Spec
-	state string
-	vars  map[string]expr.Value
-	steps uint64
+	prog     *Program
+	stateIdx int
+	frame    *expr.Frame
+	scratch  []expr.Value // simultaneous-assignment staging, len maxAssigns
+	steps    uint64
 }
 
-// NewMachine checks the spec and instantiates it in its initial state.
-// Specs with check errors are refused: execution is only defined for
-// specs whose soundness and completeness have been established.
+// NewMachine checks the spec, compiles it, and instantiates it in its
+// initial state. Specs with check errors are refused: execution is only
+// defined for specs whose soundness and completeness have been
+// established.
 func NewMachine(spec *Spec) (*Machine, error) {
-	report := Check(spec)
-	if !report.OK() {
-		return nil, &CheckSpecError{Report: report}
+	prog, err := CompileSpec(spec)
+	if err != nil {
+		return nil, err
 	}
-	return newMachineUnchecked(spec), nil
-}
-
-// newMachineUnchecked instantiates without re-running Check. Internal
-// callers (the model checker, test generation) use it after checking once.
-func newMachineUnchecked(spec *Spec) *Machine {
-	vars := make(map[string]expr.Value, len(spec.Vars))
-	for _, v := range spec.Vars {
-		if v.Init.IsValid() {
-			vars[v.Name] = v.Init
-		} else {
-			vars[v.Name] = zeroValue(v.Type)
-		}
-	}
-	return &Machine{spec: spec, state: spec.InitState(), vars: vars}
+	return prog.NewMachine(), nil
 }
 
 // NewMachineFromChecked instantiates a machine for a spec already known
 // to pass Check; the caller supplies the report as evidence.
 func NewMachineFromChecked(spec *Spec, report *Report) (*Machine, error) {
-	if report == nil || report.Spec != spec.Name || !report.OK() {
-		return nil, fmt.Errorf("spec %s: not accompanied by a passing check report", spec.Name)
+	prog, err := CompileSpecFromChecked(spec, report)
+	if err != nil {
+		return nil, err
 	}
-	return newMachineUnchecked(spec), nil
+	return prog.NewMachine(), nil
+}
+
+// resetVars loads initial variable values and clears the parameter region.
+func (m *Machine) resetVars() {
+	p := m.prog
+	for i := 0; i < p.nVars; i++ {
+		m.frame.Set(i, p.varInit[i])
+	}
+	for i := p.nVars; i < p.frameSize; i++ {
+		m.frame.Set(i, expr.Value{})
+	}
+	m.stateIdx = p.initIdx
 }
 
 // Spec returns the machine's specification.
-func (m *Machine) Spec() *Spec { return m.spec }
+func (m *Machine) Spec() *Spec { return m.prog.spec }
+
+// Program returns the compiled program the machine executes.
+func (m *Machine) Program() *Program { return m.prog }
 
 // State returns the current state name.
-func (m *Machine) State() string { return m.state }
+func (m *Machine) State() string { return m.prog.states[m.stateIdx] }
 
 // InFinal reports whether the machine is in a final state.
-func (m *Machine) InFinal() bool {
-	st, ok := m.spec.StateByName(m.state)
-	return ok && st.Final
-}
+func (m *Machine) InFinal() bool { return m.prog.finals[m.stateIdx] }
 
 // Var returns the current value of a machine variable.
 func (m *Machine) Var(name string) (expr.Value, bool) {
-	v, ok := m.vars[name]
-	return v, ok
+	slot, ok := m.prog.varSlots[name]
+	if !ok {
+		return expr.Value{}, false
+	}
+	return m.frame.Get(slot), true
 }
 
 // Vars returns a copy of all machine variables.
 func (m *Machine) Vars() map[string]expr.Value {
-	out := make(map[string]expr.Value, len(m.vars))
-	for k, v := range m.vars {
-		out[k] = v
+	out := make(map[string]expr.Value, m.prog.nVars)
+	for i, name := range m.prog.varNames {
+		out[name] = m.frame.Get(i)
 	}
 	return out
 }
@@ -122,43 +133,36 @@ func (m *Machine) Vars() map[string]expr.Value {
 func (m *Machine) Steps() uint64 { return m.steps }
 
 // Clone returns an independent copy of the machine (used by the model
-// checker to branch the state space).
+// checker to branch the state space). The compiled program is shared —
+// it is immutable after compilation.
 func (m *Machine) Clone() *Machine {
-	return &Machine{spec: m.spec, state: m.state, vars: m.Vars(), steps: m.steps}
+	frame := expr.NewFrame(m.prog.frameSize)
+	for i := 0; i < m.prog.frameSize; i++ {
+		frame.Set(i, m.frame.Get(i))
+	}
+	return &Machine{
+		prog:     m.prog,
+		stateIdx: m.stateIdx,
+		frame:    frame,
+		scratch:  make([]expr.Value, m.prog.maxAssigns),
+		steps:    m.steps,
+	}
 }
 
 // Reset returns the machine to its initial state and variable values.
 func (m *Machine) Reset() {
-	fresh := newMachineUnchecked(m.spec)
-	m.state = fresh.state
-	m.vars = fresh.vars
+	m.resetVars()
 	m.steps = 0
 }
 
 // StateKey returns a deterministic hash key of (state, vars) for state-
 // space exploration.
 func (m *Machine) StateKey() string {
-	key := m.state
-	for _, v := range m.spec.Vars {
-		key += "|" + v.Name + "=" + m.vars[v.Name].HashKey()
+	key := m.prog.states[m.stateIdx]
+	for i, name := range m.prog.varNames {
+		key += "|" + name + "=" + m.frame.Get(i).HashKey()
 	}
 	return key
-}
-
-// stepScope resolves variables then event arguments.
-type stepScope struct {
-	vars map[string]expr.Value
-	args map[string]expr.Value
-}
-
-var _ expr.Scope = stepScope{}
-
-func (s stepScope) VarValue(name string) (expr.Value, bool) {
-	if v, ok := s.args[name]; ok {
-		return v, ok
-	}
-	v, ok := s.vars[name]
-	return v, ok
 }
 
 // Step delivers an event (with arguments bound by parameter name) to the
@@ -171,102 +175,113 @@ func (s stepScope) VarValue(name string) (expr.Value, bool) {
 // state. If no transition is declared and the event is not ignored, Step
 // returns ErrInvalidTransition.
 func (m *Machine) Step(event string, args map[string]expr.Value) (StepResult, error) {
-	ev, ok := m.spec.EventByName(event)
+	p := m.prog
+	evIdx, ok := p.eventIdx[event]
 	if !ok {
-		return StepResult{}, fmt.Errorf("machine %s: %w: %q", m.spec.Name, ErrUnknownEvent, event)
+		return StepResult{}, fmt.Errorf("machine %s: %w: %q", p.spec.Name, ErrUnknownEvent, event)
 	}
-	if err := m.checkArgs(ev, args); err != nil {
+	ce := &p.events[evIdx]
+	if err := m.bindArgs(ce, args); err != nil {
 		return StepResult{}, err
 	}
 
-	res := StepResult{From: m.state, To: m.state}
-	ts := m.spec.TransitionsFrom(m.state, event)
-	if len(ts) == 0 {
-		if m.spec.Ignored(m.state, event) {
+	state := p.states[m.stateIdx]
+	res := StepResult{From: state, To: state}
+	row := &p.rows[m.stateIdx*p.numEvents+evIdx]
+	if len(row.ts) == 0 {
+		if row.ignored {
 			res.Ignored = true
 			m.steps++
 			return res, nil
 		}
 		return StepResult{}, fmt.Errorf("machine %s: %w: event %q in state %q",
-			m.spec.Name, ErrInvalidTransition, event, m.state)
+			p.spec.Name, ErrInvalidTransition, event, state)
 	}
 
-	scope := stepScope{vars: m.vars, args: args}
-	for _, t := range ts {
-		if t.Guard != nil {
-			hold, err := expr.EvalBool(t.Guard, scope)
+	for i := range row.ts {
+		ct := &row.ts[i]
+		if ct.guard != nil {
+			hold, err := ct.guard(m.frame)
 			if err != nil {
-				return StepResult{}, fmt.Errorf("machine %s: guard of %s: %w", m.spec.Name, t.String(), err)
+				return StepResult{}, fmt.Errorf("machine %s: guard of %s: %w", p.spec.Name, ct.t.String(), err)
 			}
 			if !hold {
 				continue
 			}
 		}
-		return m.fire(t, scope, res)
+		return m.fire(ct, res)
 	}
 	res.Rejected = true
 	m.steps++
 	return res, nil
 }
 
-func (m *Machine) fire(t *Transition, scope stepScope, res StepResult) (StepResult, error) {
-	// Simultaneous assignment: evaluate all RHS first.
-	newVals := make([]expr.Value, len(t.Assigns))
-	for i, a := range t.Assigns {
-		v, err := expr.Eval(a.Expr, scope)
+func (m *Machine) fire(ct *compiledTransition, res StepResult) (StepResult, error) {
+	p := m.prog
+	// Simultaneous assignment: evaluate all RHS against the pre-state.
+	for i := range ct.assigns {
+		a := &ct.assigns[i]
+		v, err := a.rhs(m.frame)
 		if err != nil {
-			return StepResult{}, fmt.Errorf("machine %s: assign %s: %w", m.spec.Name, a.Var, err)
+			return StepResult{}, fmt.Errorf("machine %s: assign %s: %w", p.spec.Name, a.target, err)
 		}
-		decl, _ := m.spec.VarByName(a.Var)
-		newVals[i] = coerce(v, decl.Type)
+		m.scratch[i] = coerce(v, a.typ)
 	}
 	// Outputs are evaluated against the pre-state too: they describe the
 	// packet being sent *by* this transition.
-	for _, o := range t.Outputs {
-		fields := make(map[string]expr.Value, len(o.Fields))
-		for name, e := range o.Fields {
-			v, err := expr.Eval(e, scope)
+	for i := range ct.outputs {
+		o := &ct.outputs[i]
+		fields := make(map[string]expr.Value, len(o.names))
+		for j, name := range o.names {
+			v, err := o.exprs[j](m.frame)
 			if err != nil {
 				return StepResult{}, fmt.Errorf("machine %s: output %s field %s: %w",
-					m.spec.Name, o.Message, name, err)
+					p.spec.Name, o.message, name, err)
 			}
 			fields[name] = v
 		}
-		res.Outputs = append(res.Outputs, OutputMsg{Message: o.Message, Fields: fields})
+		res.Outputs = append(res.Outputs, OutputMsg{Message: o.message, Fields: fields})
 	}
-	for i, a := range t.Assigns {
-		m.vars[a.Var] = newVals[i]
+	for i := range ct.assigns {
+		m.frame.Set(ct.assigns[i].slot, m.scratch[i])
 	}
-	m.state = t.To
+	m.stateIdx = ct.toIdx
 	m.steps++
-	res.To = t.To
-	res.Fired = t
+	res.To = p.states[ct.toIdx]
+	res.Fired = ct.t
 	return res, nil
 }
 
-func (m *Machine) checkArgs(ev *Event, args map[string]expr.Value) error {
-	for _, p := range ev.Params {
-		v, ok := args[p.Name]
+// bindArgs validates the arguments against the event's declared
+// parameters and writes them into the frame's parameter slots.
+func (m *Machine) bindArgs(ce *compiledEvent, args map[string]expr.Value) error {
+	spec := m.prog.spec
+	for i := range ce.params {
+		param := &ce.params[i]
+		v, ok := args[param.name]
 		if !ok {
 			return fmt.Errorf("machine %s: event %s: %w: missing %q",
-				m.spec.Name, ev.Name, ErrBadArg, p.Name)
+				spec.Name, ce.ev.Name, ErrBadArg, param.name)
 		}
-		if !kindMatches(p.Type, v) {
+		if !kindMatches(param.typ, v) {
 			return fmt.Errorf("machine %s: event %s: %w: %q has kind %s, want %s",
-				m.spec.Name, ev.Name, ErrBadArg, p.Name, v.Kind(), p.Type)
+				spec.Name, ce.ev.Name, ErrBadArg, param.name, v.Kind(), param.typ)
 		}
+		m.frame.Set(param.slot, v)
 	}
-	for name := range args {
-		found := false
-		for _, p := range ev.Params {
-			if p.Name == name {
-				found = true
-				break
+	if len(args) > len(ce.params) {
+		for name := range args {
+			found := false
+			for i := range ce.params {
+				if ce.params[i].name == name {
+					found = true
+					break
+				}
 			}
-		}
-		if !found {
-			return fmt.Errorf("machine %s: event %s: %w: unexpected argument %q",
-				m.spec.Name, ev.Name, ErrBadArg, name)
+			if !found {
+				return fmt.Errorf("machine %s: event %s: %w: unexpected argument %q",
+					spec.Name, ce.ev.Name, ErrBadArg, name)
+			}
 		}
 	}
 	return nil

@@ -97,9 +97,13 @@ var headerWitness = proof.NewValidator[Header]("ipv4.Header",
 	}},
 )
 
-// Codec encodes and decodes IPv4 headers.
+// Codec encodes and decodes IPv4 headers. The Append/InPlace methods
+// reuse internal scratch state, making the codec single-goroutine (use
+// one per worker).
 type Codec struct {
-	layout *wire.Layout
+	layout  *wire.Layout
+	encVals map[string]expr.Value // AppendEncode scratch
+	decVals map[string]expr.Value // DecodeInPlace scratch
 }
 
 // NewCodec compiles the header layout.
@@ -108,7 +112,11 @@ func NewCodec() (*Codec, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ipv4: %w", err)
 	}
-	return &Codec{layout: l}, nil
+	return &Codec{
+		layout:  l,
+		encVals: make(map[string]expr.Value, 13),
+		decVals: make(map[string]expr.Value, 13),
+	}, nil
 }
 
 // Layout exposes the compiled layout (for diagrams and offsets).
@@ -140,10 +148,48 @@ func (c *Codec) Encode(h Header) ([]byte, error) {
 	})
 }
 
+// AppendEncode serialises the header into the tail of dst — the
+// allocation-free counterpart of Encode, reusing the codec's scratch
+// field map and not copying options.
+func (c *Codec) AppendEncode(dst []byte, h Header) ([]byte, error) {
+	if _, err := headerWitness.Validate(h); err != nil {
+		return nil, err
+	}
+	if len(h.Options) != (int(h.IHL)-5)*4 {
+		return nil, fmt.Errorf("ipv4: options length %d does not match IHL %d", len(h.Options), h.IHL)
+	}
+	clear(c.encVals)
+	c.encVals["version"] = expr.U8(uint64(h.Version))
+	c.encVals["ihl"] = expr.U8(uint64(h.IHL))
+	c.encVals["tos"] = expr.U8(uint64(h.TOS))
+	c.encVals["total_length"] = expr.U16(uint64(h.TotalLength))
+	c.encVals["identification"] = expr.U16(uint64(h.Identification))
+	c.encVals["flags"] = expr.U8(uint64(h.Flags))
+	c.encVals["fragment_offset"] = expr.U16(uint64(h.FragmentOffset))
+	c.encVals["ttl"] = expr.U8(uint64(h.TTL))
+	c.encVals["protocol"] = expr.U8(uint64(h.Protocol))
+	c.encVals["source"] = expr.U32(addrToUint(h.Source))
+	c.encVals["destination"] = expr.U32(addrToUint(h.Destination))
+	c.encVals["options"] = expr.BytesView(h.Options)
+	return c.layout.AppendEncode(dst, c.encVals)
+}
+
 // Decode parses the first IHL*4 bytes of data as an IPv4 header and
 // returns a validated witness. Trailing bytes beyond the header (the
 // datagram payload) are permitted and returned.
 func (c *Codec) Decode(data []byte) (CheckedHeader, []byte, error) {
+	return c.decode(data, false)
+}
+
+// DecodeInPlace is the allocation-free counterpart of Decode: it reuses
+// the codec's scratch value map, the returned header's Options alias
+// data, and the checksum bytes of data are briefly zeroed and restored
+// during verification (wire.Layout.DecodeInto semantics).
+func (c *Codec) DecodeInPlace(data []byte) (CheckedHeader, []byte, error) {
+	return c.decode(data, true)
+}
+
+func (c *Codec) decode(data []byte, inPlace bool) (CheckedHeader, []byte, error) {
 	if len(data) < 20 {
 		return CheckedHeader{}, nil, fmt.Errorf("ipv4: %w: %d bytes", wire.ErrShortBuffer, len(data))
 	}
@@ -156,9 +202,18 @@ func (c *Codec) Decode(data []byte) (CheckedHeader, []byte, error) {
 		return CheckedHeader{}, nil, fmt.Errorf("ipv4: %w: header claims %d bytes, have %d",
 			wire.ErrShortBuffer, hdrLen, len(data))
 	}
-	vals, err := c.layout.Decode(data[:hdrLen])
-	if err != nil {
-		return CheckedHeader{}, nil, err
+	var vals map[string]expr.Value
+	if inPlace {
+		if err := c.layout.DecodeInto(c.decVals, data[:hdrLen]); err != nil {
+			return CheckedHeader{}, nil, err
+		}
+		vals = c.decVals
+	} else {
+		var err error
+		vals, err = c.layout.Decode(data[:hdrLen])
+		if err != nil {
+			return CheckedHeader{}, nil, err
+		}
 	}
 	h := Header{
 		Version:        uint8(vals["version"].AsUint()),
@@ -173,7 +228,11 @@ func (c *Codec) Decode(data []byte) (CheckedHeader, []byte, error) {
 		Checksum:       uint16(vals["header_checksum"].AsUint()),
 		Source:         uintToAddr(vals["source"].AsUint()),
 		Destination:    uintToAddr(vals["destination"].AsUint()),
-		Options:        vals["options"].AsBytes(),
+	}
+	if inPlace {
+		h.Options = vals["options"].RawBytes()
+	} else {
+		h.Options = vals["options"].AsBytes()
 	}
 	checked, err := headerWitness.Validate(h)
 	if err != nil {

@@ -14,16 +14,27 @@ import (
 var ErrShortBuffer = errors.New("short buffer")
 
 // bitWriter appends bit fields MSB-first, matching network bit order.
+// base is the byte offset where the current message starts in buf; it
+// lets AppendEncode serialise into the tail of a caller-owned buffer.
 type bitWriter struct {
 	buf    []byte
-	bitLen int // number of bits written so far
+	base   int // byte offset of the message start within buf
+	bitLen int // number of bits written for this message
 }
 
 // writeBits appends the low n bits of v, most significant bit first.
 func (w *bitWriter) writeBits(v uint64, n int) {
+	// Fast path: whole bytes at a byte-aligned position.
+	if w.bitLen%8 == 0 && n%8 == 0 {
+		for i := n - 8; i >= 0; i -= 8 {
+			w.buf = append(w.buf, byte(v>>uint(i)))
+			w.bitLen += 8
+		}
+		return
+	}
 	for i := n - 1; i >= 0; i-- {
 		bit := (v >> uint(i)) & 1
-		byteIdx := w.bitLen / 8
+		byteIdx := w.base + w.bitLen/8
 		if byteIdx >= len(w.buf) {
 			w.buf = append(w.buf, 0)
 		}
@@ -57,6 +68,15 @@ func (r *bitReader) readBits(n int) (uint64, error) {
 	if r.bitPos+n > 8*len(r.buf) {
 		return 0, ErrShortBuffer
 	}
+	// Fast path: whole bytes at a byte-aligned position.
+	if r.bitPos%8 == 0 && n%8 == 0 {
+		var v uint64
+		for i := 0; i < n; i += 8 {
+			v = v<<8 | uint64(r.buf[r.bitPos/8])
+			r.bitPos += 8
+		}
+		return v, nil
+	}
 	var v uint64
 	for i := 0; i < n; i++ {
 		byteIdx := r.bitPos / 8
@@ -69,6 +89,18 @@ func (r *bitReader) readBits(n int) (uint64, error) {
 
 // readBytes reads n whole bytes; the reader must be byte-aligned.
 func (r *bitReader) readBytes(n int) ([]byte, error) {
+	b, err := r.readBytesView(n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out, nil
+}
+
+// readBytesView reads n whole bytes without copying; the returned slice
+// aliases the reader's buffer. The reader must be byte-aligned.
+func (r *bitReader) readBytesView(n int) ([]byte, error) {
 	if r.bitPos%8 != 0 {
 		return nil, fmt.Errorf("wire: internal: unaligned byte read at bit %d", r.bitPos)
 	}
@@ -77,9 +109,7 @@ func (r *bitReader) readBytes(n int) ([]byte, error) {
 		return nil, ErrShortBuffer
 	}
 	r.bitPos += 8 * n
-	out := make([]byte, n)
-	copy(out, r.buf[start:start+n])
-	return out, nil
+	return r.buf[start : start+n], nil
 }
 
 // remainingBytes returns the count of unread whole bytes.

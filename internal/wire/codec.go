@@ -55,11 +55,22 @@ func codecErr(msg, field string, err error) error {
 // computed one (so callers cannot construct self-inconsistent packets —
 // the encode-side half of correctness by construction).
 func (l *Layout) Encode(values map[string]expr.Value) ([]byte, error) {
-	m := l.msg
-	filled := make(map[string]expr.Value, len(m.Fields))
+	filled := make(map[string]expr.Value, len(l.msg.Fields))
 	for k, v := range values {
 		filled[k] = v
 	}
+	return l.AppendEncode(nil, filled)
+}
+
+// AppendEncode serialises the message into the tail of dst and returns
+// the extended slice. It is the allocation-free encode path: reusing dst
+// across calls amortises the output buffer, and — unlike Encode — the
+// auto-computed fields (lengths, checksums) are written back into values
+// rather than into a private copy, so callers should pass a map they own
+// (a reusable scratch map, or a machine output's field map).
+func (l *Layout) AppendEncode(dst []byte, values map[string]expr.Value) ([]byte, error) {
+	m := l.msg
+	filled := values
 
 	// Auto-fill plain uint fields that serve as LenField lengths.
 	for i := range m.Fields {
@@ -105,7 +116,7 @@ func (l *Layout) Encode(values map[string]expr.Value) ([]byte, error) {
 	}
 
 	// First pass: serialise with checksum fields zeroed.
-	w := &bitWriter{}
+	w := &bitWriter{buf: dst, base: len(dst)}
 	for i := range m.Fields {
 		f := &m.Fields[i]
 		if err := encodeField(m, f, filled, w); err != nil {
@@ -123,8 +134,8 @@ func (l *Layout) Encode(values map[string]expr.Value) ([]byte, error) {
 			continue
 		}
 		off, _ := l.FieldOffset(f.Name)
-		sum := checksumOf(f.Compute.Algo, w.buf)
-		patchUint(w.buf, off/8, f.Bits/8, sum)
+		sum := checksumOf(f.Compute.Algo, w.buf[w.base:])
+		patchUint(w.buf, w.base+off/8, f.Bits/8, sum)
 	}
 	return w.buf, nil
 }
@@ -182,10 +193,35 @@ func encodeField(m *Message, f *Field, filled map[string]expr.Value, w *bitWrite
 // value; a successful Decode therefore *is* the validation step that makes
 // the result a checked packet in the sense of §3.3. Callers that need a
 // transferable witness wrap the result with a proof.Validator.
+//
+// The returned byte-field values are copies, independent of data.
 func (l *Layout) Decode(data []byte) (map[string]expr.Value, error) {
+	values := make(map[string]expr.Value, len(l.msg.Fields))
+	if err := l.decode(values, data, false); err != nil {
+		return nil, err
+	}
+	return values, nil
+}
+
+// DecodeInto parses and validates the message into a caller-owned value
+// map, performing the same checks as Decode without its allocations: the
+// map is cleared and reused, and byte-field values alias data rather than
+// copying it. During checksum verification the checksum bytes of data are
+// briefly zeroed in place and restored before returning, so data must not
+// be read concurrently. Callers that need values outliving data (or an
+// untouched input buffer) should use Decode.
+func (l *Layout) DecodeInto(values map[string]expr.Value, data []byte) error {
+	clear(values)
+	return l.decode(values, data, true)
+}
+
+// decode is the shared Decode/DecodeInto implementation. When inPlace is
+// true byte fields alias data and checksums are verified by zero-patching
+// data temporarily; otherwise byte fields and the checksum scratch are
+// copies.
+func (l *Layout) decode(values map[string]expr.Value, data []byte, inPlace bool) error {
 	m := l.msg
 	r := &bitReader{buf: data}
-	values := make(map[string]expr.Value, len(m.Fields))
 
 	for i := range m.Fields {
 		f := &m.Fields[i]
@@ -193,23 +229,31 @@ func (l *Layout) Decode(data []byte) (map[string]expr.Value, error) {
 		case FieldUint:
 			v, err := r.readBits(f.Bits)
 			if err != nil {
-				return nil, codecErr(m.Name, f.Name, err)
+				return codecErr(m.Name, f.Name, err)
 			}
 			values[f.Name] = expr.Uint(v, f.Bits)
 		case FieldBytes:
 			n, err := byteLength(m, f, values, r)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			b, err := r.readBytes(n)
-			if err != nil {
-				return nil, codecErr(m.Name, f.Name, err)
+			if inPlace {
+				b, err := r.readBytesView(n)
+				if err != nil {
+					return codecErr(m.Name, f.Name, err)
+				}
+				values[f.Name] = expr.BytesView(b)
+			} else {
+				b, err := r.readBytes(n)
+				if err != nil {
+					return codecErr(m.Name, f.Name, err)
+				}
+				values[f.Name] = expr.BytesView(b) // already a private copy
 			}
-			values[f.Name] = expr.Bytes(b)
 		}
 	}
 	if !r.done() {
-		return nil, codecErr(m.Name, "", fmt.Errorf("%w: %d bytes", ErrTrailingBytes, r.remainingBytes()))
+		return codecErr(m.Name, "", fmt.Errorf("%w: %d bytes", ErrTrailingBytes, r.remainingBytes()))
 	}
 
 	// Verify expression-computed fields.
@@ -221,33 +265,53 @@ func (l *Layout) Decode(data []byte) (map[string]expr.Value, error) {
 		}
 		want, err := expr.Eval(f.Compute.Expr, scope)
 		if err != nil {
-			return nil, codecErr(m.Name, f.Name, err)
+			return codecErr(m.Name, f.Name, err)
 		}
 		if got := values[f.Name]; got.AsUint() != want.WithBits(f.Bits).AsUint() {
-			return nil, codecErr(m.Name, f.Name,
+			return codecErr(m.Name, f.Name,
 				fmt.Errorf("%w: received %d, computed %d", ErrFieldMismatch, got.AsUint(), want.AsUint()))
 		}
 	}
 
 	// Verify checksum fields: recompute over the wire bytes with all
 	// checksum fields zeroed.
-	if err := l.verifyChecksums(data, values); err != nil {
-		return nil, err
-	}
-	return values, nil
+	return l.verifyChecksums(data, values, inPlace)
 }
 
-func (l *Layout) verifyChecksums(data []byte, values map[string]expr.Value) error {
+// verifyChecksums recomputes every checksum field over the wire bytes
+// with all checksum fields zeroed. When inPlace is true the zeroing is
+// patched directly into data and restored afterwards (no allocation);
+// otherwise it happens on a private copy.
+func (l *Layout) verifyChecksums(data []byte, values map[string]expr.Value, inPlace bool) error {
 	m := l.msg
 	var zeroed []byte
+	restore := false
+	defer func() {
+		if !restore {
+			return
+		}
+		// Restore the received checksum bytes patched out of data.
+		for i := range m.Fields {
+			f := &m.Fields[i]
+			if f.Compute != nil && f.Compute.Kind == ComputeChecksum {
+				off, _ := l.FieldOffset(f.Name)
+				patchUint(data, off/8, f.Bits/8, values[f.Name].AsUint())
+			}
+		}
+	}()
 	for i := range m.Fields {
 		f := &m.Fields[i]
 		if f.Compute == nil || f.Compute.Kind != ComputeChecksum {
 			continue
 		}
 		if zeroed == nil {
-			zeroed = make([]byte, len(data))
-			copy(zeroed, data)
+			if inPlace {
+				zeroed = data
+				restore = true
+			} else {
+				zeroed = make([]byte, len(data))
+				copy(zeroed, data)
+			}
 			for j := range m.Fields {
 				g := &m.Fields[j]
 				if g.Compute != nil && g.Compute.Kind == ComputeChecksum {

@@ -1,0 +1,184 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"protodsl/internal/expr"
+)
+
+func arqPacketMsg() *Message {
+	return &Message{
+		Name: "Packet",
+		Fields: []Field{
+			{Name: "seq", Kind: FieldUint, Bits: 8},
+			{Name: "chk", Kind: FieldUint, Bits: 8,
+				Compute: &Compute{Kind: ComputeChecksum, Algo: ChecksumSum8}},
+			{Name: "paylen", Kind: FieldUint, Bits: 16},
+			{Name: "payload", Kind: FieldBytes, LenKind: LenField, LenField: "paylen"},
+		},
+	}
+}
+
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	layout, err := Compile(arqPacketMsg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte{9, 8, 7, 6, 5}
+	want, err := layout.Encode(map[string]expr.Value{
+		"seq": expr.U8(3), "payload": expr.Bytes(payload),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Append into an empty buffer.
+	got, err := layout.AppendEncode(nil, map[string]expr.Value{
+		"seq": expr.U8(3), "payload": expr.BytesView(payload),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("AppendEncode(nil) = %x, Encode = %x", got, want)
+	}
+
+	// Append into a non-empty buffer: the prefix must be preserved and
+	// the message (including the patched checksum) encoded after it.
+	prefix := []byte{0xAA, 0xBB, 0xCC}
+	got2, err := layout.AppendEncode(append([]byte(nil), prefix...), map[string]expr.Value{
+		"seq": expr.U8(3), "payload": expr.BytesView(payload),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2[:3], prefix) {
+		t.Fatalf("prefix clobbered: %x", got2[:3])
+	}
+	if !bytes.Equal(got2[3:], want) {
+		t.Fatalf("AppendEncode(prefix) tail = %x, want %x", got2[3:], want)
+	}
+
+	// Buffer reuse across calls must not allocate a fresh backing array.
+	buf := make([]byte, 0, 64)
+	first, err := layout.AppendEncode(buf, map[string]expr.Value{
+		"seq": expr.U8(1), "payload": expr.BytesView(payload),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := layout.AppendEncode(first[:0], map[string]expr.Value{
+		"seq": expr.U8(2), "payload": expr.BytesView(payload),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &first[0] != &second[0] {
+		t.Error("reused buffer reallocated despite sufficient capacity")
+	}
+	if second[0] != 2 {
+		t.Errorf("second encode seq = %d, want 2", second[0])
+	}
+}
+
+func TestAppendEncodeWritesComputedFieldsBack(t *testing.T) {
+	layout, err := Compile(arqPacketMsg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]expr.Value{
+		"seq": expr.U8(1), "payload": expr.BytesView([]byte{1, 2, 3}),
+	}
+	if _, err := layout.AppendEncode(nil, vals); err != nil {
+		t.Fatal(err)
+	}
+	// The documented contract: auto-computed fields land in the caller's
+	// map (no private copy), so reuse amortises to zero allocations.
+	if got := vals["paylen"]; got.AsUint() != 3 {
+		t.Errorf("paylen not written back: %v", got)
+	}
+}
+
+func TestDecodeIntoMatchesDecode(t *testing.T) {
+	layout, err := Compile(arqPacketMsg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := layout.Encode(map[string]expr.Value{
+		"seq": expr.U8(3), "payload": expr.Bytes([]byte{9, 8, 7}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := layout.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vals := map[string]expr.Value{"stale": expr.U8(1)}
+	encCopy := append([]byte(nil), enc...)
+	if err := layout.DecodeInto(vals, encCopy); err != nil {
+		t.Fatal(err)
+	}
+	// Stale keys are cleared, all fields present, values identical.
+	if _, ok := vals["stale"]; ok {
+		t.Error("DecodeInto did not clear stale keys")
+	}
+	if len(vals) != len(want) {
+		t.Fatalf("DecodeInto produced %d fields, Decode %d", len(vals), len(want))
+	}
+	for k, wv := range want {
+		if gv, ok := vals[k]; !ok || !gv.Equal(wv) {
+			t.Errorf("field %s: DecodeInto %v, Decode %v", k, vals[k], wv)
+		}
+	}
+	// The checksum in-place zeroing must be restored: data is unchanged.
+	if !bytes.Equal(encCopy, enc) {
+		t.Fatalf("DecodeInto left data modified: %x, want %x", encCopy, enc)
+	}
+	// Byte fields alias data (the documented no-copy contract).
+	if p := vals["payload"].RawBytes(); len(p) > 0 && &p[0] != &encCopy[4] {
+		t.Error("payload does not alias the input buffer")
+	}
+}
+
+func TestDecodeIntoRejectsSameFailures(t *testing.T) {
+	layout, err := Compile(arqPacketMsg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := layout.Encode(map[string]expr.Value{
+		"seq": expr.U8(3), "payload": expr.Bytes([]byte{9, 8, 7}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make(map[string]expr.Value)
+
+	// Corrupted checksum: both paths must reject identically, and the
+	// in-place path must restore the (corrupt) input afterwards.
+	bad := append([]byte(nil), enc...)
+	bad[4] ^= 0xFF // flip a payload byte; checksum now mismatches
+	_, errDecode := layout.Decode(bad)
+	badCopy := append([]byte(nil), bad...)
+	errInto := layout.DecodeInto(vals, badCopy)
+	if errDecode == nil || errInto == nil {
+		t.Fatalf("corrupted packet accepted: Decode=%v DecodeInto=%v", errDecode, errInto)
+	}
+	if errDecode.Error() != errInto.Error() {
+		t.Errorf("error mismatch:\n Decode:     %v\n DecodeInto: %v", errDecode, errInto)
+	}
+	if !bytes.Equal(badCopy, bad) {
+		t.Error("DecodeInto left corrupted input modified after failed verify")
+	}
+
+	// Truncated input.
+	if err := layout.DecodeInto(vals, enc[:2]); err == nil {
+		t.Error("truncated packet accepted")
+	}
+	// Trailing bytes.
+	if err := layout.DecodeInto(vals, append(append([]byte(nil), enc...), 0x00)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}

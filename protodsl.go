@@ -102,8 +102,47 @@ type StepResult = fsm.StepResult
 // Check statically verifies a machine specification.
 func Check(s *Spec) *Report { return fsm.Check(s) }
 
-// NewMachine checks the spec and instantiates it in its initial state.
+// NewMachine checks the spec, compiles it to a Program, and instantiates
+// it in its initial state.
 func NewMachine(s *Spec) (*Machine, error) { return fsm.NewMachine(s) }
+
+// ---- Compiled execution engine ----
+
+// Program is a compiled machine specification: a flat state×event
+// dispatch table of pre-compiled guard/assignment/output closures that
+// the interpreter executes directly. Machines returned by NewMachine run
+// on a Program; CompileSpec exposes the compilation step so a spec can
+// be compiled once and instantiated many times (Program.NewMachine).
+type Program = fsm.Program
+
+// CompileSpec checks a machine specification and compiles it into an
+// executable Program.
+func CompileSpec(s *Spec) (*Program, error) { return fsm.CompileSpec(s) }
+
+// ScopeLayout assigns frame slot indices to expression variables for
+// compiled evaluation.
+type ScopeLayout = expr.ScopeLayout
+
+// NewScopeLayout returns an empty slot layout.
+func NewScopeLayout() *ScopeLayout { return expr.NewScopeLayout() }
+
+// Frame holds the runtime values of a compiled-expression scope.
+type Frame = expr.Frame
+
+// CompiledExpr is a compiled expression closure.
+type CompiledExpr = expr.Compiled
+
+// ExprNode is a node of the guard/action expression language's AST.
+type ExprNode = expr.Expr
+
+// ParseExpr parses expression source text (guards, computed fields).
+func ParseExpr(src string) (ExprNode, error) { return expr.Parse(src) }
+
+// CompileExpr lowers a checked expression to a closure over slot-indexed
+// frames. Compiled evaluation is observationally identical to the
+// tree-walking interpreter but several times faster (no scope-map
+// lookups, no per-eval allocations).
+func CompileExpr(e ExprNode, layout *ScopeLayout) CompiledExpr { return expr.Compile(e, layout) }
 
 // ---- Values ----
 
