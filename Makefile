@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench lint fmt vet fmtcheck clean
+.PHONY: all build test race bench lint fmt vet fmtcheck clean
 
 all: build test lint
 
@@ -9,6 +9,14 @@ build:
 
 test:
 	$(GO) test ./...
+
+# The packages with cross-goroutine surface: the sharded experiment
+# harness and the simulator substrate it fans out over. One Sim per
+# goroutine is the contract; -race pins it, including through
+# BenchmarkE11MultiFlow.
+race:
+	$(GO) test -race ./internal/harness/ ./internal/netsim/ ./internal/arq/
+	$(GO) test -run '^$$' -bench BenchmarkE11MultiFlow -benchtime 1x -race .
 
 # One iteration per benchmark: a smoke pass that keeps every benchmark
 # compiling and runnable without burning CI minutes. Use `make benchfull`

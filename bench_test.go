@@ -20,6 +20,7 @@ import (
 	"protodsl/internal/dsl"
 	"protodsl/internal/expr"
 	"protodsl/internal/fsm"
+	"protodsl/internal/harness"
 	"protodsl/internal/ipv4"
 	"protodsl/internal/loc"
 	"protodsl/internal/netsim"
@@ -314,6 +315,47 @@ func BenchmarkE10CheckerVsDFA(b *testing.B) {
 			}
 		}
 	})
+}
+
+// ---- E11: sharded multi-flow contention ----
+
+// BenchmarkE11MultiFlow drives the experiment harness end to end: 4
+// seeded shards across the worker pool, each simulating flowsPerShard
+// concurrent ARQ flows over one shared 512 KiB/s bottleneck — 32 total
+// concurrent flows at the top size. Run with -race in CI to pin the
+// one-Sim-per-goroutine contract.
+func BenchmarkE11MultiFlow(b *testing.B) {
+	const shards = 4
+	for _, variant := range []harness.Variant{harness.VariantGBN, harness.VariantSR} {
+		for _, flowsPerShard := range []int{2, 8} {
+			name := fmt.Sprintf("%s/flows=%d", variant, shards*flowsPerShard)
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					rep, err := harness.Run(harness.MultiFlowConfig{
+						Flows:           flowsPerShard,
+						PayloadsPerFlow: 20,
+						PayloadSize:     128,
+						Variant:         variant,
+						Window:          8,
+						RTO:             80 * time.Millisecond,
+						MaxRetries:      60,
+						Bottleneck: netsim.LinkParams{
+							Delay:     2 * time.Millisecond,
+							Bandwidth: 512 * 1024,
+							LossProb:  0.02,
+						},
+						Seed: int64(i),
+					}, shards, 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rep.OKFlows != rep.Flows {
+						b.Fatalf("only %d/%d flows completed", rep.OKFlows, rep.Flows)
+					}
+				}
+			})
+		}
+	}
 }
 
 // ---- Ablations (DESIGN.md §6) ----

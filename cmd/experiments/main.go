@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments            run all of E1..E10
+//	experiments            run all of E1..E11
 //	experiments e3 e5      run a subset
 //	experiments -repo DIR  repository root for source-reading experiments (E2)
 package main
@@ -52,6 +52,7 @@ func run(c *ctx, selected []string, out io.Writer) error {
 		{"e8", "§1.1 hook: adaptive protocol timers", runE8},
 		{"e9", "§2.3 claim: automatic behavioural test construction", runE9},
 		{"e10", "§4.2 claim: exact checking vs DFA approximation", runE10},
+		{"e11", "scale-out: multi-flow contention over a shared bottleneck", runE11},
 	}
 	want := map[string]bool{}
 	for _, s := range selected {

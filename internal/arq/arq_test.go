@@ -110,6 +110,36 @@ func TestTransferPerfectLink(t *testing.T) {
 	}
 }
 
+// The cancelled-timer regression (ISSUE 2 satellite 1): a transfer's
+// Duration must equal the delivery time of the final ack. Stop-and-wait
+// over a perfect link with delay D completes one payload per 2D: send at
+// t, data at t+D, ack at t+2D, next send in the same instant — so n
+// payloads end at exactly 2*n*D. Before the event-core fix the sender's
+// cancelled retransmission timer stayed in the heap and dragged Now (and
+// thus Duration) one RTO past the final ack.
+func TestTransferDurationIsFinalAckDelivery(t *testing.T) {
+	const d = 2 * time.Millisecond
+	const rto = 100 * time.Millisecond
+	for _, n := range []int{1, 5, 30} {
+		res, err := RunTransfer(Config{
+			Seed: 1,
+			Link: netsim.LinkParams{Delay: d},
+			RTO:  rto,
+		}, makePayloads(n, 16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OK {
+			t.Fatalf("n=%d: transfer failed", n)
+		}
+		want := time.Duration(2*n) * d
+		if res.Duration != want {
+			t.Errorf("n=%d: Duration = %s, want exactly %s (final ack delivery, not +RTO)",
+				n, res.Duration, want)
+		}
+	}
+}
+
 // TestE5LossSweep is the heart of experiment E5: at every loss rate the
 // protocol either delivers everything exactly once, in order, with the
 // sender ending in Sent — or gives up with the sender in Timeout. No

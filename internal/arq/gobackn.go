@@ -30,6 +30,36 @@ type GBNConfig struct {
 	EventBudget int
 }
 
+// FlowConfig parameterises one windowed ARQ flow attached to existing
+// simulator ports (the shared subset of GBNConfig/SRConfig — the link and
+// simulator are the caller's).
+type FlowConfig struct {
+	// Window is the sender window (1..127; the 8-bit sequence space caps
+	// it). Zero selects 8.
+	Window int
+	// RTO is the retransmission timeout. Zero selects 50 ms.
+	RTO time.Duration
+	// MaxRetries bounds retransmission rounds (go-back-N) or per-packet
+	// retransmissions (selective repeat). Zero selects 10.
+	MaxRetries int
+}
+
+func (c *FlowConfig) applyDefaults() error {
+	if c.RTO == 0 {
+		c.RTO = 50 * time.Millisecond
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 10
+	}
+	if c.Window == 0 {
+		c.Window = 8
+	}
+	if c.Window < 1 || c.Window > 127 {
+		return fmt.Errorf("arq: window %d outside 1..127 (8-bit sequence space)", c.Window)
+	}
+	return nil
+}
+
 // GBNResult reports a go-back-N transfer.
 type GBNResult struct {
 	OK          bool
@@ -54,7 +84,7 @@ func (r *GBNResult) Goodput() float64 {
 // gbnSender slides a window of in-flight packets.
 type gbnSender struct {
 	sim   *netsim.Sim
-	ep    *netsim.Endpoint
+	ep    netsim.Port
 	peer  netsim.Addr
 	codec *Codec
 
@@ -68,12 +98,13 @@ type gbnSender struct {
 	maxRetries int
 	retries    int
 
-	encBuf  []byte // reusable AppendEncodePacket buffer
-	sent    int
-	retrans int
-	done    bool
-	ok      bool
-	err     error
+	encBuf     []byte // reusable AppendEncodePacket buffer
+	sent       int
+	retrans    int
+	done       bool
+	ok         bool
+	finishedAt time.Duration
+	err        error
 }
 
 func (s *gbnSender) fail(err error) {
@@ -88,6 +119,7 @@ func (s *gbnSender) finish(ok bool) {
 		return
 	}
 	s.done, s.ok = true, ok
+	s.finishedAt = s.sim.Now()
 	if s.timer != nil {
 		s.timer.Cancel()
 	}
@@ -181,7 +213,7 @@ func (s *gbnSender) onTimeout() {
 // gbnReceiver accepts in-order packets only and cumulatively acks the
 // last in-order sequence number.
 type gbnReceiver struct {
-	ep        *netsim.Endpoint
+	ep        netsim.Port
 	peer      netsim.Addr
 	codec     *Codec
 	expect    int
@@ -219,24 +251,79 @@ func (r *gbnReceiver) onDatagram(_ netsim.Addr, data []byte) {
 	}
 }
 
+// GBNFlow is a go-back-N sender/receiver pair attached to caller-owned
+// ports (see StartGBN). Inspect it after the simulator goes idle.
+type GBNFlow struct {
+	send *gbnSender
+	recv *gbnReceiver
+}
+
+// Done reports whether the sender has finished (successfully or not).
+func (f *GBNFlow) Done() bool { return f.send.done }
+
+// Err returns the first internal error of either side.
+func (f *GBNFlow) Err() error {
+	if f.send.err != nil {
+		return fmt.Errorf("arq gbn: sender: %w", f.send.err)
+	}
+	if f.recv.err != nil {
+		return fmt.Errorf("arq gbn: receiver: %w", f.recv.err)
+	}
+	return nil
+}
+
+// Result snapshots the flow's outcome. Duration is the virtual time at
+// which the sender finished — for a lone flow in a clean simulator that
+// is the delivery time of the final ack.
+func (f *GBNFlow) Result() *GBNResult {
+	return &GBNResult{
+		OK:          f.send.ok,
+		Delivered:   f.recv.delivered,
+		PacketsSent: f.send.sent,
+		Retransmits: f.send.retrans,
+		Duration:    f.send.finishedAt,
+	}
+}
+
+// StartGBN attaches a go-back-N flow to two existing simulator ports —
+// physical endpoints or mux flow ports — and schedules its first window.
+// Many flows can share one simulator (and one bottleneck link, via
+// netsim.Mux); the caller runs the simulator.
+func StartGBN(sim *netsim.Sim, sport, rport netsim.Port, cfg FlowConfig, payloads [][]byte) (*GBNFlow, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	// One codec per endpoint: the Append/InPlace scratch state makes a
+	// Codec single-owner (see Codec docs).
+	sendCodec, err := NewCodec()
+	if err != nil {
+		return nil, err
+	}
+	recvCodec, err := NewCodec()
+	if err != nil {
+		return nil, err
+	}
+	recv := &gbnReceiver{ep: rport, peer: sport.Addr(), codec: recvCodec}
+	rport.SetHandler(recv.onDatagram)
+	send := &gbnSender{
+		sim: sim, ep: sport, peer: rport.Addr(), codec: sendCodec,
+		payloads: payloads, window: cfg.Window,
+		rto: cfg.RTO, maxRetries: cfg.MaxRetries,
+	}
+	sport.SetHandler(send.onDatagram)
+	sim.Post(send.pump)
+	return &GBNFlow{send: send, recv: recv}, nil
+}
+
 // RunTransferGBN runs a go-back-N transfer. Window 0 selects 8.
 func RunTransferGBN(cfg GBNConfig, payloads [][]byte) (*GBNResult, error) {
-	if cfg.RTO == 0 {
-		cfg.RTO = 50 * time.Millisecond
-	}
-	if cfg.MaxRetries == 0 {
-		cfg.MaxRetries = 10
-	}
-	if cfg.Window == 0 {
-		cfg.Window = 8
-	}
-	if cfg.Window < 1 || cfg.Window > 127 {
-		return nil, fmt.Errorf("arq: go-back-N window %d outside 1..127 (8-bit sequence space)", cfg.Window)
+	fcfg := FlowConfig{Window: cfg.Window, RTO: cfg.RTO, MaxRetries: cfg.MaxRetries}
+	if err := fcfg.applyDefaults(); err != nil {
+		return nil, err
 	}
 	if cfg.EventBudget == 0 {
-		cfg.EventBudget = 20000 + 100*len(payloads)*(cfg.MaxRetries+2)
+		cfg.EventBudget = 20000 + 100*len(payloads)*(fcfg.MaxRetries+2)
 	}
-
 	sim := netsim.New(cfg.Seed)
 	sEP, err := sim.NewEndpoint("sender")
 	if err != nil {
@@ -248,40 +335,15 @@ func RunTransferGBN(cfg GBNConfig, payloads [][]byte) (*GBNResult, error) {
 	}
 	sim.Connect(sEP, rEP, cfg.Link)
 
-	// One codec per endpoint: the Append/InPlace scratch state makes a
-	// Codec single-owner (see Codec docs).
-	sendCodec, err := NewCodec()
+	flow, err := StartGBN(sim, sEP, rEP, fcfg, payloads)
 	if err != nil {
 		return nil, err
 	}
-	recvCodec, err := NewCodec()
-	if err != nil {
-		return nil, err
-	}
-	recv := &gbnReceiver{ep: rEP, peer: sEP.Addr(), codec: recvCodec}
-	rEP.SetHandler(recv.onDatagram)
-	send := &gbnSender{
-		sim: sim, ep: sEP, peer: rEP.Addr(), codec: sendCodec,
-		payloads: payloads, window: cfg.Window,
-		rto: cfg.RTO, maxRetries: cfg.MaxRetries,
-	}
-	sEP.SetHandler(send.onDatagram)
-	sim.Post(send.pump)
-
 	if err := sim.RunUntilIdle(cfg.EventBudget); err != nil {
 		return nil, fmt.Errorf("arq gbn: %w", err)
 	}
-	if send.err != nil {
-		return nil, fmt.Errorf("arq gbn: sender: %w", send.err)
+	if err := flow.Err(); err != nil {
+		return nil, err
 	}
-	if recv.err != nil {
-		return nil, fmt.Errorf("arq gbn: receiver: %w", recv.err)
-	}
-	return &GBNResult{
-		OK:          send.ok,
-		Delivered:   recv.delivered,
-		PacketsSent: send.sent,
-		Retransmits: send.retrans,
-		Duration:    sim.Now(),
-	}, nil
+	return flow.Result(), nil
 }

@@ -1,0 +1,342 @@
+package arq
+
+import (
+	"fmt"
+	"time"
+
+	"protodsl/internal/netsim"
+)
+
+// This file implements selective repeat, the third rung of the ARQ
+// ladder the paper's §1.1 asks the language pieces to climb quickly:
+// stop-and-wait -> go-back-N -> selective repeat, all over the same wire
+// messages. Unlike go-back-N, each packet is acknowledged individually
+// and retransmitted individually on its own timer, and the receiver
+// buffers out-of-order arrivals inside its window — so one lost packet
+// costs one retransmission, not a window's worth.
+//
+// The 8-bit sequence space caps the window at 127 (< 256/2), which keeps
+// old and new sequence numbers distinguishable after wrap on both sides.
+
+// SRConfig parameterises a selective-repeat transfer.
+type SRConfig struct {
+	Link        netsim.LinkParams
+	RTO         time.Duration
+	MaxRetries  int // per-packet retransmissions before giving up
+	Window      int
+	Seed        int64
+	EventBudget int
+}
+
+// SRResult reports a selective-repeat transfer.
+type SRResult struct {
+	OK          bool
+	Delivered   [][]byte
+	PacketsSent int
+	Retransmits int
+	Duration    time.Duration
+}
+
+// Goodput returns delivered payload bytes per virtual second.
+func (r *SRResult) Goodput() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	var bytes int
+	for _, p := range r.Delivered {
+		bytes += len(p)
+	}
+	return float64(bytes) / r.Duration.Seconds()
+}
+
+// srPacket is the sender's in-flight bookkeeping for one payload.
+type srPacket struct {
+	acked   bool
+	retries int
+	timer   *netsim.Timer
+}
+
+// srSender retransmits individually timed packets.
+type srSender struct {
+	sim   *netsim.Sim
+	ep    netsim.Port
+	peer  netsim.Addr
+	codec *Codec
+
+	payloads [][]byte
+	state    []srPacket
+	base     int // oldest unacked payload index
+	next     int // next payload index to send
+	window   int
+
+	rto        time.Duration
+	maxRetries int
+
+	encBuf     []byte
+	sent       int
+	retrans    int
+	done       bool
+	ok         bool
+	finishedAt time.Duration
+	err        error
+}
+
+func (s *srSender) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+	s.finish(false)
+}
+
+func (s *srSender) finish(ok bool) {
+	if s.done {
+		return
+	}
+	s.done, s.ok = true, ok
+	s.finishedAt = s.sim.Now()
+	for i := s.base; i < s.next; i++ {
+		if t := s.state[i].timer; t != nil {
+			t.Cancel()
+		}
+	}
+}
+
+// pump fills the window, arming one timer per packet.
+func (s *srSender) pump() {
+	if s.done {
+		return
+	}
+	if s.base >= len(s.payloads) {
+		s.finish(true)
+		return
+	}
+	for s.next < len(s.payloads) && s.next-s.base < s.window {
+		idx := s.next
+		s.next++
+		if err := s.transmit(idx, false); err != nil {
+			s.fail(err)
+			return
+		}
+	}
+}
+
+func (s *srSender) transmit(idx int, isRetrans bool) error {
+	enc, err := s.codec.AppendEncodePacket(s.encBuf[:0], uint8(idx%256), s.payloads[idx])
+	if err != nil {
+		return err
+	}
+	s.encBuf = enc[:0]
+	if err := s.ep.Send(s.peer, enc); err != nil {
+		return err
+	}
+	s.sent++
+	if isRetrans {
+		s.retrans++
+	}
+	if t := s.state[idx].timer; t != nil {
+		t.Cancel()
+	}
+	s.state[idx].timer = s.sim.After(s.rto, func() { s.onTimeout(idx) })
+	return nil
+}
+
+func (s *srSender) onDatagram(_ netsim.Addr, data []byte) {
+	if s.done {
+		return
+	}
+	ack, err := s.codec.DecodeAckInPlace(data)
+	if err != nil {
+		return // corrupted ack: the per-packet timer recovers
+	}
+	// Individual ack: find the matching in-flight packet. Stale acks
+	// (already-acked or outside the window) are ignored.
+	ackSeq := ack.Value().Seq
+	for i := s.base; i < s.next; i++ {
+		if uint8(i%256) != ackSeq || s.state[i].acked {
+			continue
+		}
+		s.state[i].acked = true
+		if t := s.state[i].timer; t != nil {
+			t.Cancel()
+			s.state[i].timer = nil
+		}
+		for s.base < s.next && s.state[s.base].acked {
+			s.base++
+		}
+		s.pump()
+		return
+	}
+}
+
+func (s *srSender) onTimeout(idx int) {
+	if s.done || s.state[idx].acked {
+		return
+	}
+	s.state[idx].retries++
+	if s.state[idx].retries > s.maxRetries {
+		s.finish(false)
+		return
+	}
+	if err := s.transmit(idx, true); err != nil {
+		s.fail(err)
+	}
+}
+
+// srReceiver buffers out-of-order packets inside its window and acks
+// every validated packet individually.
+type srReceiver struct {
+	ep     netsim.Port
+	peer   netsim.Addr
+	codec  *Codec
+	window int
+
+	expect    int            // next in-order payload index to deliver
+	buffer    map[int][]byte // out-of-order packets, keyed by absolute index
+	encBuf    []byte
+	delivered [][]byte
+	err       error
+}
+
+func (r *srReceiver) onDatagram(_ netsim.Addr, data []byte) {
+	if r.err != nil {
+		return
+	}
+	pkt, err := r.codec.DecodePacketInPlace(data)
+	if err != nil {
+		return // unverified packets are never processed
+	}
+	v := pkt.Value()
+	// Map the 8-bit sequence number to an absolute index relative to
+	// expect. offset in [0, window) -> new packet; offset in
+	// [256-window, 256) -> behind the window, i.e. an already-delivered
+	// packet whose ack was lost: re-ack it. Anything else is impossible
+	// for a well-behaved sender with window <= 127; drop it.
+	offset := (int(v.Seq) - r.expect%256 + 256) % 256
+	switch {
+	case offset < r.window:
+		idx := r.expect + offset
+		if _, dup := r.buffer[idx]; !dup {
+			// The payload aliases this delivery's buffer, which the
+			// handler owns from here on — buffering the alias is safe.
+			r.buffer[idx] = v.Payload
+		}
+		for {
+			p, ok := r.buffer[r.expect]
+			if !ok {
+				break
+			}
+			delete(r.buffer, r.expect)
+			r.delivered = append(r.delivered, p)
+			r.expect++
+		}
+	case offset >= 256-r.window:
+		// duplicate of a delivered packet: fall through to re-ack
+	default:
+		return
+	}
+	enc, err := r.codec.AppendEncodeAck(r.encBuf[:0], v.Seq)
+	if err != nil {
+		r.err = err
+		return
+	}
+	r.encBuf = enc[:0]
+	if err := r.ep.Send(r.peer, enc); err != nil {
+		r.err = err
+	}
+}
+
+// SRFlow is a selective-repeat sender/receiver pair attached to
+// caller-owned ports (see StartSR).
+type SRFlow struct {
+	send *srSender
+	recv *srReceiver
+}
+
+// Done reports whether the sender has finished (successfully or not).
+func (f *SRFlow) Done() bool { return f.send.done }
+
+// Err returns the first internal error of either side.
+func (f *SRFlow) Err() error {
+	if f.send.err != nil {
+		return fmt.Errorf("arq sr: sender: %w", f.send.err)
+	}
+	if f.recv.err != nil {
+		return fmt.Errorf("arq sr: receiver: %w", f.recv.err)
+	}
+	return nil
+}
+
+// Result snapshots the flow's outcome (see GBNFlow.Result).
+func (f *SRFlow) Result() *SRResult {
+	return &SRResult{
+		OK:          f.send.ok,
+		Delivered:   f.recv.delivered,
+		PacketsSent: f.send.sent,
+		Retransmits: f.send.retrans,
+		Duration:    f.send.finishedAt,
+	}
+}
+
+// StartSR attaches a selective-repeat flow to two existing simulator
+// ports and schedules its first window. Like StartGBN, many flows can
+// share one simulator; the caller runs it.
+func StartSR(sim *netsim.Sim, sport, rport netsim.Port, cfg FlowConfig, payloads [][]byte) (*SRFlow, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	sendCodec, err := NewCodec()
+	if err != nil {
+		return nil, err
+	}
+	recvCodec, err := NewCodec()
+	if err != nil {
+		return nil, err
+	}
+	recv := &srReceiver{
+		ep: rport, peer: sport.Addr(), codec: recvCodec,
+		window: cfg.Window, buffer: make(map[int][]byte),
+	}
+	rport.SetHandler(recv.onDatagram)
+	send := &srSender{
+		sim: sim, ep: sport, peer: rport.Addr(), codec: sendCodec,
+		payloads: payloads, state: make([]srPacket, len(payloads)),
+		window: cfg.Window, rto: cfg.RTO, maxRetries: cfg.MaxRetries,
+	}
+	sport.SetHandler(send.onDatagram)
+	sim.Post(send.pump)
+	return &SRFlow{send: send, recv: recv}, nil
+}
+
+// RunTransferSR runs a selective-repeat transfer over its own simulator.
+// Window 0 selects 8.
+func RunTransferSR(cfg SRConfig, payloads [][]byte) (*SRResult, error) {
+	fcfg := FlowConfig{Window: cfg.Window, RTO: cfg.RTO, MaxRetries: cfg.MaxRetries}
+	if err := fcfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	if cfg.EventBudget == 0 {
+		cfg.EventBudget = 20000 + 100*len(payloads)*(fcfg.MaxRetries+2)
+	}
+	sim := netsim.New(cfg.Seed)
+	sEP, err := sim.NewEndpoint("sender")
+	if err != nil {
+		return nil, err
+	}
+	rEP, err := sim.NewEndpoint("receiver")
+	if err != nil {
+		return nil, err
+	}
+	sim.Connect(sEP, rEP, cfg.Link)
+
+	flow, err := StartSR(sim, sEP, rEP, fcfg, payloads)
+	if err != nil {
+		return nil, err
+	}
+	if err := sim.RunUntilIdle(cfg.EventBudget); err != nil {
+		return nil, fmt.Errorf("arq sr: %w", err)
+	}
+	if err := flow.Err(); err != nil {
+		return nil, err
+	}
+	return flow.Result(), nil
+}

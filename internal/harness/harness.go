@@ -1,0 +1,312 @@
+// Package harness scales the single-flow experiments to fleets: many
+// concurrent ARQ flows contending for one bottleneck link inside each
+// simulation, and many seeded simulations sharded across a worker pool.
+//
+// The concurrency contract is inherited from netsim: a Sim is
+// single-threaded, so the harness never shares one across goroutines —
+// it gives every shard its own Sim (seeded Seed+shard for deterministic,
+// reproducible sweeps) and only aggregates the immutable per-flow
+// results after each shard's event loop has drained. That keeps every
+// simulation bit-for-bit reproducible while the sweep as a whole uses
+// every core the host offers.
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"protodsl/internal/arq"
+	"protodsl/internal/metrics"
+	"protodsl/internal/netsim"
+)
+
+// ErrConfig is returned for invalid harness configurations.
+var ErrConfig = errors.New("harness: invalid config")
+
+// Variant selects the ARQ flavour the flows run.
+type Variant int
+
+// ARQ variants.
+const (
+	VariantGBN Variant = iota // go-back-N with cumulative acks
+	VariantSR                 // selective repeat with individual acks
+)
+
+// String returns the variant name.
+func (v Variant) String() string {
+	switch v {
+	case VariantGBN:
+		return "go-back-N"
+	case VariantSR:
+		return "selective-repeat"
+	default:
+		return "unknown"
+	}
+}
+
+// MultiFlowConfig parameterises one multi-flow contention experiment:
+// Flows concurrent transfers multiplexed over a single bottleneck link
+// inside one simulation, replicated across seeded shards.
+type MultiFlowConfig struct {
+	// Flows is the number of concurrent flows per shard (1..256, the mux
+	// id space).
+	Flows int
+	// PayloadsPerFlow and PayloadSize shape each flow's transfer.
+	PayloadsPerFlow int
+	PayloadSize     int
+	// Variant selects go-back-N or selective repeat.
+	Variant Variant
+	// Window, RTO, MaxRetries parameterise every flow (see arq.FlowConfig).
+	Window     int
+	RTO        time.Duration
+	MaxRetries int
+	// Bottleneck is applied to the shared link in both directions: its
+	// Bandwidth (if set) is what the flows contend for.
+	Bottleneck netsim.LinkParams
+	// Seed seeds shard 0; shard s uses Seed+s.
+	Seed int64
+	// EventBudget bounds each shard's event count. Zero selects a budget
+	// proportional to the workload.
+	EventBudget int
+}
+
+func (c *MultiFlowConfig) validate() error {
+	if c.Flows < 1 || c.Flows > 256 {
+		return fmt.Errorf("%w: %d flows outside 1..256 (mux id space)", ErrConfig, c.Flows)
+	}
+	if c.PayloadsPerFlow < 0 || c.PayloadSize < 0 {
+		return fmt.Errorf("%w: negative payload shape", ErrConfig)
+	}
+	return nil
+}
+
+func (c *MultiFlowConfig) budget() int {
+	if c.EventBudget > 0 {
+		return c.EventBudget
+	}
+	retries := c.MaxRetries
+	if retries == 0 {
+		retries = 10
+	}
+	return 50000 + 200*c.Flows*(c.PayloadsPerFlow+1)*(retries+2)
+}
+
+// FlowResult is one flow's outcome within one shard.
+type FlowResult struct {
+	Shard       int
+	Flow        int
+	OK          bool
+	Duration    time.Duration // virtual time at which the flow finished
+	Bytes       int           // payload bytes delivered
+	PacketsSent int
+	Retransmits int
+}
+
+// Goodput returns the flow's delivered payload bytes per virtual second.
+func (r FlowResult) Goodput() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / r.Duration.Seconds()
+}
+
+// flowPayloads builds deterministic per-flow payloads: distinct across
+// shards and flows so cross-flow delivery mixups cannot cancel out.
+func flowPayloads(cfg *MultiFlowConfig, shard, flow int) [][]byte {
+	out := make([][]byte, cfg.PayloadsPerFlow)
+	for i := range out {
+		p := make([]byte, cfg.PayloadSize)
+		for j := range p {
+			p[j] = byte(shard*31 + flow*7 + i + j)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// RunShard runs one seeded simulation hosting cfg.Flows concurrent
+// flows over a single muxed bottleneck link and returns per-flow
+// results. It is self-contained (builds and drains its own Sim), so
+// distinct shards may run on distinct goroutines.
+func RunShard(cfg MultiFlowConfig, shard int) ([]FlowResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sim := netsim.New(cfg.Seed + int64(shard))
+	left, err := sim.NewEndpoint("left")
+	if err != nil {
+		return nil, err
+	}
+	right, err := sim.NewEndpoint("right")
+	if err != nil {
+		return nil, err
+	}
+	sim.Connect(left, right, cfg.Bottleneck)
+	lm, rm := netsim.NewMux(left), netsim.NewMux(right)
+
+	fcfg := arq.FlowConfig{Window: cfg.Window, RTO: cfg.RTO, MaxRetries: cfg.MaxRetries}
+	type flowHandle interface {
+		Done() bool
+		Err() error
+	}
+	gbn := make([]*arq.GBNFlow, 0)
+	sr := make([]*arq.SRFlow, 0)
+	handles := make([]flowHandle, 0, cfg.Flows)
+	for f := 0; f < cfg.Flows; f++ {
+		sport, err := lm.Flow(byte(f))
+		if err != nil {
+			return nil, err
+		}
+		rport, err := rm.Flow(byte(f))
+		if err != nil {
+			return nil, err
+		}
+		payloads := flowPayloads(&cfg, shard, f)
+		switch cfg.Variant {
+		case VariantSR:
+			fl, err := arq.StartSR(sim, sport, rport, fcfg, payloads)
+			if err != nil {
+				return nil, err
+			}
+			sr = append(sr, fl)
+			handles = append(handles, fl)
+		default:
+			fl, err := arq.StartGBN(sim, sport, rport, fcfg, payloads)
+			if err != nil {
+				return nil, err
+			}
+			gbn = append(gbn, fl)
+			handles = append(handles, fl)
+		}
+	}
+
+	if err := sim.RunUntilIdle(cfg.budget()); err != nil {
+		return nil, fmt.Errorf("harness shard %d: %w", shard, err)
+	}
+	for f, h := range handles {
+		if err := h.Err(); err != nil {
+			return nil, fmt.Errorf("harness shard %d flow %d: %w", shard, f, err)
+		}
+		if !h.Done() {
+			return nil, fmt.Errorf("harness shard %d flow %d: idle but unfinished", shard, f)
+		}
+	}
+
+	results := make([]FlowResult, cfg.Flows)
+	for f := range results {
+		var ok bool
+		var dur time.Duration
+		var delivered [][]byte
+		var sent, retrans int
+		if cfg.Variant == VariantSR {
+			r := sr[f].Result()
+			ok, dur, delivered, sent, retrans = r.OK, r.Duration, r.Delivered, r.PacketsSent, r.Retransmits
+		} else {
+			r := gbn[f].Result()
+			ok, dur, delivered, sent, retrans = r.OK, r.Duration, r.Delivered, r.PacketsSent, r.Retransmits
+		}
+		// Verify content, not just counts: each flow's payloads are
+		// distinct (flowPayloads), so any cross-flow mixup or silent
+		// corruption slipping past the wire checksums surfaces here.
+		expected := flowPayloads(&cfg, shard, f)
+		if len(delivered) > len(expected) {
+			return nil, fmt.Errorf("harness shard %d flow %d: delivered %d > sent %d",
+				shard, f, len(delivered), len(expected))
+		}
+		deliveredBytes := 0
+		for i, p := range delivered {
+			if !bytes.Equal(p, expected[i]) {
+				return nil, fmt.Errorf("harness shard %d flow %d: payload %d content mismatch",
+					shard, f, i)
+			}
+			deliveredBytes += len(p)
+		}
+		results[f] = FlowResult{
+			Shard: shard, Flow: f, OK: ok, Duration: dur,
+			Bytes: deliveredBytes, PacketsSent: sent, Retransmits: retrans,
+		}
+	}
+	return results, nil
+}
+
+// Report aggregates a sharded multi-flow run.
+type Report struct {
+	Shards, Flows int // flows = total across shards
+	OKFlows       int
+	PacketsSent   int
+	Retransmits   int
+	// Duration and Goodput summarise per-flow outcomes; Fairness
+	// summarises Jain's index of per-flow goodputs within each shard.
+	Duration metrics.Summary // seconds of virtual time
+	Goodput  metrics.Summary // bytes per virtual second
+	Fairness metrics.Summary // one observation per shard
+	// Results holds every flow, shard-major, for detailed inspection.
+	Results []FlowResult
+}
+
+// Run executes shards instances of the experiment across a worker pool
+// (workers <= 0 selects GOMAXPROCS) and aggregates per-flow metrics.
+// Shard s is seeded cfg.Seed+s, so the sweep is deterministic regardless
+// of worker count or interleaving.
+func Run(cfg MultiFlowConfig, shards, workers int) (*Report, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("%w: %d shards", ErrConfig, shards)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > shards {
+		workers = shards
+	}
+
+	perShard := make([][]FlowResult, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for shard := range next {
+				perShard[shard], errs[shard] = RunShard(cfg, shard)
+			}
+		}()
+	}
+	for shard := 0; shard < shards; shard++ {
+		next <- shard
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	rep := &Report{Shards: shards, Flows: shards * cfg.Flows}
+	goodputs := make([]float64, 0, cfg.Flows)
+	for _, results := range perShard {
+		goodputs = goodputs[:0]
+		for _, r := range results {
+			rep.Results = append(rep.Results, r)
+			rep.PacketsSent += r.PacketsSent
+			rep.Retransmits += r.Retransmits
+			if r.OK {
+				rep.OKFlows++
+			}
+			g := r.Goodput()
+			goodputs = append(goodputs, g)
+			rep.Goodput.Add(g)
+			rep.Duration.Add(r.Duration.Seconds())
+		}
+		rep.Fairness.Add(metrics.JainFairness(goodputs))
+	}
+	return rep, nil
+}

@@ -1,0 +1,164 @@
+package harness
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"protodsl/internal/netsim"
+)
+
+func baseConfig(v Variant) MultiFlowConfig {
+	return MultiFlowConfig{
+		Flows:           8,
+		PayloadsPerFlow: 10,
+		PayloadSize:     64,
+		Variant:         v,
+		Window:          8,
+		RTO:             60 * time.Millisecond,
+		MaxRetries:      40,
+		Bottleneck: netsim.LinkParams{
+			Delay:     2 * time.Millisecond,
+			Bandwidth: 256 * 1024,
+		},
+		Seed: 1,
+	}
+}
+
+func TestMultiFlowAllVariantsComplete(t *testing.T) {
+	for _, v := range []Variant{VariantGBN, VariantSR} {
+		t.Run(v.String(), func(t *testing.T) {
+			rep, err := Run(baseConfig(v), 4, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Flows != 32 || len(rep.Results) != 32 {
+				t.Fatalf("flows = %d results = %d, want 32", rep.Flows, len(rep.Results))
+			}
+			if rep.OKFlows != 32 {
+				t.Errorf("OK flows = %d/32", rep.OKFlows)
+			}
+			if rep.Goodput.N() != 32 || rep.Fairness.N() != 4 {
+				t.Errorf("summary ns: goodput=%d fairness=%d", rep.Goodput.N(), rep.Fairness.N())
+			}
+			if rep.Goodput.Mean() <= 0 {
+				t.Error("zero goodput")
+			}
+		})
+	}
+}
+
+// The sweep must be deterministic in the config alone: worker count and
+// scheduling interleavings must not change a single result.
+func TestShardingIsDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfg := baseConfig(VariantGBN)
+	cfg.Bottleneck.LossProb = 0.05 // exercise the PRNG too
+	one, err := Run(cfg, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Run(cfg, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(one.Results, many.Results) {
+		t.Error("results differ between 1 and 4 workers")
+	}
+	if one.Goodput != many.Goodput || one.Fairness != many.Fairness {
+		t.Error("aggregates differ between worker counts")
+	}
+}
+
+// Distinct shards are distinct seeded universes.
+func TestShardsDiffer(t *testing.T) {
+	cfg := baseConfig(VariantGBN)
+	cfg.Bottleneck.LossProb = 0.1
+	a, err := RunShard(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunShard(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i].Duration != b[i].Duration || a[i].PacketsSent != b[i].PacketsSent {
+			same = false
+		}
+	}
+	if same {
+		t.Error("shards 0 and 1 produced identical dynamics: seeding broken")
+	}
+}
+
+// Flows multiplexed over one bandwidth-capped link must contend: running
+// 8 flows together is slower per flow than running one alone, and the
+// contention is shared fairly (Jain index near 1 for identical flows).
+func TestBottleneckContentionAndFairness(t *testing.T) {
+	cfg := baseConfig(VariantSR)
+	cfg.Bottleneck = netsim.LinkParams{Delay: time.Millisecond, Bandwidth: 64 * 1024}
+
+	solo := cfg
+	solo.Flows = 1
+	soloRep, err := Run(solo, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(cfg, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OKFlows != cfg.Flows {
+		t.Fatalf("OK = %d/%d", rep.OKFlows, cfg.Flows)
+	}
+	if rep.Duration.Mean() <= soloRep.Duration.Mean() {
+		t.Errorf("8 contending flows (mean %.4fs) not slower than a lone flow (%.4fs)",
+			rep.Duration.Mean(), soloRep.Duration.Mean())
+	}
+	if f := rep.Fairness.Mean(); f < 0.9 {
+		t.Errorf("fairness %.3f < 0.9 for identical flows on one bottleneck", f)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := baseConfig(VariantGBN)
+	cfg.Flows = 0
+	if _, err := Run(cfg, 1, 1); !errors.Is(err, ErrConfig) {
+		t.Errorf("0 flows err = %v", err)
+	}
+	cfg.Flows = 257
+	if _, err := RunShard(cfg, 0); !errors.Is(err, ErrConfig) {
+		t.Errorf("257 flows err = %v", err)
+	}
+	cfg = baseConfig(VariantGBN)
+	if _, err := Run(cfg, 0, 1); !errors.Is(err, ErrConfig) {
+		t.Errorf("0 shards err = %v", err)
+	}
+}
+
+// A dead bottleneck makes every flow give up; the report must still
+// aggregate cleanly (OK = 0) rather than error out.
+func TestDeadBottleneckReportsFailures(t *testing.T) {
+	cfg := baseConfig(VariantGBN)
+	cfg.Bottleneck = netsim.LinkParams{LossProb: 1}
+	cfg.MaxRetries = 3
+	cfg.RTO = 5 * time.Millisecond
+	rep, err := Run(cfg, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OKFlows != 0 {
+		t.Errorf("OK = %d on a dead link", rep.OKFlows)
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if VariantGBN.String() != "go-back-N" || VariantSR.String() != "selective-repeat" {
+		t.Error("variant names wrong")
+	}
+	if Variant(99).String() != "unknown" {
+		t.Error("unknown variant name wrong")
+	}
+}

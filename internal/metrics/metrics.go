@@ -96,6 +96,25 @@ func Percentiles(sample []float64, ps ...float64) []float64 {
 	return out
 }
 
+// JainFairness computes Jain's fairness index over per-flow allocations
+// (throughput, goodput, ...): (Σx)² / (n·Σx²). It is 1 when every flow
+// gets an equal share and approaches 1/n as one flow starves the rest.
+// Empty or all-zero inputs yield 0.
+func JainFairness(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
 // Histogram counts observations into equal-width buckets over [Lo, Hi);
 // out-of-range values land in the under/overflow counters.
 type Histogram struct {

@@ -116,6 +116,29 @@ func TestQuickSummaryMeanBounds(t *testing.T) {
 	}
 }
 
+func TestJainFairness(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"all-zero", []float64{0, 0, 0}, 0},
+		{"equal", []float64{5, 5, 5, 5}, 1},
+		{"single", []float64{7}, 1},
+		{"one-hog", []float64{1, 0, 0, 0}, 0.25},
+	}
+	for _, c := range cases {
+		if got := JainFairness(c.xs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: JainFairness = %g, want %g", c.name, got, c.want)
+		}
+	}
+	// Unequal shares land strictly between 1/n and 1.
+	if f := JainFairness([]float64{1, 2, 3}); f <= 1.0/3 || f >= 1 {
+		t.Errorf("unequal fairness %g outside (1/3, 1)", f)
+	}
+}
+
 func TestTable(t *testing.T) {
 	tb := NewTable("E5: loss sweep", "loss", "goodput", "ok")
 	tb.AddRow("0%", 1234.5678, true)

@@ -115,6 +115,23 @@ func (e *Endpoint) Send(to Addr, data []byte) error {
 	s.traceEvent(TraceSend, e.addr, to, len(payload))
 
 	p := l.params
+
+	// Serialisation delay under a bandwidth cap: packets queue FIFO. The
+	// link is charged *before* the loss/MTU decision — a packet that is
+	// lost in flight (or discarded at the far end for exceeding the MTU)
+	// still occupied the transmitter, so later packets queue behind it.
+	// Charging only surviving packets under-reports queueing delay on a
+	// lossy saturated link.
+	txStart := s.now
+	if p.Bandwidth > 0 {
+		if l.busyUntil > txStart {
+			txStart = l.busyUntil
+		}
+		txTime := time.Duration(float64(len(payload)) / float64(p.Bandwidth) * float64(time.Second))
+		l.busyUntil = txStart + txTime
+		txStart = l.busyUntil
+	}
+
 	if p.MTU > 0 && len(payload) > p.MTU {
 		s.stats.Dropped++
 		s.traceEvent(TraceDrop, e.addr, to, len(payload))
@@ -126,17 +143,6 @@ func (e *Endpoint) Send(to Addr, data []byte) error {
 		return nil
 	}
 
-	// Serialisation delay under a bandwidth cap: packets queue FIFO.
-	txStart := s.now
-	if p.Bandwidth > 0 {
-		if l.busyUntil > txStart {
-			txStart = l.busyUntil
-		}
-		txTime := time.Duration(float64(len(payload)) / float64(p.Bandwidth) * float64(time.Second))
-		l.busyUntil = txStart + txTime
-		txStart = l.busyUntil
-	}
-
 	deliverAt := txStart + p.Delay
 	if p.Jitter > 0 {
 		deliverAt += time.Duration(s.rng.Int63n(int64(p.Jitter)))
@@ -146,24 +152,36 @@ func (e *Endpoint) Send(to Addr, data []byte) error {
 		deliverAt += p.ReorderDelay
 	}
 
+	// Duplication is decided on the pristine payload; corruption is then
+	// rolled independently for each delivered copy — the two copies of a
+	// duplicated packet took separate trips through the medium, so they
+	// must not share a flipped bit.
+	var dupPayload []byte
+	if p.DupProb > 0 && s.rng.Float64() < p.DupProb {
+		dupPayload = make([]byte, len(payload))
+		copy(dupPayload, payload)
+	}
+	s.scheduleDelivery(e.addr, dst, s.corrupt(p, e.addr, to, payload), deliverAt)
+	if dupPayload != nil {
+		dupAt := deliverAt + p.Delay/2 + 1
+		s.stats.Duplicated++
+		s.traceEvent(TraceDup, e.addr, to, len(dupPayload))
+		s.scheduleDelivery(e.addr, dst, s.corrupt(p, e.addr, to, dupPayload), dupAt)
+	}
+	return nil
+}
+
+// corrupt applies the link's corruption roll to one delivered copy,
+// flipping a single random bit on success. The roll is independent per
+// copy (see Send).
+func (s *Sim) corrupt(p LinkParams, from, to Addr, payload []byte) []byte {
 	if p.CorruptProb > 0 && s.rng.Float64() < p.CorruptProb && len(payload) > 0 {
 		bit := s.rng.Intn(8 * len(payload))
 		payload[bit/8] ^= 1 << uint(7-bit%8)
 		s.stats.Corrupted++
-		s.traceEvent(TraceCorrupt, e.addr, to, len(payload))
+		s.traceEvent(TraceCorrupt, from, to, len(payload))
 	}
-
-	s.scheduleDelivery(e.addr, dst, payload, deliverAt)
-
-	if p.DupProb > 0 && s.rng.Float64() < p.DupProb {
-		dupAt := deliverAt + p.Delay/2 + 1
-		dup := make([]byte, len(payload))
-		copy(dup, payload)
-		s.stats.Duplicated++
-		s.traceEvent(TraceDup, e.addr, to, len(payload))
-		s.scheduleDelivery(e.addr, dst, dup, dupAt)
-	}
-	return nil
+	return payload
 }
 
 func (s *Sim) scheduleDelivery(from Addr, dst *Endpoint, payload []byte, at time.Duration) {

@@ -8,7 +8,20 @@
 //
 // The simulator is single-threaded: protocol handlers run inside the
 // event loop, so no locking is needed and runs are deterministic. Virtual
-// time advances only when the event queue does.
+// time advances only when live events fire — cancelled timers are removed
+// from the queue outright (indexed heap), so a dead event can never move
+// the clock or burn event budget.
+//
+// Concurrency contract: a Sim and everything attached to it (endpoints,
+// muxes, timers) belong to exactly one goroutine. Scaling out means many
+// Sims — one per goroutine, each fully independent — which is what
+// internal/harness does: it shards seeded simulations across a worker
+// pool and aggregates their metrics. Never share a Sim across goroutines.
+//
+// Topologies are not limited to two endpoints: any number of endpoints
+// can be registered and linked pairwise, and topology.go provides star
+// and chain builders plus a flow Mux that multiplexes many logical flows
+// over one (possibly bandwidth-limited) bottleneck link.
 package netsim
 
 import (
@@ -34,10 +47,14 @@ var (
 type Addr string
 
 // event is a scheduled callback. seq breaks ties deterministically.
+// index is the event's position in the heap (maintained by Swap/Push/Pop)
+// so cancellation can heap.Remove it in O(log n) instead of leaving a
+// dead entry behind; -1 marks an event that is no longer queued.
 type event struct {
-	at  time.Duration
-	seq uint64
-	fn  func()
+	at    time.Duration
+	seq   uint64
+	fn    func()
+	index int
 }
 
 type eventHeap []*event
@@ -49,13 +66,24 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	e := old[n-1]
 	old[n-1] = nil
+	e.index = -1
 	*h = old[:n-1]
 	return e
 }
@@ -65,6 +93,7 @@ func (h *eventHeap) Pop() any {
 type Sim struct {
 	now       time.Duration
 	queue     eventHeap
+	pool      []*event // free list of event structs for reuse
 	rng       *rand.Rand
 	nextSeq   uint64
 	endpoints map[Addr]*Endpoint
@@ -105,44 +134,75 @@ func (s *Sim) Trace() []TraceEvent {
 // Stats returns a snapshot of the simulator's packet counters.
 func (s *Sim) Stats() Stats { return s.stats }
 
-// schedule enqueues fn at absolute virtual time at.
+// schedule enqueues fn at absolute virtual time at. Event structs come
+// from a free list: the steady-state send/timeout loop reuses them
+// instead of allocating.
 func (s *Sim) schedule(at time.Duration, fn func()) *event {
 	if at < s.now {
 		at = s.now
 	}
-	e := &event{at: at, seq: s.nextSeq, fn: fn}
+	var e *event
+	if n := len(s.pool); n > 0 {
+		e = s.pool[n-1]
+		s.pool[n-1] = nil
+		s.pool = s.pool[:n-1]
+	} else {
+		e = &event{}
+	}
+	e.at, e.seq, e.fn = at, s.nextSeq, fn
 	s.nextSeq++
 	heap.Push(&s.queue, e)
 	return e
 }
 
+// release returns a dequeued event to the free list.
+func (s *Sim) release(e *event) {
+	e.fn = nil
+	s.pool = append(s.pool, e)
+}
+
+// remove takes a still-queued event out of the heap and recycles it.
+func (s *Sim) remove(e *event) {
+	if e.index < 0 {
+		return
+	}
+	heap.Remove(&s.queue, e.index)
+	s.release(e)
+}
+
 // Timer is a cancellable scheduled callback, the primitive protocol
 // timeouts are built from.
 type Timer struct {
-	ev        *event
-	cancelled bool
-	fired     bool
+	sim   *Sim
+	ev    *event
+	fired bool
 }
 
-// Cancel prevents the timer from firing. Cancelling an already-fired or
+// Cancel prevents the timer from firing and removes its event from the
+// queue: a cancelled timer costs nothing to the event loop and — crucially
+// — can never advance virtual time. Cancelling an already-fired or
 // already-cancelled timer is a no-op.
-func (t *Timer) Cancel() { t.cancelled = true }
+func (t *Timer) Cancel() {
+	if t.ev == nil {
+		return
+	}
+	t.sim.remove(t.ev)
+	t.ev = nil
+}
 
 // Fired reports whether the callback has run.
 func (t *Timer) Fired() bool { return t.fired }
 
 // Active reports whether the timer is still pending.
-func (t *Timer) Active() bool { return !t.fired && !t.cancelled }
+func (t *Timer) Active() bool { return t.ev != nil }
 
 // After schedules fn to run after virtual duration d and returns a
 // cancellable timer.
 func (s *Sim) After(d time.Duration, fn func()) *Timer {
-	t := &Timer{}
+	t := &Timer{sim: s}
 	t.ev = s.schedule(s.now+d, func() {
-		if t.cancelled {
-			return
-		}
 		t.fired = true
+		t.ev = nil
 		fn()
 	})
 	return t
@@ -163,7 +223,9 @@ func (s *Sim) Run(until time.Duration) int {
 		}
 		heap.Pop(&s.queue)
 		s.now = next.at
-		next.fn()
+		fn := next.fn
+		s.release(next)
+		fn()
 		s.processed++
 		n++
 	}
@@ -183,7 +245,9 @@ func (s *Sim) RunUntilIdle(maxEvents int) error {
 		}
 		next := heap.Pop(&s.queue).(*event)
 		s.now = next.at
-		next.fn()
+		fn := next.fn
+		s.release(next)
+		fn()
 		s.processed++
 	}
 	return nil

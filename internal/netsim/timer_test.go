@@ -1,0 +1,157 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// The core regression of the event-heap rework: a cancelled timer is
+// *removed* — it cannot advance virtual time, is not processed, and does
+// not count against the event budget.
+func TestCancelledTimerDoesNotAdvanceTime(t *testing.T) {
+	s := New(1)
+	tm := s.After(100*time.Millisecond, func() { t.Error("cancelled timer fired") })
+	tm.Cancel()
+	if !s.Idle() {
+		t.Error("queue not empty after cancelling the only timer")
+	}
+	if err := s.RunUntilIdle(10); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != 0 {
+		t.Errorf("Now = %s, want 0: dead events must not move the clock", s.Now())
+	}
+	if s.Processed() != 0 {
+		t.Errorf("processed %d events, want 0", s.Processed())
+	}
+}
+
+// Ten live events plus one cancelled between them: the run must process
+// exactly the live ones and finish at the last live instant.
+func TestCancelInterleavedWithLiveEvents(t *testing.T) {
+	s := New(1)
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() { fired++ })
+	}
+	doomed := s.After(15*time.Millisecond, func() { t.Error("doomed timer fired") })
+	doomed.Cancel()
+	if err := s.RunUntilIdle(100); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 10 {
+		t.Errorf("fired = %d, want 10", fired)
+	}
+	if s.Now() != 10*time.Millisecond {
+		t.Errorf("Now = %s, want 10ms (not the cancelled 15ms)", s.Now())
+	}
+	if s.Processed() != 10 {
+		t.Errorf("processed = %d, want 10", s.Processed())
+	}
+}
+
+// Cancelling from the middle of the heap must preserve ordering of the
+// remaining events (exercises heap.Remove + index maintenance).
+func TestCancelMiddleOfHeapKeepsOrder(t *testing.T) {
+	s := New(1)
+	var order []int
+	timers := make([]*Timer, 20)
+	for i := 0; i < 20; i++ {
+		i := i
+		timers[i] = s.After(time.Duration(i+1)*time.Millisecond, func() { order = append(order, i) })
+	}
+	for i := 0; i < 20; i += 3 {
+		timers[i].Cancel()
+	}
+	if err := s.RunUntilIdle(100); err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, v := range order {
+		if v%3 == 0 {
+			t.Fatalf("cancelled timer %d fired", v)
+		}
+		if v < want {
+			t.Fatalf("order broken: %v", order)
+		}
+		want = v
+	}
+	if len(order) != 13 {
+		t.Errorf("fired %d timers, want 13", len(order))
+	}
+}
+
+// Cancelling a timer from inside another handler at the same instant.
+func TestCancelFromHandlerSameInstant(t *testing.T) {
+	s := New(1)
+	var victim *Timer
+	s.After(5*time.Millisecond, func() { victim.Cancel() })
+	victim = s.After(5*time.Millisecond, func() { t.Error("victim fired despite same-instant cancel") })
+	if err := s.RunUntilIdle(10); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != 5*time.Millisecond {
+		t.Errorf("Now = %s", s.Now())
+	}
+}
+
+// Timer state transitions: Active until fired or cancelled; Cancel after
+// fire is a no-op; double Cancel is a no-op.
+func TestTimerStateMachine(t *testing.T) {
+	s := New(1)
+	tm := s.After(time.Millisecond, func() {})
+	if !tm.Active() || tm.Fired() {
+		t.Error("fresh timer not active")
+	}
+	if err := s.RunUntilIdle(10); err != nil {
+		t.Fatal(err)
+	}
+	if tm.Active() || !tm.Fired() {
+		t.Error("fired timer still active")
+	}
+	tm.Cancel() // no-op after firing
+	if !tm.Fired() {
+		t.Error("Cancel after fire cleared Fired")
+	}
+	tm2 := s.After(time.Millisecond, func() {})
+	tm2.Cancel()
+	tm2.Cancel() // double cancel
+	if tm2.Active() || tm2.Fired() {
+		t.Error("cancelled timer active or fired")
+	}
+}
+
+// The arm/cancel/re-arm cycle of an ARQ sender must not allocate a new
+// event struct per cycle: the pool recycles them.
+func TestEventPoolRecyclesArmCancelCycle(t *testing.T) {
+	s := New(1)
+	// Warm up the pool.
+	tm := s.After(time.Millisecond, func() {})
+	tm.Cancel()
+	allocs := testing.AllocsPerRun(1000, func() {
+		tm := s.After(time.Millisecond, func() {})
+		tm.Cancel()
+	})
+	// One alloc per cycle is the Timer struct + closure; the event struct
+	// itself must come from the pool. Without pooling this is >= 3.
+	if allocs > 2 {
+		t.Errorf("arm/cancel cycle allocates %.1f objects, want <= 2 (event pooling broken)", allocs)
+	}
+}
+
+// Post/deliver churn through Run must recycle events too.
+func TestEventPoolRecyclesRunLoop(t *testing.T) {
+	s := New(1)
+	s.Post(func() {})
+	if err := s.RunUntilIdle(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.pool) == 0 {
+		t.Error("run loop did not return events to the pool")
+	}
+	before := len(s.pool)
+	s.Post(func() {})
+	if len(s.pool) != before-1 {
+		t.Error("schedule did not reuse a pooled event")
+	}
+}
