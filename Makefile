@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test race bench lint fmt vet fmtcheck clean
+.PHONY: all build test race bench lint fmt vet fmtcheck docscheck clean
 
-all: build test lint
+all: build test lint docscheck
 
 build:
 	$(GO) build ./...
@@ -11,12 +11,18 @@ test:
 	$(GO) test ./...
 
 # The packages with cross-goroutine surface: the sharded experiment
-# harness and the simulator substrate it fans out over. One Sim per
+# harness, the simulator substrate it fans out over, and the real-UDP
+# runtime (whose loopback E2E runs 64 concurrent flows). One engine per
 # goroutine is the contract; -race pins it, including through
 # BenchmarkE11MultiFlow.
 race:
-	$(GO) test -race ./internal/harness/ ./internal/netsim/ ./internal/arq/
+	$(GO) test -race ./internal/harness/ ./internal/netsim/ ./internal/arq/ ./internal/rtnet/
 	$(GO) test -run '^$$' -bench BenchmarkE11MultiFlow -benchtime 1x -race .
+
+# Documentation references must resolve: every `DESIGN.md §N` citation
+# in Go sources names a real section of DESIGN.md.
+docscheck:
+	$(GO) run ./internal/tools/docscheck
 
 # One iteration per benchmark: a smoke pass that keeps every benchmark
 # compiling and runnable without burning CI minutes. Use `make benchfull`

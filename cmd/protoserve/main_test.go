@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the test read protoserve's output while run() is
+// still writing it from another goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenLine = regexp.MustCompile(`udp://([0-9.:\[\]]+:[0-9]+)`)
+
+// TestServeExitsAfterDuration: protoserve comes up on an ephemeral
+// port, announces its address, and exits when -duration elapses.
+func TestServeExitsAfterDuration(t *testing.T) {
+	var out syncBuffer
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{"-listen", "127.0.0.1:0", "-duration", "300ms", "-stats", "0"}, &out)
+	}()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("protoserve did not exit after -duration")
+	}
+	s := out.String()
+	if !listenLine.MatchString(s) {
+		t.Fatalf("no listen address announced in output:\n%s", s)
+	}
+	if !strings.Contains(s, "done;") {
+		t.Fatalf("no shutdown summary in output:\n%s", s)
+	}
+}
+
+func TestRejectsUnknownVariant(t *testing.T) {
+	var out syncBuffer
+	if err := run([]string{"-variant", "tcp"}, &out); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+}

@@ -4,6 +4,12 @@
 //
 //	protosim -payloads 50 -size 256 -loss 0.2 -dup 0.05 -corrupt 0.05
 //	protosim -window 8 -delay 20ms      # go-back-N over a long-delay link
+//
+// With -connect it leaves the simulator behind entirely and drives the
+// same engines over a real UDP socket against a protoserve instance —
+// the sim-to-real demonstration:
+//
+//	protosim -connect 127.0.0.1:9000 -flows 64 -variant gbn -window 32
 package main
 
 import (
@@ -11,10 +17,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"protodsl/internal/arq"
+	"protodsl/internal/harness"
 	"protodsl/internal/netsim"
+	"protodsl/internal/rtnet"
 )
 
 func main() {
@@ -39,9 +48,36 @@ func run(args []string, out io.Writer) error {
 		retries   = fs.Int("retries", 50, "max retries per packet/window")
 		window    = fs.Int("window", 1, "sender window (1 = stop-and-wait, >1 = go-back-N)")
 		seed      = fs.Int64("seed", 1, "simulation seed")
+		connect   = fs.String("connect", "", "run over real UDP against a protoserve at this host:port")
+		flows     = fs.Int("flows", 64, "concurrent flows in -connect mode (1..256)")
+		variant   = fs.String("variant", "gbn", "ARQ variant in -connect mode: gbn or sr")
+		shards    = fs.Int("shards", 0, "client worker loops in -connect mode (0 = min(GOMAXPROCS, 4))")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *connect != "" {
+		// Impairments are a property of the simulated link; the real
+		// network supplies its own. Reject rather than silently ignore.
+		simOnly := map[string]bool{
+			"loss": true, "dup": true, "corrupt": true, "reorder": true,
+			"delay": true, "jitter": true, "seed": true,
+		}
+		var conflict []string
+		fs.Visit(func(f *flag.Flag) {
+			if simOnly[f.Name] {
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			return fmt.Errorf("%s only apply to simulation and are ignored by -connect; remove them (the real network supplies its own impairments)",
+				strings.Join(conflict, ", "))
+		}
+		return runClient(out, clientConfig{
+			server: *connect, flows: *flows, variant: *variant, shards: *shards,
+			payloads: *nPayloads, size: *size, window: *window,
+			rto: *rto, retries: *retries,
+		})
 	}
 
 	payloads := make([][]byte, *nPayloads)
@@ -89,5 +125,145 @@ func run(args []string, out io.Writer) error {
 		res.Receiver.PacketsReceived, res.Receiver.PacketsCorrupted, res.Receiver.Duplicates)
 	fmt.Fprintf(out, "  network: %s\n", res.Network)
 	fmt.Fprintf(out, "  virtual time: %s\n  goodput: %.0f bytes/s\n", res.Duration, res.Goodput())
+	return nil
+}
+
+// clientConfig parameterises a real-network run against protoserve.
+type clientConfig struct {
+	server   string
+	flows    int
+	variant  string
+	shards   int
+	payloads int
+	size     int
+	window   int
+	rto      time.Duration
+	retries  int
+}
+
+// runClient drives cfg.flows concurrent ARQ senders over one UDP socket
+// against a protoserve instance, then aggregates real-clock per-flow
+// metrics through the same harness pipeline the simulated experiments
+// use.
+func runClient(out io.Writer, cfg clientConfig) error {
+	if cfg.flows < 1 || cfg.flows > 256 {
+		return fmt.Errorf("flows %d outside 1..256 (mux id space)", cfg.flows)
+	}
+	if cfg.variant != "gbn" && cfg.variant != "sr" {
+		return fmt.Errorf("unknown variant %q (want gbn or sr)", cfg.variant)
+	}
+	if cfg.window < 1 {
+		cfg.window = 32
+	}
+	node, err := rtnet.Listen("0.0.0.0:0", rtnet.Config{Shards: cfg.shards})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	peer, err := node.Dial(cfg.server)
+	if err != nil {
+		return err
+	}
+	fcfg := arq.FlowConfig{Window: cfg.window, RTO: cfg.rto, MaxRetries: cfg.retries}
+
+	type flowRun struct {
+		gbn  *arq.GBNSender
+		sr   *arq.SRSender
+		done chan struct{}
+		dur  time.Duration
+	}
+	runs := make([]flowRun, cfg.flows)
+	wall := time.Now()
+	for id := 0; id < cfg.flows; id++ {
+		id := id
+		f, err := node.Flow(byte(id))
+		if err != nil {
+			return err
+		}
+		runs[id].done = make(chan struct{})
+		start := time.Now()
+		payloads := harness.DistinctPayloads(id*7, cfg.payloads, cfg.size)
+		var aerr error
+		err = f.Do(func(rt netsim.Runtime, port netsim.Port) {
+			// The hook runs inside the shard loop at actual completion,
+			// so the duration is the flow's own finish time — not the
+			// time the sequential wait loop below got around to it.
+			onDone := func() {
+				runs[id].dur = time.Since(start)
+				close(runs[id].done)
+			}
+			if cfg.variant == "sr" {
+				runs[id].sr, aerr = arq.AttachSRSender(rt, port, peer, fcfg, payloads, onDone)
+			} else {
+				runs[id].gbn, aerr = arq.AttachGBNSender(rt, port, peer, fcfg, payloads, onDone)
+			}
+		})
+		if err != nil {
+			return err
+		}
+		if aerr != nil {
+			return aerr
+		}
+	}
+
+	for id := range runs {
+		select {
+		case <-runs[id].done:
+		case <-time.After(2 * time.Minute):
+			return fmt.Errorf("flow %d: transfer did not finish within 2m", id)
+		}
+	}
+	elapsed := time.Since(wall)
+
+	// Group per client shard so Jain fairness is computed over flows
+	// that shared a worker loop, mirroring the simulated harness. The
+	// node applied the shard-count default, so ask it, and drop groups
+	// no flow landed in (fairness over an empty group is meaningless).
+	nShards := node.Shards()
+	perShard := make([][]harness.FlowResult, nShards)
+	flowBytes := cfg.payloads * cfg.size
+	for id := range runs {
+		var ok bool
+		var sent, retrans int
+		if runs[id].sr != nil {
+			if err := runs[id].sr.Err(); err != nil {
+				return err
+			}
+			r := runs[id].sr.Result()
+			ok, sent, retrans = r.OK, r.PacketsSent, r.Retransmits
+		} else {
+			if err := runs[id].gbn.Err(); err != nil {
+				return err
+			}
+			r := runs[id].gbn.Result()
+			ok, sent, retrans = r.OK, r.PacketsSent, r.Retransmits
+		}
+		si := id % nShards
+		bytes := 0
+		if ok {
+			bytes = flowBytes // every payload acked end-to-end
+		}
+		perShard[si] = append(perShard[si], harness.FlowResult{
+			Shard: si, Flow: id, OK: ok, Duration: runs[id].dur,
+			Bytes: bytes, PacketsSent: sent, Retransmits: retrans,
+		})
+	}
+	grouped := perShard[:0]
+	for _, g := range perShard {
+		if len(g) > 0 {
+			grouped = append(grouped, g)
+		}
+	}
+	rep := harness.Aggregate(grouped)
+
+	fmt.Fprintf(out, "real-network %s transfer to %s (real clock, not virtual)\n", cfg.variant, peer)
+	fmt.Fprintf(out, "  flows: %d (%d ok), window %d, %d x %dB payloads each\n",
+		rep.Flows, rep.OKFlows, cfg.window, cfg.payloads, cfg.size)
+	fmt.Fprintf(out, "  packets sent: %d (retransmits %d)\n", rep.PacketsSent, rep.Retransmits)
+	fmt.Fprintf(out, "  wall time: %s; mean flow duration: %.1fms\n", elapsed.Round(time.Millisecond), rep.Duration.Mean()*1000)
+	fmt.Fprintf(out, "  goodput/flow: %.0f B/s mean; aggregate: %.0f B/s\n",
+		rep.Goodput.Mean(), float64(rep.OKFlows*flowBytes)/elapsed.Seconds())
+	fmt.Fprintf(out, "  fairness (Jain, per shard): %.3f\n", rep.Fairness.Mean())
+	fmt.Fprintf(out, "  client socket: header_drops=%d send_errs=%d\n", node.Drops(), node.SendErrors())
 	return nil
 }

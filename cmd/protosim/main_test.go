@@ -4,6 +4,10 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"protodsl/internal/arq"
+	"protodsl/internal/netsim"
+	"protodsl/internal/rtnet"
 )
 
 func TestStopAndWaitRun(t *testing.T) {
@@ -42,5 +46,50 @@ func TestBadFlags(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-window", "not-a-number"}, &out); err == nil {
 		t.Error("bad flag accepted")
+	}
+}
+
+// TestConnectModeAgainstInProcessServer runs the -connect client path
+// against an in-process rtnet server: the cmd-level half of the
+// loopback end-to-end demo (cmd/protoserve has the server half).
+func TestConnectModeAgainstInProcessServer(t *testing.T) {
+	server, err := rtnet.Listen("127.0.0.1:0", rtnet.Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	err = server.Serve(func(rt netsim.Runtime, port netsim.Port, peer netsim.Addr, flow byte) func(netsim.Addr, []byte) {
+		r, err := arq.NewGBNReceiver(port, peer)
+		if err != nil {
+			return nil
+		}
+		return r.OnDatagram
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	err = run([]string{
+		"-connect", string(server.Addr()), "-flows", "8", "-variant", "gbn",
+		"-payloads", "10", "-size", "64", "-window", "8",
+		"-rto", "100ms", "-retries", "20",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"real-network gbn transfer", "flows: 8 (8 ok)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestConnectRejectsSimOnlyFlags(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-connect", "127.0.0.1:1", "-loss", "0.2"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-loss") {
+		t.Fatalf("sim-only flag with -connect not rejected: %v", err)
 	}
 }

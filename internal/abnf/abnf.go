@@ -16,6 +16,9 @@
 // num-vals (`%d`/`%x`/`%b`, terminal values, ranges and dotted series) up
 // to 0xFF — inputs are byte strings. Prose-vals are rejected. The RFC's
 // core rules (ALPHA, DIGIT, CRLF, …) are predefined.
+//
+// Grammars and matchers are immutable after parsing and safe for
+// concurrent readers; Match allocates its own backtracking state per call.
 package abnf
 
 import (

@@ -7,6 +7,10 @@
 // trapezoidal memberships, min-AND rules, max aggregation, centroid
 // defuzzification) and a media-rate controller built on it, plus the
 // synthetic varying-bandwidth stream simulation experiment E6 measures.
+//
+// Concurrency: controllers and stream simulations are single-owner —
+// one goroutine (or one simulator event loop) drives them; nothing is
+// shared between instances.
 package adapt
 
 import (

@@ -36,7 +36,7 @@ type Sender struct {
 	idx      int
 	current  []byte
 
-	timer      *netsim.Timer
+	timer      netsim.Timer
 	rto        time.Duration
 	maxRetries int
 	retries    int

@@ -252,7 +252,7 @@ type genSender struct {
 	payloads [][]byte
 	idx      int
 
-	timer      *netsim.Timer
+	timer      netsim.Timer
 	rto        time.Duration
 	maxRetries int
 	retries    int

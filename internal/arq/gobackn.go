@@ -83,7 +83,7 @@ func (r *GBNResult) Goodput() float64 {
 
 // gbnSender slides a window of in-flight packets.
 type gbnSender struct {
-	sim   *netsim.Sim
+	rt    netsim.Runtime
 	ep    netsim.Port
 	peer  netsim.Addr
 	codec *Codec
@@ -93,7 +93,7 @@ type gbnSender struct {
 	next     int // next payload index to send
 	window   int
 
-	timer      *netsim.Timer
+	timer      netsim.Timer
 	rto        time.Duration
 	maxRetries int
 	retries    int
@@ -105,6 +105,7 @@ type gbnSender struct {
 	ok         bool
 	finishedAt time.Duration
 	err        error
+	notify     func() // optional completion hook, runs inside the event loop
 }
 
 func (s *gbnSender) fail(err error) {
@@ -119,9 +120,12 @@ func (s *gbnSender) finish(ok bool) {
 		return
 	}
 	s.done, s.ok = true, ok
-	s.finishedAt = s.sim.Now()
+	s.finishedAt = s.rt.Now()
 	if s.timer != nil {
 		s.timer.Cancel()
+	}
+	if s.notify != nil {
+		s.notify()
 	}
 }
 
@@ -165,7 +169,7 @@ func (s *gbnSender) armTimer() {
 		s.timer.Cancel()
 	}
 	if s.base < len(s.payloads) {
-		s.timer = s.sim.After(s.rto, s.onTimeout)
+		s.timer = s.rt.After(s.rto, s.onTimeout)
 	}
 }
 
@@ -219,6 +223,7 @@ type gbnReceiver struct {
 	expect    int
 	encBuf    []byte // reusable AppendEncodeAck buffer
 	delivered [][]byte
+	clone     bool // copy accepted payloads (real-socket delivery buffers are recycled)
 	err       error
 }
 
@@ -227,13 +232,19 @@ func (r *gbnReceiver) onDatagram(_ netsim.Addr, data []byte) {
 		return
 	}
 	// In-place decode: the accepted payload aliases this delivery's
-	// buffer, which the handler owns from here on.
+	// buffer, which the handler owns from here on. Under rtnet the
+	// delivery buffer is recycled after the handler returns, so clone
+	// receivers copy what they keep.
 	pkt, err := r.codec.DecodePacketInPlace(data)
 	if err != nil {
 		return // unverified packets are never processed
 	}
 	if pkt.Value().Seq == uint8(r.expect%256) {
-		r.delivered = append(r.delivered, pkt.Value().Payload)
+		p := pkt.Value().Payload
+		if r.clone {
+			p = append([]byte(nil), p...)
+		}
+		r.delivered = append(r.delivered, p)
 		r.expect++
 	}
 	// Cumulative ack for the last in-order packet (none yet -> none).
@@ -285,34 +296,111 @@ func (f *GBNFlow) Result() *GBNResult {
 	}
 }
 
-// StartGBN attaches a go-back-N flow to two existing simulator ports —
-// physical endpoints or mux flow ports — and schedules its first window.
-// Many flows can share one simulator (and one bottleneck link, via
-// netsim.Mux); the caller runs the simulator.
-func StartGBN(sim *netsim.Sim, sport, rport netsim.Port, cfg FlowConfig, payloads [][]byte) (*GBNFlow, error) {
+// StartGBN attaches a go-back-N flow to two existing *simulator* ports
+// — endpoints or mux flow ports, whose delivery buffers are
+// handler-owned — and schedules its first window on rt. Many flows can
+// share one runtime (and one bottleneck link, via netsim.Mux); the
+// caller runs the runtime's event loop. For real-network (rtnet) flows,
+// whose delivery buffers are recycled, attach the halves instead:
+// AttachGBNSender on the sending node, NewGBNReceiver (which copies
+// what it keeps) on the receiving one.
+func StartGBN(rt netsim.Runtime, sport, rport netsim.Port, cfg FlowConfig, payloads [][]byte) (*GBNFlow, error) {
+	recv, err := NewGBNReceiver(rport, sport.Addr())
+	if err != nil {
+		return nil, err
+	}
+	recv.r.clone = false // in-process delivery buffers are handler-owned
+	rport.SetHandler(recv.OnDatagram)
+	send, err := AttachGBNSender(rt, sport, rport.Addr(), cfg, payloads, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &GBNFlow{send: send.s, recv: recv.r}, nil
+}
+
+// GBNSender is the sender half of a go-back-N flow attached on its own —
+// the real-network deployment shape, where the receiver half lives in
+// another process (see internal/rtnet and cmd/protoserve).
+type GBNSender struct{ s *gbnSender }
+
+// AttachGBNSender attaches a go-back-N sender to port, talking to peer,
+// and schedules its first window on rt. The port's handler is taken over
+// (acks arrive there). onDone, if non-nil, runs inside the event loop
+// when the transfer finishes (successfully or not); rtnet callers use it
+// to signal a waiting goroutine.
+func AttachGBNSender(rt netsim.Runtime, port netsim.Port, peer netsim.Addr, cfg FlowConfig, payloads [][]byte, onDone func()) (*GBNSender, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return nil, err
 	}
 	// One codec per endpoint: the Append/InPlace scratch state makes a
 	// Codec single-owner (see Codec docs).
-	sendCodec, err := NewCodec()
+	codec, err := NewCodec()
 	if err != nil {
 		return nil, err
 	}
-	recvCodec, err := NewCodec()
-	if err != nil {
-		return nil, err
-	}
-	recv := &gbnReceiver{ep: rport, peer: sport.Addr(), codec: recvCodec}
-	rport.SetHandler(recv.onDatagram)
 	send := &gbnSender{
-		sim: sim, ep: sport, peer: rport.Addr(), codec: sendCodec,
+		rt: rt, ep: port, peer: peer, codec: codec,
 		payloads: payloads, window: cfg.Window,
 		rto: cfg.RTO, maxRetries: cfg.MaxRetries,
+		notify: onDone,
 	}
-	sport.SetHandler(send.onDatagram)
-	sim.Post(send.pump)
-	return &GBNFlow{send: send, recv: recv}, nil
+	port.SetHandler(send.onDatagram)
+	rt.Post(send.pump)
+	return &GBNSender{s: send}, nil
+}
+
+// Done reports whether the sender has finished (successfully or not).
+func (s *GBNSender) Done() bool { return s.s.done }
+
+// Err returns the sender's first internal error.
+func (s *GBNSender) Err() error {
+	if s.s.err != nil {
+		return fmt.Errorf("arq gbn: sender: %w", s.s.err)
+	}
+	return nil
+}
+
+// Result snapshots the sender's outcome. Delivered is nil — only the
+// receiving side knows what arrived. Call only after Done (under rtnet:
+// from the owning shard loop, or after the onDone signal).
+func (s *GBNSender) Result() *GBNResult {
+	return &GBNResult{
+		OK:          s.s.ok,
+		PacketsSent: s.s.sent,
+		Retransmits: s.s.retrans,
+		Duration:    s.s.finishedAt,
+	}
+}
+
+// GBNReceiver is the receiver half of a go-back-N flow attached on its
+// own. It installs no handler: the caller routes datagrams to OnDatagram
+// (rtnet's acceptor demultiplexes one flow port across many peers).
+// Accepted payloads are copied, because real-socket delivery buffers are
+// recycled after the handler returns.
+type GBNReceiver struct{ r *gbnReceiver }
+
+// NewGBNReceiver builds a go-back-N receiver that acks to peer over port.
+func NewGBNReceiver(port netsim.Port, peer netsim.Addr) (*GBNReceiver, error) {
+	codec, err := NewCodec()
+	if err != nil {
+		return nil, err
+	}
+	return &GBNReceiver{r: &gbnReceiver{ep: port, peer: peer, codec: codec, clone: true}}, nil
+}
+
+// OnDatagram feeds one received datagram to the receiver.
+func (r *GBNReceiver) OnDatagram(from netsim.Addr, data []byte) { r.r.onDatagram(from, data) }
+
+// Delivered returns the in-order payloads accepted so far. Under rtnet,
+// call from the owning shard loop (Node.Do).
+func (r *GBNReceiver) Delivered() [][]byte { return r.r.delivered }
+
+// Err returns the receiver's first internal error.
+func (r *GBNReceiver) Err() error {
+	if r.r.err != nil {
+		return fmt.Errorf("arq gbn: receiver: %w", r.r.err)
+	}
+	return nil
 }
 
 // RunTransferGBN runs a go-back-N transfer. Window 0 selects 8.

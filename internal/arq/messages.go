@@ -7,6 +7,11 @@
 //
 // A go-back-N extension (window > 1) is provided as the "further work"
 // the paper sketches for richer protocols.
+//
+// Concurrency: every engine (sender or receiver, any variant) is
+// single-owner. It belongs to the event loop of the netsim.Runtime it
+// was attached to — a simulator or an rtnet shard — and must only be
+// touched from inside that loop (rtnet callers use Node.Do).
 package arq
 
 import (

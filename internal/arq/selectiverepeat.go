@@ -53,12 +53,12 @@ func (r *SRResult) Goodput() float64 {
 type srPacket struct {
 	acked   bool
 	retries int
-	timer   *netsim.Timer
+	timer   netsim.Timer
 }
 
 // srSender retransmits individually timed packets.
 type srSender struct {
-	sim   *netsim.Sim
+	rt    netsim.Runtime
 	ep    netsim.Port
 	peer  netsim.Addr
 	codec *Codec
@@ -79,6 +79,7 @@ type srSender struct {
 	ok         bool
 	finishedAt time.Duration
 	err        error
+	notify     func() // optional completion hook, runs inside the event loop
 }
 
 func (s *srSender) fail(err error) {
@@ -93,11 +94,14 @@ func (s *srSender) finish(ok bool) {
 		return
 	}
 	s.done, s.ok = true, ok
-	s.finishedAt = s.sim.Now()
+	s.finishedAt = s.rt.Now()
 	for i := s.base; i < s.next; i++ {
 		if t := s.state[i].timer; t != nil {
 			t.Cancel()
 		}
+	}
+	if s.notify != nil {
+		s.notify()
 	}
 }
 
@@ -136,7 +140,7 @@ func (s *srSender) transmit(idx int, isRetrans bool) error {
 	if t := s.state[idx].timer; t != nil {
 		t.Cancel()
 	}
-	s.state[idx].timer = s.sim.After(s.rto, func() { s.onTimeout(idx) })
+	s.state[idx].timer = s.rt.After(s.rto, func() { s.onTimeout(idx) })
 	return nil
 }
 
@@ -194,6 +198,7 @@ type srReceiver struct {
 	buffer    map[int][]byte // out-of-order packets, keyed by absolute index
 	encBuf    []byte
 	delivered [][]byte
+	clone     bool // copy buffered payloads (real-socket delivery buffers are recycled)
 	err       error
 }
 
@@ -217,8 +222,14 @@ func (r *srReceiver) onDatagram(_ netsim.Addr, data []byte) {
 		idx := r.expect + offset
 		if _, dup := r.buffer[idx]; !dup {
 			// The payload aliases this delivery's buffer, which the
-			// handler owns from here on — buffering the alias is safe.
-			r.buffer[idx] = v.Payload
+			// handler owns from here on — buffering the alias is safe in
+			// the simulator. Under rtnet the buffer is recycled after the
+			// handler returns, so clone receivers copy it.
+			p := v.Payload
+			if r.clone {
+				p = append([]byte(nil), p...)
+			}
+			r.buffer[idx] = p
 		}
 		for {
 			p, ok := r.buffer[r.expect]
@@ -277,34 +288,109 @@ func (f *SRFlow) Result() *SRResult {
 	}
 }
 
-// StartSR attaches a selective-repeat flow to two existing simulator
-// ports and schedules its first window. Like StartGBN, many flows can
-// share one simulator; the caller runs it.
-func StartSR(sim *netsim.Sim, sport, rport netsim.Port, cfg FlowConfig, payloads [][]byte) (*SRFlow, error) {
+// StartSR attaches a selective-repeat flow to two existing *simulator*
+// ports and schedules its first window on rt. Like StartGBN, many flows
+// can share one runtime; the caller runs its event loop. For
+// real-network (rtnet) flows attach the halves instead — AttachSRSender
+// and NewSRReceiver (which copies what it keeps) — because rtnet
+// recycles delivery buffers after each handler returns.
+func StartSR(rt netsim.Runtime, sport, rport netsim.Port, cfg FlowConfig, payloads [][]byte) (*SRFlow, error) {
+	recv, err := NewSRReceiver(rport, sport.Addr(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	recv.r.clone = false // in-process delivery buffers are handler-owned
+	rport.SetHandler(recv.OnDatagram)
+	send, err := AttachSRSender(rt, sport, rport.Addr(), cfg, payloads, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &SRFlow{send: send.s, recv: recv.r}, nil
+}
+
+// SRSender is the sender half of a selective-repeat flow attached on its
+// own — the real-network deployment shape (see internal/rtnet).
+type SRSender struct{ s *srSender }
+
+// AttachSRSender attaches a selective-repeat sender to port, talking to
+// peer, and schedules its first window on rt. The port's handler is
+// taken over. onDone, if non-nil, runs inside the event loop when the
+// transfer finishes.
+func AttachSRSender(rt netsim.Runtime, port netsim.Port, peer netsim.Addr, cfg FlowConfig, payloads [][]byte, onDone func()) (*SRSender, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return nil, err
 	}
-	sendCodec, err := NewCodec()
+	codec, err := NewCodec()
 	if err != nil {
 		return nil, err
 	}
-	recvCodec, err := NewCodec()
-	if err != nil {
-		return nil, err
-	}
-	recv := &srReceiver{
-		ep: rport, peer: sport.Addr(), codec: recvCodec,
-		window: cfg.Window, buffer: make(map[int][]byte),
-	}
-	rport.SetHandler(recv.onDatagram)
 	send := &srSender{
-		sim: sim, ep: sport, peer: rport.Addr(), codec: sendCodec,
+		rt: rt, ep: port, peer: peer, codec: codec,
 		payloads: payloads, state: make([]srPacket, len(payloads)),
 		window: cfg.Window, rto: cfg.RTO, maxRetries: cfg.MaxRetries,
+		notify: onDone,
 	}
-	sport.SetHandler(send.onDatagram)
-	sim.Post(send.pump)
-	return &SRFlow{send: send, recv: recv}, nil
+	port.SetHandler(send.onDatagram)
+	rt.Post(send.pump)
+	return &SRSender{s: send}, nil
+}
+
+// Done reports whether the sender has finished (successfully or not).
+func (s *SRSender) Done() bool { return s.s.done }
+
+// Err returns the sender's first internal error.
+func (s *SRSender) Err() error {
+	if s.s.err != nil {
+		return fmt.Errorf("arq sr: sender: %w", s.s.err)
+	}
+	return nil
+}
+
+// Result snapshots the sender's outcome (Delivered is nil; see
+// GBNSender.Result).
+func (s *SRSender) Result() *SRResult {
+	return &SRResult{
+		OK:          s.s.ok,
+		PacketsSent: s.s.sent,
+		Retransmits: s.s.retrans,
+		Duration:    s.s.finishedAt,
+	}
+}
+
+// SRReceiver is the receiver half of a selective-repeat flow attached on
+// its own. Like GBNReceiver it installs no handler and copies what it
+// keeps. cfg.Window must match the sender's window for wrap safety.
+type SRReceiver struct{ r *srReceiver }
+
+// NewSRReceiver builds a selective-repeat receiver that acks to peer
+// over port.
+func NewSRReceiver(port netsim.Port, peer netsim.Addr, cfg FlowConfig) (*SRReceiver, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	codec, err := NewCodec()
+	if err != nil {
+		return nil, err
+	}
+	return &SRReceiver{r: &srReceiver{
+		ep: port, peer: peer, codec: codec,
+		window: cfg.Window, buffer: make(map[int][]byte), clone: true,
+	}}, nil
+}
+
+// OnDatagram feeds one received datagram to the receiver.
+func (r *SRReceiver) OnDatagram(from netsim.Addr, data []byte) { r.r.onDatagram(from, data) }
+
+// Delivered returns the in-order payloads accepted so far. Under rtnet,
+// call from the owning shard loop (Node.Do).
+func (r *SRReceiver) Delivered() [][]byte { return r.r.delivered }
+
+// Err returns the receiver's first internal error.
+func (r *SRReceiver) Err() error {
+	if r.r.err != nil {
+		return fmt.Errorf("arq sr: receiver: %w", r.r.err)
+	}
+	return nil
 }
 
 // RunTransferSR runs a selective-repeat transfer over its own simulator.

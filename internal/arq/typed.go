@@ -132,7 +132,7 @@ type TypedSender struct {
 	payloads [][]byte
 	idx      int
 
-	timer      *netsim.Timer
+	timer      netsim.Timer
 	rto        time.Duration
 	maxRetries int
 	retries    int

@@ -11,6 +11,9 @@
 // (PER-flavoured) rules — and, like ABNF, it has nowhere to state
 // behavioural or cross-field semantic constraints; that is the boundary
 // the wire/fsm layers of this repository cross.
+//
+// Types and encoding rules are immutable once built and safe for
+// concurrent use; encode/decode calls share nothing.
 package asn1s
 
 import (

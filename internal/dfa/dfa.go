@@ -13,6 +13,9 @@
 // relate the real program, rather than an approximate model, to the
 // permitted behaviour"). ExactCheck enumerates concrete executions as the
 // ground truth; experiment E10 compares the two on a seeded suite.
+//
+// Automata and call-graph analyses are immutable once constructed;
+// concurrent checks over the same DFA are safe.
 package dfa
 
 import (

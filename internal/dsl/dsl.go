@@ -44,6 +44,10 @@
 // by a trailing '{' and closed by a line containing only '}'. Comments
 // run from "//" to end of line. Expressions (guards, computed fields,
 // lengths, action values) use the internal/expr language.
+//
+// Concurrency: Parse and Compile are pure; a compiled Protocol (layouts,
+// programs) is immutable and shareable across goroutines, but machines
+// and codecs instantiated from it are single-owner.
 package dsl
 
 import (

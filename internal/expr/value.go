@@ -11,6 +11,10 @@
 // arithmetic wraps at the promoted width, so `seq + 1` over an 8-bit
 // sequence number wraps from 255 to 0 exactly as the paper's `Byte`
 // arithmetic does.
+//
+// Concurrency: parsed expressions and compiled closures are immutable
+// and safe for concurrent evaluation; a Frame is single-owner scratch —
+// one goroutine per Frame.
 package expr
 
 import (

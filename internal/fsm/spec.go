@@ -10,6 +10,10 @@
 // instantiated as runtime machines (NewMachine) or compiled to Go code
 // (internal/codegen), so execution is correct by construction with
 // respect to the specification.
+//
+// Concurrency: Specs and compiled Programs are immutable and shareable
+// across goroutines; a Machine is single-owner — exactly one goroutine
+// (or simulator event loop) steps it.
 package fsm
 
 import (

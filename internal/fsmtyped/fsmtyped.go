@@ -15,6 +15,10 @@
 // `Ready seq`); the sequence number lives as a field of the state type
 // and value-level invariants are enforced by the constructors and
 // checked in tests. See DESIGN.md §2 for the full mapping.
+//
+// Concurrency: the state and transition *types* are shareable; machine
+// values and their Logs are single-owner — one goroutine applies
+// transitions.
 package fsmtyped
 
 import "fmt"

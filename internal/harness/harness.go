@@ -114,18 +114,29 @@ func (r FlowResult) Goodput() float64 {
 	return float64(r.Bytes) / r.Duration.Seconds()
 }
 
-// flowPayloads builds deterministic per-flow payloads: distinct across
-// shards and flows so cross-flow delivery mixups cannot cancel out.
-func flowPayloads(cfg *MultiFlowConfig, shard, flow int) [][]byte {
-	out := make([][]byte, cfg.PayloadsPerFlow)
+// DistinctPayloads builds deterministic payloads whose content is keyed
+// by the caller's key (callers derive it from shard/flow ids), so flows
+// carrying different keys can never be silently swapped without the
+// content checks noticing. It is shared by the simulated harness, the
+// rtnet loopback tests and cmd/protosim's real-network client, keeping
+// the "distinct per-flow payloads" guarantee identical across the
+// simulated and real paths.
+func DistinctPayloads(key, count, size int) [][]byte {
+	out := make([][]byte, count)
 	for i := range out {
-		p := make([]byte, cfg.PayloadSize)
+		p := make([]byte, size)
 		for j := range p {
-			p[j] = byte(shard*31 + flow*7 + i + j)
+			p[j] = byte(key + i + j)
 		}
 		out[i] = p
 	}
 	return out
+}
+
+// flowPayloads builds deterministic per-flow payloads: distinct across
+// shards and flows so cross-flow delivery mixups cannot cancel out.
+func flowPayloads(cfg *MultiFlowConfig, shard, flow int) [][]byte {
+	return DistinctPayloads(shard*31+flow*7, cfg.PayloadsPerFlow, cfg.PayloadSize)
 }
 
 // RunShard runs one seeded simulation hosting cfg.Flows concurrent
@@ -290,12 +301,23 @@ func Run(cfg MultiFlowConfig, shards, workers int) (*Report, error) {
 		}
 	}
 
-	rep := &Report{Shards: shards, Flows: shards * cfg.Flows}
-	goodputs := make([]float64, 0, cfg.Flows)
+	return Aggregate(perShard), nil
+}
+
+// Aggregate summarises per-flow results grouped by shard into a Report.
+// It is the metrics tail of Run, split out so callers that measured
+// flows elsewhere — in particular cmd/protosim's rtnet client mode,
+// whose durations come from the real monotonic clock instead of virtual
+// time — feed the same aggregation pipeline (goodput and duration
+// summaries, per-shard Jain fairness) the simulated experiments use.
+func Aggregate(perShard [][]FlowResult) *Report {
+	rep := &Report{Shards: len(perShard)}
+	var goodputs []float64
 	for _, results := range perShard {
 		goodputs = goodputs[:0]
 		for _, r := range results {
 			rep.Results = append(rep.Results, r)
+			rep.Flows++
 			rep.PacketsSent += r.PacketsSent
 			rep.Retransmits += r.Retransmits
 			if r.OK {
@@ -308,5 +330,5 @@ func Run(cfg MultiFlowConfig, shards, workers int) (*Report, error) {
 		}
 		rep.Fairness.Add(metrics.JainFairness(goodputs))
 	}
-	return rep, nil
+	return rep
 }

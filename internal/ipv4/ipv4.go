@@ -4,6 +4,10 @@
 // truth parses real packets, validates the header checksum, enforces the
 // semantic constraints ASCII art cannot (version == 4, IHL >= 5,
 // total length consistency), and *renders* the canonical diagram.
+//
+// Concurrency: the compiled layout behind the codec is immutable and
+// shareable; a Codec carries reusable encode/decode scratch and is
+// single-owner — one goroutine (or event loop) per Codec.
 package ipv4
 
 import (

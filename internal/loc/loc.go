@@ -13,6 +13,9 @@
 //
 // Lines outside functions (types, imports, docs) are not counted in
 // either bucket: the fraction is over executable lines.
+//
+// Classification is a pure function over parsed source files; concurrent
+// runs on distinct inputs are safe.
 package loc
 
 import (

@@ -1,6 +1,10 @@
 // Package metrics provides the small statistics toolkit the experiment
 // harness uses: streaming summaries, fixed-bucket histograms and table
 // rendering. Everything is deterministic and allocation-light.
+//
+// Concurrency: summaries, histograms and tables are single-owner
+// accumulators — one goroutine adds observations (harness workers
+// aggregate per shard, then merge results); rendering is read-only.
 package metrics
 
 import (

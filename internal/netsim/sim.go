@@ -22,6 +22,12 @@
 // can be registered and linked pairwise, and topology.go provides star
 // and chain builders plus a flow Mux that multiplexes many logical flows
 // over one (possibly bandwidth-limited) bottleneck link.
+//
+// Protocol engines reach the simulator only through two small
+// interfaces defined here — Port (datagrams) and Runtime (time and
+// cancellable timers) — which internal/rtnet also implements over real
+// UDP sockets. An engine written against them runs on either substrate
+// unchanged; see DESIGN.md §7.
 package netsim
 
 import (
@@ -170,9 +176,8 @@ func (s *Sim) remove(e *event) {
 	s.release(e)
 }
 
-// Timer is a cancellable scheduled callback, the primitive protocol
-// timeouts are built from.
-type Timer struct {
+// simTimer is the simulator's Timer implementation.
+type simTimer struct {
 	sim   *Sim
 	ev    *event
 	fired bool
@@ -182,7 +187,7 @@ type Timer struct {
 // queue: a cancelled timer costs nothing to the event loop and — crucially
 // — can never advance virtual time. Cancelling an already-fired or
 // already-cancelled timer is a no-op.
-func (t *Timer) Cancel() {
+func (t *simTimer) Cancel() {
 	if t.ev == nil {
 		return
 	}
@@ -191,15 +196,15 @@ func (t *Timer) Cancel() {
 }
 
 // Fired reports whether the callback has run.
-func (t *Timer) Fired() bool { return t.fired }
+func (t *simTimer) Fired() bool { return t.fired }
 
 // Active reports whether the timer is still pending.
-func (t *Timer) Active() bool { return t.ev != nil }
+func (t *simTimer) Active() bool { return t.ev != nil }
 
 // After schedules fn to run after virtual duration d and returns a
 // cancellable timer.
-func (s *Sim) After(d time.Duration, fn func()) *Timer {
-	t := &Timer{sim: s}
+func (s *Sim) After(d time.Duration, fn func()) Timer {
+	t := &simTimer{sim: s}
 	t.ev = s.schedule(s.now+d, func() {
 		t.fired = true
 		t.ev = nil

@@ -55,7 +55,7 @@ func TestCancelInterleavedWithLiveEvents(t *testing.T) {
 func TestCancelMiddleOfHeapKeepsOrder(t *testing.T) {
 	s := New(1)
 	var order []int
-	timers := make([]*Timer, 20)
+	timers := make([]Timer, 20)
 	for i := 0; i < 20; i++ {
 		i := i
 		timers[i] = s.After(time.Duration(i+1)*time.Millisecond, func() { order = append(order, i) })
@@ -84,7 +84,7 @@ func TestCancelMiddleOfHeapKeepsOrder(t *testing.T) {
 // Cancelling a timer from inside another handler at the same instant.
 func TestCancelFromHandlerSameInstant(t *testing.T) {
 	s := New(1)
-	var victim *Timer
+	var victim Timer
 	s.After(5*time.Millisecond, func() { victim.Cancel() })
 	victim = s.After(5*time.Millisecond, func() { t.Error("victim fired despite same-instant cancel") })
 	if err := s.RunUntilIdle(10); err != nil {

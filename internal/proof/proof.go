@@ -8,6 +8,9 @@
 // Checked[T] parameter can therefore skip re-validation entirely, which is
 // the paper's "exploit static information … to remove any need for
 // dynamic checks" claim, measured in experiment E3.
+//
+// Validators and Checked values are immutable after construction and
+// safe to share across goroutines — a witness does not expire.
 package proof
 
 import (

@@ -1,0 +1,42 @@
+//go:build !linux || !(amd64 || arm64)
+
+// Portable packet I/O: no burst reads (the blocking read in the reader
+// loop carries everything) and per-packet writes via the net package.
+// Still allocation-free in steady state — WriteToUDPAddrPort takes the
+// destination by value — just more syscalls than the mmsg fast path.
+
+package rtnet
+
+import (
+	"net/netip"
+	"syscall"
+)
+
+type burstReader struct{}
+
+func newBurstReader(batchSize, maxPacket int) *burstReader { return &burstReader{} }
+
+// read reports no burst datagrams: the platform has no non-blocking
+// batched receive, so the blocking read path handles everything.
+func (r *burstReader) read(raw syscall.RawConn) int { return 0 }
+
+func (r *burstReader) packet(i int) ([]byte, netip.AddrPort) {
+	panic("rtnet: burst reads unavailable on this platform")
+}
+
+type burstSender struct{}
+
+func newBurstSender(batchSize int) *burstSender { return &burstSender{} }
+
+// send writes each staged packet individually.
+func (s *burstSender) send(n *Node, out []outPkt, buf []byte) (sent, errs int) {
+	for i := range out {
+		p := &out[i]
+		if _, err := n.conn.WriteToUDPAddrPort(buf[p.off:p.end], p.to); err != nil {
+			errs++
+		} else {
+			sent++
+		}
+	}
+	return
+}

@@ -1,0 +1,201 @@
+//go:build linux && (amd64 || arm64)
+
+// Batched packet I/O via recvmmsg/sendmmsg: many datagrams per syscall,
+// into preallocated buffers, with raw sockaddr conversion so the hot
+// path performs zero allocations. The build tag pins the architectures
+// whose struct mmsghdr layout (56-byte msghdr, 8-byte alignment) the Go
+// struct below mirrors; other platforms use the portable fallback in
+// io_fallback.go.
+
+package rtnet
+
+import (
+	"net/netip"
+	"syscall"
+	"unsafe"
+)
+
+// mmsghdr mirrors struct mmsghdr: a msghdr plus the kernel-filled
+// datagram length. Go pads the struct to 8-byte alignment, matching C.
+type mmsghdr struct {
+	hdr  syscall.Msghdr
+	mlen uint32
+}
+
+// burstReader drains a socket with recvmmsg after the reader's blocking
+// read has woken it: up to Batch datagrams per syscall.
+type burstReader struct {
+	bufs [][]byte
+	iovs []syscall.Iovec
+	rsas []syscall.RawSockaddrAny
+	msgs []mmsghdr
+}
+
+func newBurstReader(batchSize, maxPacket int) *burstReader {
+	r := &burstReader{
+		bufs: make([][]byte, batchSize),
+		iovs: make([]syscall.Iovec, batchSize),
+		rsas: make([]syscall.RawSockaddrAny, batchSize),
+		msgs: make([]mmsghdr, batchSize),
+	}
+	for i := range r.bufs {
+		r.bufs[i] = make([]byte, maxPacket)
+		r.iovs[i].Base = &r.bufs[i][0]
+		r.iovs[i].SetLen(maxPacket)
+		r.msgs[i].hdr.Name = (*byte)(unsafe.Pointer(&r.rsas[i]))
+		r.msgs[i].hdr.Iov = &r.iovs[i]
+		r.msgs[i].hdr.Iovlen = 1
+	}
+	return r
+}
+
+// read receives up to cap datagrams without blocking (MSG_DONTWAIT) and
+// returns how many arrived; 0 when the socket is drained.
+func (r *burstReader) read(raw syscall.RawConn) int {
+	count := 0
+	rerr := raw.Read(func(fd uintptr) bool {
+		for i := range r.msgs {
+			r.msgs[i].hdr.Namelen = syscall.SizeofSockaddrAny
+			r.msgs[i].mlen = 0
+		}
+		for {
+			n, _, errno := syscall.Syscall6(sysRECVMMSG, fd,
+				uintptr(unsafe.Pointer(&r.msgs[0])), uintptr(len(r.msgs)),
+				uintptr(syscall.MSG_DONTWAIT), 0, 0)
+			if errno == syscall.EINTR {
+				continue
+			}
+			if errno != 0 {
+				count = 0
+			} else {
+				count = int(n)
+			}
+			return true // never park: this is the opportunistic burst
+		}
+	})
+	if rerr != nil {
+		return 0
+	}
+	return count
+}
+
+// packet returns the i-th received datagram and its source. The bytes
+// alias the reader's buffers: valid until the next read call.
+func (r *burstReader) packet(i int) ([]byte, netip.AddrPort) {
+	return r.bufs[i][:r.msgs[i].mlen], fromRawSockaddr(&r.rsas[i])
+}
+
+// burstSender flushes a shard's staged packets with sendmmsg: one
+// syscall per burst. A full socket buffer parks the shard on the
+// netpoller (raw.Write) rather than dropping — backpressure, not loss.
+type burstSender struct {
+	iovs []syscall.Iovec
+	rsas []syscall.RawSockaddrAny
+	msgs []mmsghdr
+}
+
+func newBurstSender(batchSize int) *burstSender {
+	s := &burstSender{
+		iovs: make([]syscall.Iovec, batchSize),
+		rsas: make([]syscall.RawSockaddrAny, batchSize),
+		msgs: make([]mmsghdr, batchSize),
+	}
+	for i := range s.msgs {
+		s.msgs[i].hdr.Name = (*byte)(unsafe.Pointer(&s.rsas[i]))
+		s.msgs[i].hdr.Iov = &s.iovs[i]
+		s.msgs[i].hdr.Iovlen = 1
+	}
+	return s
+}
+
+// send transmits every staged packet, batching up to cap per sendmmsg.
+// Packets whose destination family cannot ride this socket are counted
+// as errors; the rest are delivered or retried until writable.
+func (s *burstSender) send(n *Node, out []outPkt, buf []byte) (sent, errs int) {
+	i := 0
+	for i < len(out) {
+		// Stage a run of consecutive convertible destinations.
+		m := 0
+		for i+m < len(out) && m < len(s.msgs) {
+			p := &out[i+m]
+			nl, ok := putRawSockaddr(&s.rsas[m], p.to, n.v6)
+			if !ok {
+				break
+			}
+			s.iovs[m].Base = &buf[p.off]
+			s.iovs[m].SetLen(p.end - p.off)
+			s.msgs[m].hdr.Namelen = nl
+			m++
+		}
+		if m == 0 { // out[i] unconvertible: skip it
+			errs++
+			i++
+			continue
+		}
+		k := 0
+		werr := n.raw.Write(func(fd uintptr) bool {
+			for {
+				r0, _, errno := syscall.Syscall6(sysSENDMMSG, fd,
+					uintptr(unsafe.Pointer(&s.msgs[0])), uintptr(m),
+					uintptr(syscall.MSG_DONTWAIT), 0, 0)
+				switch errno {
+				case syscall.EINTR:
+					continue
+				case syscall.EAGAIN:
+					return false // park on the poller until writable
+				case 0:
+					k = int(r0)
+				default:
+					k = -1
+				}
+				return true
+			}
+		})
+		if werr != nil || k < 0 {
+			errs += len(out) - i
+			return
+		}
+		sent += k
+		i += k
+	}
+	return
+}
+
+// fromRawSockaddr converts a kernel-filled sockaddr to netip; the zero
+// AddrPort marks an address family we do not speak.
+func fromRawSockaddr(rsa *syscall.RawSockaddrAny) netip.AddrPort {
+	switch rsa.Addr.Family {
+	case syscall.AF_INET:
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(rsa))
+		p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+		return netip.AddrPortFrom(netip.AddrFrom4(sa.Addr), uint16(p[0])<<8|uint16(p[1]))
+	case syscall.AF_INET6:
+		sa := (*syscall.RawSockaddrInet6)(unsafe.Pointer(rsa))
+		p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+		return netip.AddrPortFrom(netip.AddrFrom16(sa.Addr).Unmap(), uint16(p[0])<<8|uint16(p[1]))
+	}
+	return netip.AddrPort{}
+}
+
+// putRawSockaddr fills rsa for a send to ap on a socket of the node's
+// family (v4-mapped addresses ride a v6 socket transparently).
+func putRawSockaddr(rsa *syscall.RawSockaddrAny, ap netip.AddrPort, v6 bool) (uint32, bool) {
+	a := ap.Addr()
+	if v6 {
+		sa := (*syscall.RawSockaddrInet6)(unsafe.Pointer(rsa))
+		*sa = syscall.RawSockaddrInet6{Family: syscall.AF_INET6}
+		sa.Addr = a.As16()
+		p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+		p[0], p[1] = byte(ap.Port()>>8), byte(ap.Port())
+		return syscall.SizeofSockaddrInet6, true
+	}
+	if !a.Is4() && !a.Is4In6() {
+		return 0, false
+	}
+	sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(rsa))
+	*sa = syscall.RawSockaddrInet4{Family: syscall.AF_INET}
+	sa.Addr = a.As4()
+	p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+	p[0], p[1] = byte(ap.Port()>>8), byte(ap.Port())
+	return syscall.SizeofSockaddrInet4, true
+}

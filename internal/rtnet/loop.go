@@ -1,0 +1,184 @@
+package rtnet
+
+import (
+	"container/heap"
+	"time"
+
+	"protodsl/internal/netsim"
+)
+
+// Loop is a shard's real-clock scheduler: the netsim.Runtime
+// implementation protocol engines run against when they are attached to
+// a real socket instead of a simulator.
+//
+// It mirrors the simulator's timer guarantees exactly — the heap is
+// indexed, so Cancel physically removes the event (heap.Remove) and a
+// cancelled timer can never fire or cost the event loop anything — but
+// time is the host's monotonic clock, measured as a Duration since the
+// owning Node's start so engine-visible timestamps look just like
+// virtual ones.
+//
+// A Loop belongs to exactly one shard goroutine. Now/After/Post must
+// only be called from inside that shard's event loop (engine handlers,
+// timer callbacks, and functions run via Node.Do / Flow.Do all qualify).
+type Loop struct {
+	start   time.Time
+	queue   timerHeap
+	pool    []*timerEvent // free list of event structs for reuse
+	posted  []func()
+	nextSeq uint64
+}
+
+var _ netsim.Runtime = (*Loop)(nil)
+
+func newLoop(start time.Time) *Loop { return &Loop{start: start} }
+
+// timerEvent is a scheduled callback; index is its heap position so
+// cancellation can heap.Remove it (-1 once dequeued), exactly like the
+// simulator's event struct.
+type timerEvent struct {
+	at    time.Duration
+	seq   uint64
+	fn    func()
+	index int
+}
+
+type timerHeap []*timerEvent
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *timerHeap) Push(x any) {
+	e := x.(*timerEvent)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+func (l *Loop) schedule(at time.Duration, fn func()) *timerEvent {
+	var e *timerEvent
+	if n := len(l.pool); n > 0 {
+		e = l.pool[n-1]
+		l.pool[n-1] = nil
+		l.pool = l.pool[:n-1]
+	} else {
+		e = &timerEvent{}
+	}
+	e.at, e.seq, e.fn = at, l.nextSeq, fn
+	l.nextSeq++
+	heap.Push(&l.queue, e)
+	return e
+}
+
+func (l *Loop) release(e *timerEvent) {
+	e.fn = nil
+	l.pool = append(l.pool, e)
+}
+
+func (l *Loop) remove(e *timerEvent) {
+	if e.index < 0 {
+		return
+	}
+	heap.Remove(&l.queue, e.index)
+	l.release(e)
+}
+
+// rtTimer is the real-clock netsim.Timer implementation.
+type rtTimer struct {
+	loop  *Loop
+	ev    *timerEvent
+	fired bool
+}
+
+// Cancel prevents the timer from firing and removes its event from the
+// heap; cancelling an already-fired or already-cancelled timer is a
+// no-op (the same contract as the simulator's timers).
+func (t *rtTimer) Cancel() {
+	if t.ev == nil {
+		return
+	}
+	t.loop.remove(t.ev)
+	t.ev = nil
+}
+
+// Fired reports whether the callback has run.
+func (t *rtTimer) Fired() bool { return t.fired }
+
+// Active reports whether the timer is still pending.
+func (t *rtTimer) Active() bool { return t.ev != nil }
+
+// Now returns the monotonic time since the node started.
+func (l *Loop) Now() time.Duration { return time.Since(l.start) }
+
+// After schedules fn to run after real duration d on this shard's loop.
+func (l *Loop) After(d time.Duration, fn func()) netsim.Timer {
+	t := &rtTimer{loop: l}
+	t.ev = l.schedule(l.Now()+d, func() {
+		t.fired = true
+		t.ev = nil
+		fn()
+	})
+	return t
+}
+
+// Post schedules fn to run promptly, after work already queued for this
+// wakeup.
+func (l *Loop) Post(fn func()) { l.posted = append(l.posted, fn) }
+
+// next returns the earliest pending timer deadline.
+func (l *Loop) next() (time.Duration, bool) {
+	if len(l.queue) == 0 {
+		return 0, false
+	}
+	return l.queue[0].at, true
+}
+
+// runDue fires every timer whose deadline has passed, interleaving
+// posted functions the way the simulator does.
+func (l *Loop) runDue() {
+	for len(l.queue) > 0 {
+		now := time.Since(l.start)
+		top := l.queue[0]
+		if top.at > now {
+			return
+		}
+		heap.Pop(&l.queue)
+		fn := top.fn
+		l.release(top)
+		fn()
+		l.runPosted()
+	}
+}
+
+// runPosted drains the posted-function queue (functions it runs may
+// post more; those run too).
+func (l *Loop) runPosted() {
+	for len(l.posted) > 0 {
+		fn := l.posted[0]
+		// Shift rather than swap: posted order is FIFO, as in the
+		// simulator's same-instant event ordering.
+		copy(l.posted, l.posted[1:])
+		l.posted[len(l.posted)-1] = nil
+		l.posted = l.posted[:len(l.posted)-1]
+		fn()
+	}
+}

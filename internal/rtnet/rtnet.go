@@ -1,0 +1,633 @@
+// Package rtnet is the real-network runtime: it carries the same
+// compiled protocol engines that run inside internal/netsim onto actual
+// UDP sockets, unchanged. The netsim.Port / netsim.Runtime / netsim.Mux
+// contracts are the seam — an arq go-back-N or selective-repeat engine
+// attached to an rtnet flow cannot tell it is no longer in simulation,
+// except that time is real and the network genuinely loses packets.
+//
+// Architecture (one Node per socket):
+//
+//	reader goroutine ── batched reads ──► shard 0 event loop ── engines
+//	   (one per Node)                  ─► shard 1 event loop ── engines
+//	                                   ─► ...
+//
+// A Node owns one UDP socket, one reader goroutine and a set of shard
+// event loops. Logical flows are multiplexed over the socket with the
+// netsim.Mux frame header (flow id + bitwise complement); the reader
+// validates the header, routes each frame to the shard owning its flow
+// id (id mod shards), and hands frames over in batches of reusable
+// buffers. Each shard goroutine owns a Loop (real-clock timers with the
+// simulator's cancel-really-cancels guarantee), a Mux, and every engine
+// attached to its flows — preserving netsim's one-engine-one-goroutine
+// contract: nothing inside a shard is ever touched by another
+// goroutine. Outbound packets are staged per wakeup and flushed in one
+// batch (sendmmsg where available), so the steady-state send/receive
+// path allocates nothing.
+//
+// Concurrency contract: engine state may only be touched from its
+// owning shard's loop. Cross-goroutine access goes through Node.Do /
+// Flow.Do, which run a function inside the loop and wait for it.
+package rtnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"protodsl/internal/netsim"
+)
+
+// maxPeerNames bounds the reader's source-address string cache; see
+// route.
+const maxPeerNames = 1 << 16
+
+// Package errors.
+var (
+	// ErrClosed is returned for operations on a closed Node.
+	ErrClosed = errors.New("rtnet: node closed")
+	// ErrBadAddr is returned when a destination address cannot be parsed
+	// as ip:port.
+	ErrBadAddr = errors.New("rtnet: bad address")
+)
+
+// Config parameterises a Node. The zero value selects sensible
+// defaults.
+type Config struct {
+	// Shards is the number of worker event loops (flow id mod Shards
+	// picks the owner). Zero selects min(GOMAXPROCS, 4).
+	Shards int
+	// MaxPacket is the largest UDP datagram accepted or staged, mux
+	// header included. Zero selects 2048.
+	MaxPacket int
+	// Batch is the number of packets handed to a shard per wakeup and
+	// the burst size of the batched read/write paths. Zero selects 32.
+	Batch int
+	// SocketBuffer sizes the kernel send/receive buffers. Zero selects
+	// 1 MiB.
+	SocketBuffer int
+	// MaxPeersPerFlow caps how many distinct peers a *served* flow will
+	// spawn engines for (Serve); datagrams from further peers on that
+	// flow are dropped. UDP sources are trivially spoofable, so without
+	// a cap a source-address sweep would grow server memory without
+	// bound. Zero selects 1024. Flows claimed with Node.Flow are not
+	// affected.
+	MaxPeersPerFlow int
+}
+
+func (c *Config) applyDefaults() {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+		if c.Shards > 4 {
+			c.Shards = 4
+		}
+	}
+	if c.MaxPacket <= 0 {
+		c.MaxPacket = 2048
+	}
+	if c.Batch <= 0 {
+		c.Batch = 32
+	}
+	if c.SocketBuffer <= 0 {
+		c.SocketBuffer = 1 << 20
+	}
+	if c.MaxPeersPerFlow <= 0 {
+		c.MaxPeersPerFlow = 1024
+	}
+}
+
+// pkt is one received frame, mux header still attached; data aliases
+// the owning batch's buffer and is valid until the batch is recycled.
+type pkt struct {
+	from netsim.Addr
+	data []byte
+}
+
+// batch is a reusable bundle of received frames. Buffers are sized so
+// appends never reallocate: the reader fills batches, shards drain them
+// and hand them back through the free pool.
+type batch struct {
+	pkts []pkt
+	buf  []byte
+}
+
+// Node is one UDP socket carrying many logical flows. Create with
+// Listen; see the package comment for the threading model.
+type Node struct {
+	conn   *net.UDPConn
+	raw    syscall.RawConn
+	start  time.Time
+	addr   netsim.Addr
+	v6     bool
+	cfg    Config
+	shards []*Shard
+	free   chan *batch
+	done   chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+
+	drops    atomic.Uint64 // unframed or corrupted-header datagrams
+	sendErrs atomic.Uint64 // failed socket writes (dropped like the wire would)
+}
+
+// Listen opens a UDP socket on addr (e.g. "127.0.0.1:0") and starts the
+// reader and shard goroutines.
+func Listen(addr string, cfg Config) (*Node, error) {
+	cfg.applyDefaults()
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, err
+	}
+	_ = conn.SetReadBuffer(cfg.SocketBuffer)
+	_ = conn.SetWriteBuffer(cfg.SocketBuffer)
+	raw, err := conn.SyscallConn()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	lap := conn.LocalAddr().(*net.UDPAddr).AddrPort()
+	canonical := netip.AddrPortFrom(lap.Addr().Unmap(), lap.Port())
+	n := &Node{
+		conn:  conn,
+		raw:   raw,
+		start: time.Now(),
+		addr:  netsim.Addr(canonical.String()),
+		v6:    lap.Addr().Is6() && !lap.Addr().Is4In6(),
+		cfg:   cfg,
+		done:  make(chan struct{}),
+	}
+	// Enough batches that the reader can hold one pending per shard
+	// while every shard is still chewing on a few.
+	poolSize := cfg.Shards * 4
+	n.free = make(chan *batch, poolSize)
+	for i := 0; i < poolSize; i++ {
+		n.free <- &batch{
+			pkts: make([]pkt, 0, cfg.Batch),
+			buf:  make([]byte, 0, cfg.Batch*cfg.MaxPacket),
+		}
+	}
+	n.shards = make([]*Shard, cfg.Shards)
+	for i := range n.shards {
+		n.shards[i] = newShard(n, i)
+	}
+	n.wg.Add(1 + len(n.shards))
+	for _, s := range n.shards {
+		go s.run()
+	}
+	go n.readLoop()
+	return n, nil
+}
+
+// Addr returns the node's local address ("ip:port"), the identity its
+// frames carry on the wire.
+func (n *Node) Addr() netsim.Addr { return n.addr }
+
+// Shards returns the number of worker event loops the node runs (the
+// configured count after defaulting). Flow id mod Shards picks the
+// owning loop.
+func (n *Node) Shards() int { return len(n.shards) }
+
+// Drops returns the number of datagrams discarded at the node for a
+// short or corrupted mux header — attacker-controlled bytes that never
+// reach a shard. Per-flow drops (unclaimed ids) are counted by each
+// shard's Mux on top of this.
+func (n *Node) Drops() uint64 { return n.drops.Load() }
+
+// SendErrors returns the number of staged packets the socket refused
+// (treated as wire loss: ARQ recovers them).
+func (n *Node) SendErrors() uint64 { return n.sendErrs.Load() }
+
+// Close shuts the node down: the socket is closed, shard loops drain
+// and exit, pending timers are dropped. Close is idempotent.
+func (n *Node) Close() error {
+	n.once.Do(func() {
+		close(n.done)
+		n.conn.Close()
+	})
+	n.wg.Wait()
+	return nil
+}
+
+// Dial resolves remote ("host:port") to the canonical address frames
+// from this node will carry to it. It performs no handshake — UDP has
+// none — it only fixes the peer's identity, and rejects destinations
+// the node's socket family can never reach (a v6 destination on a
+// v4-bound node would otherwise blackhole every send).
+func (n *Node) Dial(remote string) (netsim.Addr, error) {
+	ua, err := net.ResolveUDPAddr("udp", remote)
+	if err != nil {
+		return "", err
+	}
+	ap := ua.AddrPort()
+	ap = netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+	if !n.v6 && !ap.Addr().Is4() && !ap.Addr().Is4In6() {
+		return "", fmt.Errorf("%w: %s resolves to IPv6 %s but this node's socket is IPv4-only (listen on an IPv6 or wildcard address to reach it)",
+			ErrBadAddr, remote, ap)
+	}
+	return netsim.Addr(ap.String()), nil
+}
+
+func (n *Node) shardFor(id byte) *Shard { return n.shards[int(id)%len(n.shards)] }
+
+// Do runs fn inside the event loop of the shard owning flow id and
+// waits for it to finish — the only safe way to touch engine state from
+// outside the loop. It must not be called from inside a shard loop.
+func (n *Node) Do(id byte, fn func()) error { return n.shardFor(id).do(fn) }
+
+// Flow claims the given flow id on its owning shard and returns a
+// handle for attaching an engine to it.
+func (n *Node) Flow(id byte) (*Flow, error) {
+	sh := n.shardFor(id)
+	var (
+		fp   *netsim.FlowPort
+		ferr error
+	)
+	if err := sh.do(func() { fp, ferr = sh.mux.Flow(id) }); err != nil {
+		return nil, err
+	}
+	if ferr != nil {
+		return nil, ferr
+	}
+	return &Flow{sh: sh, fp: fp, id: id}, nil
+}
+
+// Flow is one claimed logical flow of a Node.
+type Flow struct {
+	sh *Shard
+	fp *netsim.FlowPort
+	id byte
+}
+
+// ID returns the flow id.
+func (f *Flow) ID() byte { return f.id }
+
+// Do runs fn inside the owning shard's event loop, handing it the
+// shard's Runtime and this flow's Port, and waits for it to finish.
+// Engines are attached here:
+//
+//	flow.Do(func(rt netsim.Runtime, port netsim.Port) {
+//	    sender, err = arq.AttachGBNSender(rt, port, peer, cfg, payloads, onDone)
+//	})
+func (f *Flow) Do(fn func(rt netsim.Runtime, port netsim.Port)) error {
+	return f.sh.do(func() { fn(f.sh.loop, f.fp) })
+}
+
+// AcceptFunc decides what to attach when a frame arrives on a served
+// flow from a peer not seen before on that flow. It runs inside the
+// owning shard's loop and returns the handler for that (flow, peer)
+// pair — typically an arq receiver's OnDatagram — or nil to drop all
+// traffic from that peer on that flow.
+type AcceptFunc func(rt netsim.Runtime, port netsim.Port, peer netsim.Addr, flow byte) func(from netsim.Addr, data []byte)
+
+// Serve claims every still-unclaimed flow id and installs accept as the
+// demultiplexer: one engine per (flow, peer) pair, spawned inside the
+// owning shard's loop on first contact. Flows claimed earlier (Node.Flow)
+// are left alone, so a node can serve and originate at once.
+func (n *Node) Serve(accept AcceptFunc) error {
+	for _, sh := range n.shards {
+		sh := sh
+		err := sh.do(func() {
+			for id := 0; id < 256; id++ {
+				if n.shardFor(byte(id)) != sh {
+					continue
+				}
+				fp, err := sh.mux.Flow(byte(id))
+				if err != nil {
+					continue // claimed by the caller: not ours to serve
+				}
+				installAcceptor(sh, fp, byte(id), accept)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func installAcceptor(sh *Shard, fp *netsim.FlowPort, id byte, accept AcceptFunc) {
+	engines := make(map[netsim.Addr]func(netsim.Addr, []byte))
+	maxPeers := sh.node.cfg.MaxPeersPerFlow
+	fp.SetHandler(func(from netsim.Addr, data []byte) {
+		h, seen := engines[from]
+		if !seen {
+			if len(engines) >= maxPeers {
+				return // peer table full: spoofed-source sweeps stop here
+			}
+			h = accept(sh.loop, fp, from, id)
+			engines[from] = h
+		}
+		if h != nil {
+			h(from, data)
+		}
+	})
+}
+
+// readLoop is the node's reader goroutine: blocking read, opportunistic
+// non-blocking burst behind it (recvmmsg where available), then one
+// batch handoff per destination shard — many packets per wakeup, none
+// copied more than once, no allocation in steady state.
+func (n *Node) readLoop() {
+	defer n.wg.Done()
+	names := make(map[netip.AddrPort]netsim.Addr)
+	pending := make([]*batch, len(n.shards))
+	scratch := make([]byte, n.cfg.MaxPacket)
+	br := newBurstReader(n.cfg.Batch, n.cfg.MaxPacket)
+	for {
+		nb, ap, err := n.conn.ReadFromUDPAddrPort(scratch)
+		if err != nil {
+			if n.closed() || errors.Is(err, net.ErrClosed) {
+				for _, s := range n.shards {
+					close(s.in)
+				}
+				return
+			}
+			continue // transient socket error: keep serving
+		}
+		n.route(pending, names, ap, scratch[:nb])
+		for {
+			count := br.read(n.raw)
+			for i := 0; i < count; i++ {
+				data, from := br.packet(i)
+				if !from.IsValid() {
+					n.drops.Add(1)
+					continue
+				}
+				n.route(pending, names, from, data)
+			}
+			if count < n.cfg.Batch {
+				break // socket drained (or burst reads unavailable)
+			}
+		}
+		n.dispatch(pending)
+	}
+}
+
+func (n *Node) closed() bool {
+	select {
+	case <-n.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// route validates the mux header and appends the frame to the owning
+// shard's pending batch, handing the batch over once full.
+func (n *Node) route(pending []*batch, names map[netip.AddrPort]netsim.Addr, ap netip.AddrPort, data []byte) {
+	if len(data) < 2 || data[1] != ^data[0] {
+		n.drops.Add(1)
+		return
+	}
+	si := int(data[0]) % len(n.shards)
+	b := pending[si]
+	if b == nil {
+		b = <-n.free
+		pending[si] = b
+	}
+	from, ok := names[ap]
+	if !ok {
+		// The name cache is bounded: a spoofed-source sweep would
+		// otherwise grow it without limit. Resetting loses only cached
+		// strings; legitimate peers are re-interned on their next packet.
+		if len(names) >= maxPeerNames {
+			clear(names)
+		}
+		canonical := netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+		from = netsim.Addr(canonical.String())
+		names[ap] = from
+	}
+	off := len(b.buf)
+	b.buf = append(b.buf, data...)
+	b.pkts = append(b.pkts, pkt{from: from, data: b.buf[off:]})
+	if len(b.pkts) == cap(b.pkts) {
+		n.shards[si].in <- b
+		pending[si] = nil
+	}
+}
+
+// dispatch hands every non-empty pending batch to its shard.
+func (n *Node) dispatch(pending []*batch) {
+	for si, b := range pending {
+		if b == nil {
+			continue
+		}
+		n.shards[si].in <- b
+		pending[si] = nil
+	}
+}
+
+// outPkt is one staged outbound packet; the payload lives in the
+// shard's staging buffer.
+type outPkt struct {
+	to       netip.AddrPort
+	off, end int
+}
+
+// Shard is one worker event loop: a Loop (timers), a Mux (flow
+// framing), the engines attached to its flows, and a staging area for
+// this wakeup's outbound packets. Everything in it belongs to its own
+// goroutine.
+type Shard struct {
+	node *Node
+	idx  int
+	loop *Loop
+	in   chan *batch
+	call chan func()
+	mux  *netsim.Mux
+	port *shardPort
+
+	// Outbound staging: packets queued by engines during one wakeup,
+	// flushed in one batch before the loop blocks again.
+	out    []outPkt
+	outBuf []byte
+	sender *burstSender
+	peers  map[netsim.Addr]netip.AddrPort
+}
+
+func newShard(n *Node, idx int) *Shard {
+	s := &Shard{
+		node:   n,
+		idx:    idx,
+		loop:   newLoop(n.start),
+		in:     make(chan *batch, 4),
+		call:   make(chan func(), 16),
+		out:    make([]outPkt, 0, n.cfg.Batch),
+		outBuf: make([]byte, 0, n.cfg.Batch*n.cfg.MaxPacket),
+		sender: newBurstSender(n.cfg.Batch),
+		peers:  make(map[netsim.Addr]netip.AddrPort),
+	}
+	s.port = &shardPort{shard: s}
+	s.mux = netsim.NewMux(s.port)
+	return s
+}
+
+// do runs fn inside the shard loop and waits for it.
+func (s *Shard) do(fn func()) error {
+	done := make(chan struct{})
+	select {
+	case s.call <- func() { fn(); close(done) }:
+	case <-s.node.done:
+		return ErrClosed
+	}
+	select {
+	case <-done:
+		return nil
+	case <-s.node.done:
+		// The loop may already have exited; don't hang on shutdown.
+		select {
+		case <-done:
+			return nil
+		case <-time.After(100 * time.Millisecond):
+			return ErrClosed
+		}
+	}
+}
+
+// run is the shard's event loop. Each wakeup: drain whatever is ready
+// (inbound batches, cross-goroutine calls, due timers), then flush the
+// staged writes in one burst and block again.
+func (s *Shard) run() {
+	defer s.node.wg.Done()
+	tm := time.NewTimer(time.Hour)
+	if !tm.Stop() {
+		<-tm.C
+	}
+	for {
+		s.flush()
+		var timerC <-chan time.Time
+		if at, ok := s.loop.next(); ok {
+			d := at - s.loop.Now()
+			if d <= 0 {
+				s.loop.runDue()
+				continue
+			}
+			tm.Reset(d)
+			timerC = tm.C
+		}
+		select {
+		case b, ok := <-s.in:
+			if !ok {
+				s.flush()
+				return
+			}
+			s.deliver(b)
+		case fn := <-s.call:
+			fn()
+			s.loop.runPosted()
+		case <-timerC:
+			s.loop.runDue()
+		}
+		// Opportunistically drain queued work before paying for another
+		// flush + select round trip.
+		for {
+			select {
+			case b, ok := <-s.in:
+				if !ok {
+					s.flush()
+					return
+				}
+				s.deliver(b)
+				continue
+			case fn := <-s.call:
+				fn()
+				s.loop.runPosted()
+				continue
+			default:
+			}
+			break
+		}
+		if timerC != nil && !tm.Stop() {
+			select {
+			case <-tm.C:
+			default:
+			}
+		}
+		s.loop.runDue()
+	}
+}
+
+// deliver feeds one batch of frames to the shard's mux and recycles it.
+func (s *Shard) deliver(b *batch) {
+	for i := range b.pkts {
+		p := &b.pkts[i]
+		if h := s.port.handler; h != nil {
+			h(p.from, p.data)
+		}
+		s.loop.runPosted()
+	}
+	b.pkts = b.pkts[:0]
+	b.buf = b.buf[:0]
+	s.node.free <- b
+}
+
+// flush writes every staged packet in one burst (sendmmsg where
+// available). Socket refusals are dropped like wire loss and counted.
+func (s *Shard) flush() {
+	if len(s.out) == 0 {
+		return
+	}
+	sent, errs := s.sender.send(s.node, s.out, s.outBuf)
+	_ = sent
+	if errs > 0 {
+		s.node.sendErrs.Add(uint64(errs))
+	}
+	s.out = s.out[:0]
+	s.outBuf = s.outBuf[:0]
+}
+
+func (s *Shard) resolve(to netsim.Addr) (netip.AddrPort, error) {
+	if ap, ok := s.peers[to]; ok {
+		return ap, nil
+	}
+	ap, err := netip.ParseAddrPort(string(to))
+	if err != nil {
+		return netip.AddrPort{}, fmt.Errorf("%w: %q: %v", ErrBadAddr, to, err)
+	}
+	ap = netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+	s.peers[to] = ap
+	return ap, nil
+}
+
+// shardPort is the physical netsim.Port a shard's Mux wraps: Send
+// stages a packet for this wakeup's flush; received frames are pushed
+// into the handler (the mux's dispatch) by the shard loop.
+type shardPort struct {
+	shard   *Shard
+	handler func(from netsim.Addr, data []byte)
+}
+
+var _ netsim.Port = (*shardPort)(nil)
+
+// Addr returns the node's local address.
+func (p *shardPort) Addr() netsim.Addr { return p.shard.node.addr }
+
+// Send stages data for the shard's next flush. The bytes are copied
+// into the staging buffer immediately (callers reuse their encode
+// buffers, exactly as with netsim.Endpoint.Send).
+func (p *shardPort) Send(to netsim.Addr, data []byte) error {
+	s := p.shard
+	if len(data) > s.node.cfg.MaxPacket {
+		return fmt.Errorf("rtnet: packet %d bytes exceeds MaxPacket %d", len(data), s.node.cfg.MaxPacket)
+	}
+	ap, err := s.resolve(to)
+	if err != nil {
+		return err
+	}
+	off := len(s.outBuf)
+	s.outBuf = append(s.outBuf, data...)
+	s.out = append(s.out, outPkt{to: ap, off: off, end: len(s.outBuf)})
+	return nil
+}
+
+// SetHandler installs the receive callback (the shard's mux dispatch).
+func (p *shardPort) SetHandler(fn func(from netsim.Addr, data []byte)) { p.handler = fn }

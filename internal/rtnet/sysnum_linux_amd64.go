@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package rtnet
+
+// sendmmsg/recvmmsg syscall numbers; the frozen syscall package predates
+// sendmmsg on amd64.
+const (
+	sysRECVMMSG = 299
+	sysSENDMMSG = 307
+)

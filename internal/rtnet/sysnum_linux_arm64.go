@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package rtnet
+
+// sendmmsg/recvmmsg syscall numbers for linux/arm64.
+const (
+	sysRECVMMSG = 243
+	sysSENDMMSG = 269
+)

@@ -9,6 +9,9 @@
 //
 // The style here is deliberately what the paper criticises. Do not clean
 // it up: its verbosity is the measurement.
+//
+// Like the DSL engines it mirrors, each hand-rolled sender/receiver is
+// single-owner inside its simulator's event loop.
 package sockets
 
 import (
@@ -149,7 +152,7 @@ type sender struct {
 	seq        byte
 	payloads   [][]byte
 	idx        int
-	timer      *netsim.Timer
+	timer      netsim.Timer
 	rto        time.Duration
 	maxRetries int
 	retries    int

@@ -9,6 +9,9 @@
 // Run replays a suite against a fresh machine and verifies every
 // expectation, so the suite doubles as a regression harness for the spec
 // — experiment E9 reports the counts and transition coverage.
+//
+// Generation is pure — spec in, suite out — so concurrent generation
+// over distinct specs is safe.
 package testgen
 
 import (

@@ -1,0 +1,113 @@
+// Command docscheck fails CI when documentation references rot: every
+// `DESIGN.md §N` citation in the repository's Go sources must name a
+// section that actually exists in DESIGN.md (headings of the form
+// `## §N — title`). It is the docs counterpart of the codegen drift
+// tests: the design document is load-bearing, so dangling citations
+// are build failures, not editorial debt.
+//
+// Run from the repository root (CI does, via `make docscheck`):
+//
+//	go run ./internal/tools/docscheck
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var (
+	refRe     = regexp.MustCompile(`DESIGN\.md\s+§(\d+)`)
+	sectionRe = regexp.MustCompile(`(?m)^##\s+§(\d+)`)
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	problems, err := check(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(1)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "docscheck:", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: all DESIGN.md §N references resolve")
+}
+
+// sections parses the §N headings out of DESIGN.md text.
+func sections(design string) map[int]bool {
+	out := make(map[int]bool)
+	for _, m := range sectionRe.FindAllStringSubmatch(design, -1) {
+		n, err := strconv.Atoi(m[1])
+		if err == nil {
+			out[n] = true
+		}
+	}
+	return out
+}
+
+// check scans every .go file under root for DESIGN.md §N references and
+// reports those naming a section DESIGN.md does not declare.
+func check(root string) ([]string, error) {
+	designPath := filepath.Join(root, "DESIGN.md")
+	design, err := os.ReadFile(designPath)
+	if err != nil {
+		return nil, fmt.Errorf("cannot read %s (Go sources cite it): %w", designPath, err)
+	}
+	have := sections(string(design))
+	if len(have) == 0 {
+		return nil, fmt.Errorf("%s declares no `## §N` sections", designPath)
+	}
+
+	var problems []string
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			for _, m := range refRe.FindAllStringSubmatch(line, -1) {
+				n, err := strconv.Atoi(m[1])
+				if err != nil {
+					continue
+				}
+				if !have[n] {
+					rel, rerr := filepath.Rel(root, path)
+					if rerr != nil {
+						rel = path
+					}
+					problems = append(problems, fmt.Sprintf("%s cites DESIGN.md §%d, which does not exist", rel, n))
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(problems)
+	return problems, nil
+}

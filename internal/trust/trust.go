@@ -8,6 +8,10 @@
 // acknowledgement feedback and selects relays ε-greedily; the baseline
 // picks relays uniformly at random. Experiment E7 sweeps the adversarial
 // fraction and compares delivery rates.
+//
+// Concurrency: each experiment owns its simulator, relays and scores;
+// run concurrent experiments on distinct Config values, never a shared
+// one.
 package trust
 
 import (
@@ -310,7 +314,7 @@ type runner struct {
 
 	msgID         int
 	currentRelay  int
-	timer         *netsim.Timer
+	timer         netsim.Timer
 	acked         bool
 	delivered     int
 	lateDelivered int

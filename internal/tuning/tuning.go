@@ -6,6 +6,9 @@
 // estimator (SRTT/RTTVAR smoothing, Karn's algorithm, exponential
 // backoff) and a probe/response experiment over the simulator that
 // compares adaptive and fixed timers across RTT regimes — experiment E8.
+//
+// Concurrency: estimators and probe runs are single-owner inside their
+// simulator's event loop; distinct experiments may run concurrently.
 package tuning
 
 import (
@@ -254,7 +257,7 @@ type proberun struct {
 	probe        int
 	attempt      int
 	start        time.Duration
-	timer        *netsim.Timer
+	timer        netsim.Timer
 	acked        bool
 	retransmited bool
 	latencySum   time.Duration

@@ -10,6 +10,9 @@
 // scales with sequence-number space and channel capacity, against the
 // near-constant cost of the spec-level static checks (fsm.Check) the DSL
 // approach uses instead.
+//
+// Each Check call owns its worklist and visited set, so concurrent
+// checks — even of the same system — are safe.
 package verify
 
 import (

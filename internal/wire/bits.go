@@ -3,6 +3,11 @@
 // first) order, computed fields (lengths and checksums), byte-exact
 // encoding and decoding, and rendering of RFC-style ASCII header
 // diagrams (§2.1 of the paper, Figure 1).
+//
+// Concurrency: Messages and compiled Layouts are immutable and
+// shareable across goroutines. The AppendEncode/DecodeInto hot paths
+// write into caller-owned buffers and scratch maps, which are
+// single-owner — one goroutine (or event loop) each.
 package wire
 
 import (

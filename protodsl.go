@@ -228,5 +228,13 @@ type Endpoint = netsim.Endpoint
 // Addr identifies a simulator endpoint.
 type Addr = netsim.Addr
 
+// Port is anything a protocol engine can attach to: a simulator
+// endpoint, a mux flow, or a real-network (rtnet) flow.
+type Port = netsim.Port
+
+// Runtime is the scheduling surface engines run against — virtual time
+// (*Sim) or the real clock (an rtnet shard loop). See DESIGN.md §7.
+type Runtime = netsim.Runtime
+
 // NewSim creates a simulator seeded for deterministic runs.
 func NewSim(seed int64) *Sim { return netsim.New(seed) }
