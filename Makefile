@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench lint fmt vet fmtcheck docscheck clean
+.PHONY: all build test race bench benchfull bench-json allocscheck lint fmt vet fmtcheck docscheck clean
 
 all: build test lint docscheck
 
@@ -32,6 +32,18 @@ bench:
 
 benchfull:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# The tier-1 hot-path benchmark set, recorded as machine-readable JSON
+# (BENCH_hotpath.json) so future PRs can diff the trajectory. CI uploads
+# the file as an artifact on every run.
+bench-json:
+	$(GO) run ./cmd/benchjson -benchtime 2s -out BENCH_hotpath.json
+
+# Allocation gate: the slot codec and the rtnet steady-state loops must
+# report 0 allocs/op. Regressions fail here, not in the narrative.
+allocscheck:
+	$(GO) run ./cmd/benchjson -bench 'AblationCodecPath/slot|RTNetLoopback' \
+		-benchtime 30000x -require-zero 'slot|RTNetLoopback' -out /dev/null
 
 lint: vet fmtcheck
 

@@ -443,6 +443,35 @@ func BenchmarkCompiledVsTreeWalk(b *testing.B) {
 			}
 		}
 	})
+
+	// And the slot-frame path the engines actually run: positional args,
+	// shape-backed message values, frame outputs (fsm.Machine.StepEv).
+	b.Run("machine-step-frame", func(b *testing.B) {
+		m, err := fsm.NewMachine(arq.SenderSpec())
+		if err != nil {
+			b.Fatal(err)
+		}
+		evSend, _ := m.EventID(arq.EvSend)
+		evOK, _ := m.EventID(arq.EvOK)
+		ackShape := m.Program().MsgShape("Ack")
+		ackFrame := expr.NewFrame(ackShape.NumFields())
+		seqSlot, _ := ackShape.Slot("seq")
+		chkSlot, _ := ackShape.Slot("chk")
+		ackFrame.Set(chkSlot, expr.U8(0))
+		data := expr.Bytes([]byte{1, 2, 3})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.StepEv(evSend, data); err != nil {
+				b.Fatal(err)
+			}
+			seq, _ := m.Var("seq")
+			ackFrame.Set(seqSlot, seq)
+			if _, err := m.StepEv(evOK, expr.FrameMsg(ackShape, ackFrame)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkAblationInterpVsCodegen: the fsm interpreter's Step against
@@ -534,6 +563,24 @@ func BenchmarkAblationCodecPath(b *testing.B) {
 			buf = out[:0]
 		}
 	})
+	b.Run("slot-append-encode", func(b *testing.B) {
+		prog := layout.Program()
+		frame := prog.NewFrame()
+		seqSlot, _ := prog.Slot("seq")
+		paySlot, _ := prog.Slot("payload")
+		frame.Set(seqSlot, expr.U8(1))
+		frame.Set(paySlot, expr.BytesView(payload))
+		var buf []byte
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := prog.AppendEncode(buf[:0], frame)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf = out[:0]
+		}
+	})
 	b.Run("layout-decode", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := layout.Decode(enc); err != nil {
@@ -547,6 +594,17 @@ func BenchmarkAblationCodecPath(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if err := layout.DecodeInto(vals, enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("slot-decode-into", func(b *testing.B) {
+		prog := layout.Program()
+		frame := prog.NewFrame()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := prog.DecodeInto(frame, enc); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -22,9 +22,12 @@ type SenderStats struct {
 // Sender drives the checked ARQ sender spec over a simulator endpoint.
 // All methods run inside the simulator event loop.
 //
-// The machine executes the spec's compiled program (fsm.Program), and
-// the wire path uses the reusable-buffer AppendEncode / in-place decode
-// codecs, so the steady-state send/ack loop does not allocate.
+// The machine executes the spec's compiled program (fsm.Program) through
+// the slot-frame path end to end: acks are decoded into the codec's
+// reusable frame, handed to the machine as slot-backed message values
+// (expr.FrameMsg), and fired outputs come back as slot frames the wire
+// program encodes directly — the steady-state send/ack loop touches no
+// map, hashes no string and does not allocate.
 type Sender struct {
 	sim     *netsim.Sim
 	ep      *netsim.Endpoint
@@ -41,13 +44,12 @@ type Sender struct {
 	maxRetries int
 	retries    int
 
-	// Reusable hot-loop state. The views handed to the machine are only
-	// read during the Step call (the sender spec stores no message or
-	// bytes parameter in a variable), so reuse is safe.
-	encBuf    []byte
-	sendArgs  map[string]expr.Value
-	okArgs    map[string]expr.Value
-	ackFields map[string]expr.Value
+	// Reusable hot-loop state. The frame views handed to the machine are
+	// only read during the StepEv call (the sender spec stores no message
+	// or bytes parameter in a variable), so reuse is safe.
+	encBuf                                             []byte
+	ackShape                                           *expr.MsgShape
+	evSend, evOK, evFail, evTimeout, evRetry, evFinish fsm.EventID
 
 	stats SenderStats
 	done  bool
@@ -68,13 +70,28 @@ func NewSender(sim *netsim.Sim, ep *netsim.Endpoint, peer netsim.Addr,
 	if err != nil {
 		return nil, fmt.Errorf("arq sender: %w", err)
 	}
+	// The machine's shapes and the codec's programs are built from two
+	// wire.Message instances of the same constructors; assert once that
+	// their layouts agree so definition drift fails here, not as a guard
+	// silently reading the wrong slot.
+	ackShape := machine.Program().MsgShape("Ack")
+	if !ackShape.SameLayout(codec.AckProgram().Shape()) {
+		return nil, fmt.Errorf("arq sender: machine Ack shape does not match wire program layout")
+	}
+	if !machine.Program().MsgShape("Packet").SameLayout(codec.PacketProgram().Shape()) {
+		return nil, fmt.Errorf("arq sender: machine Packet shape does not match wire program layout")
+	}
 	s := &Sender{
 		sim: sim, ep: ep, peer: peer, machine: machine, codec: codec,
 		payloads: payloads, rto: rto, maxRetries: maxRetries,
-		sendArgs:  make(map[string]expr.Value, 1),
-		okArgs:    make(map[string]expr.Value, 1),
-		ackFields: make(map[string]expr.Value, 2),
+		ackShape: ackShape,
 	}
+	s.evSend, _ = machine.EventID(EvSend)
+	s.evOK, _ = machine.EventID(EvOK)
+	s.evFail, _ = machine.EventID(EvFail)
+	s.evTimeout, _ = machine.EventID(EvTimeout)
+	s.evRetry, _ = machine.EventID(EvRetry)
+	s.evFinish, _ = machine.EventID(EvFinish)
 	ep.SetHandler(s.onDatagram)
 	return s, nil
 }
@@ -124,7 +141,7 @@ func (s *Sender) advance() {
 		return
 	}
 	if s.idx >= len(s.payloads) {
-		if _, err := s.machine.Step(EvFinish, nil); err != nil {
+		if _, err := s.machine.StepEv(s.evFinish); err != nil {
 			s.fail(err)
 			return
 		}
@@ -138,8 +155,7 @@ func (s *Sender) advance() {
 // transmit raises SEND (or re-raises it after FAIL/RETRY) and puts the
 // emitted packet on the wire.
 func (s *Sender) transmit(isRetransmit bool) {
-	s.sendArgs["data"] = expr.BytesView(s.current)
-	res, err := s.machine.Step(EvSend, s.sendArgs)
+	res, err := s.machine.StepEv(s.evSend, expr.BytesView(s.current))
 	if err != nil {
 		s.fail(err)
 		return
@@ -149,7 +165,7 @@ func (s *Sender) transmit(isRetransmit bool) {
 		return
 	}
 	out := res.Outputs[0]
-	enc, err := s.codec.Packet.AppendEncode(s.encBuf[:0], out.Fields)
+	enc, err := s.codec.PacketProgram().AppendEncode(s.encBuf[:0], out.Frame)
 	if err != nil {
 		s.fail(fmt.Errorf("arq sender: encode: %w", err))
 		return
@@ -180,12 +196,12 @@ func (s *Sender) onDatagram(_ netsim.Addr, data []byte) {
 	if s.done {
 		return
 	}
-	ack, err := s.codec.DecodeAckInPlace(data)
+	frame, err := s.codec.DecodeAckFrame(data)
 	if err != nil {
 		// Corrupted ack: the paper's FAIL transition — back to Ready and
 		// retransmit immediately.
 		s.stats.AcksCorrupted++
-		res, serr := s.machine.Step(EvFail, nil)
+		res, serr := s.machine.StepEv(s.evFail)
 		if serr != nil {
 			s.fail(serr)
 			return
@@ -196,10 +212,10 @@ func (s *Sender) onDatagram(_ netsim.Addr, data []byte) {
 		return
 	}
 	s.stats.AcksReceived++
-	s.ackFields["seq"] = expr.U8(uint64(ack.Value().Seq))
-	s.ackFields["chk"] = expr.U8(0) // already verified; not consulted by guards
-	s.okArgs["ack"] = expr.MsgView("Ack", s.ackFields)
-	res, serr := s.machine.Step(EvOK, s.okArgs)
+	// The decoded frame (checksum already verified) goes to the machine
+	// as a slot-backed message: the `ack.seq == seq` guard reads the seq
+	// slot by index.
+	res, serr := s.machine.StepEv(s.evOK, expr.FrameMsg(s.ackShape, frame))
 	if serr != nil {
 		s.fail(serr)
 		return
@@ -224,7 +240,7 @@ func (s *Sender) onTimeout() {
 	if s.done {
 		return
 	}
-	res, err := s.machine.Step(EvTimeout, nil)
+	res, err := s.machine.StepEv(s.evTimeout)
 	if err != nil {
 		s.fail(err)
 		return
@@ -240,7 +256,7 @@ func (s *Sender) onTimeout() {
 		s.finish(false)
 		return
 	}
-	if _, err := s.machine.Step(EvRetry, nil); err != nil {
+	if _, err := s.machine.StepEv(s.evRetry); err != nil {
 		s.fail(err)
 		return
 	}
@@ -257,7 +273,8 @@ type ReceiverStats struct {
 
 // Receiver drives the checked ARQ receiver spec over a simulator
 // endpoint, delivering accepted payloads in order. Like Sender, it runs
-// the compiled program with reusable frames and buffers.
+// the compiled program on the slot-frame path with reusable frames and
+// buffers.
 type Receiver struct {
 	sim     *netsim.Sim
 	ep      *netsim.Endpoint
@@ -266,9 +283,9 @@ type Receiver struct {
 	codec   *Codec
 
 	// Reusable hot-loop state (see Sender).
-	encBuf    []byte
-	recvArgs  map[string]expr.Value
-	pktFields map[string]expr.Value
+	encBuf          []byte
+	pktShape        *expr.MsgShape
+	evRecv, evClose fsm.EventID
 
 	delivered [][]byte
 	stats     ReceiverStats
@@ -285,11 +302,19 @@ func NewReceiver(sim *netsim.Sim, ep *netsim.Endpoint, peer netsim.Addr) (*Recei
 	if err != nil {
 		return nil, fmt.Errorf("arq receiver: %w", err)
 	}
+	pktShape := machine.Program().MsgShape("Packet")
+	if !pktShape.SameLayout(codec.PacketProgram().Shape()) {
+		return nil, fmt.Errorf("arq receiver: machine Packet shape does not match wire program layout")
+	}
+	if !machine.Program().MsgShape("Ack").SameLayout(codec.AckProgram().Shape()) {
+		return nil, fmt.Errorf("arq receiver: machine Ack shape does not match wire program layout")
+	}
 	r := &Receiver{
 		sim: sim, ep: ep, peer: peer, machine: machine, codec: codec,
-		recvArgs:  make(map[string]expr.Value, 1),
-		pktFields: make(map[string]expr.Value, 4),
+		pktShape: pktShape,
 	}
+	r.evRecv, _ = machine.EventID(EvRecv)
+	r.evClose, _ = machine.EventID(EvClose)
 	ep.SetHandler(r.onDatagram)
 	return r, nil
 }
@@ -312,7 +337,7 @@ func (r *Receiver) State() string { return r.machine.State() }
 
 // Close raises the CLOSE event, moving the machine to its final state.
 func (r *Receiver) Close() error {
-	_, err := r.machine.Step(EvClose, nil)
+	_, err := r.machine.StepEv(r.evClose)
 	return err
 }
 
@@ -320,9 +345,9 @@ func (r *Receiver) onDatagram(_ netsim.Addr, data []byte) {
 	if r.err != nil || r.machine.State() == StClosed {
 		return
 	}
-	// In-place decode: the payload aliases this delivery's buffer, which
-	// the handler owns from here on.
-	pkt, err := r.codec.DecodePacketInPlace(data)
+	// In-place decode straight into the codec's slot frame: the payload
+	// aliases this delivery's buffer, which the handler owns from here on.
+	frame, err := r.codec.DecodePacketFrame(data)
 	if err != nil {
 		// Unverified packets are never processed (§3.4 guarantee 2): the
 		// machine does not even see the event. The sender's timer covers
@@ -331,13 +356,7 @@ func (r *Receiver) onDatagram(_ netsim.Addr, data []byte) {
 		return
 	}
 	r.stats.PacketsReceived++
-	v := pkt.Value()
-	r.pktFields["seq"] = expr.U8(uint64(v.Seq))
-	r.pktFields["chk"] = expr.U8(0) // already verified; not consulted by guards
-	r.pktFields["paylen"] = expr.U16(uint64(len(v.Payload)))
-	r.pktFields["payload"] = expr.BytesView(v.Payload)
-	r.recvArgs["p"] = expr.MsgView("Packet", r.pktFields)
-	res, serr := r.machine.Step(EvRecv, r.recvArgs)
+	res, serr := r.machine.StepEv(r.evRecv, expr.FrameMsg(r.pktShape, frame))
 	if serr != nil {
 		r.err = serr
 		return
@@ -346,12 +365,12 @@ func (r *Receiver) onDatagram(_ netsim.Addr, data []byte) {
 		return // cannot happen: accept/dupack guards partition seq space
 	}
 	if res.Fired.Name == "accept" {
-		r.delivered = append(r.delivered, v.Payload)
+		r.delivered = append(r.delivered, frame.Get(r.codec.PacketPayloadSlot()).RawBytes())
 	} else {
 		r.stats.Duplicates++
 	}
 	for _, out := range res.Outputs {
-		enc, eerr := r.codec.Ack.AppendEncode(r.encBuf[:0], out.Fields)
+		enc, eerr := r.codec.AckProgram().AppendEncode(r.encBuf[:0], out.Frame)
 		if eerr != nil {
 			r.err = fmt.Errorf("arq receiver: encode ack: %w", eerr)
 			return

@@ -57,19 +57,29 @@ func AckMessage() *wire.Message {
 	}
 }
 
-// Codec bundles the compiled layouts for the protocol's messages, plus
-// reusable scratch state for the allocation-free encode/decode paths.
-// The scratch makes a Codec single-goroutine (like the machines it
-// serves); use one Codec per endpoint.
+// Codec bundles the compiled layouts and slot programs for the
+// protocol's messages, plus reusable frame scratch for the
+// allocation-free encode/decode paths. The scratch makes a Codec
+// single-goroutine (like the machines it serves); use one Codec per
+// endpoint.
+//
+// The hot-path methods (AppendEncode*, Decode*InPlace, Decode*Frame) run
+// entirely on wire.Program slot frames: from the delivery buffer to the
+// decoded field values, no map is touched and no string is hashed.
 type Codec struct {
 	Packet *wire.Layout
 	Ack    *wire.Layout
 
-	encVals map[string]expr.Value // AppendEncode* scratch fields
-	decVals map[string]expr.Value // decode*Into scratch fields
+	pktProg *wire.Program
+	ackProg *wire.Program
+
+	encPkt, encAck *expr.Frame // AppendEncode* scratch frames
+	decPkt, decAck *expr.Frame // Decode*InPlace / Decode*Frame scratch frames
+
+	pktSeq, pktPayload, ackSeq int // canonical field slots
 }
 
-// NewCodec compiles the protocol's message layouts.
+// NewCodec compiles the protocol's message layouts and slot programs.
 func NewCodec() (*Codec, error) {
 	p, err := wire.Compile(PacketMessage())
 	if err != nil {
@@ -79,13 +89,27 @@ func NewCodec() (*Codec, error) {
 	if err != nil {
 		return nil, fmt.Errorf("compile Ack: %w", err)
 	}
-	return &Codec{
+	c := &Codec{
 		Packet:  p,
 		Ack:     a,
-		encVals: make(map[string]expr.Value, 4),
-		decVals: make(map[string]expr.Value, 4),
-	}, nil
+		pktProg: p.Program(),
+		ackProg: a.Program(),
+	}
+	c.encPkt = c.pktProg.NewFrame()
+	c.encAck = c.ackProg.NewFrame()
+	c.decPkt = c.pktProg.NewFrame()
+	c.decAck = c.ackProg.NewFrame()
+	c.pktSeq, _ = c.pktProg.Slot("seq")
+	c.pktPayload, _ = c.pktProg.Slot("payload")
+	c.ackSeq, _ = c.ackProg.Slot("seq")
+	return c, nil
 }
+
+// PacketProgram returns the packet's slot program (shared, immutable).
+func (c *Codec) PacketProgram() *wire.Program { return c.pktProg }
+
+// AckProgram returns the ack's slot program (shared, immutable).
+func (c *Codec) AckProgram() *wire.Program { return c.ackProg }
 
 // Packet is the decoded, validated form of a data packet. Values are only
 // constructed by DecodePacket (which verifies the checksum and length) —
@@ -130,20 +154,19 @@ func (c *Codec) EncodePacket(seq uint8, payload []byte) ([]byte, error) {
 
 // AppendEncodePacket serialises a packet into the tail of dst and
 // returns the extended slice — the allocation-free hot-loop path: the
-// payload is not copied and the field map is the codec's reusable
-// scratch.
+// payload is not copied and the field slots are the codec's reusable
+// scratch frame (the length and checksum slots are recomputed by the
+// slot program on every call).
 func (c *Codec) AppendEncodePacket(dst []byte, seq uint8, payload []byte) ([]byte, error) {
-	clear(c.encVals)
-	c.encVals["seq"] = expr.U8(uint64(seq))
-	c.encVals["payload"] = expr.BytesView(payload)
-	return c.Packet.AppendEncode(dst, c.encVals)
+	c.encPkt.Set(c.pktSeq, expr.U8(uint64(seq)))
+	c.encPkt.Set(c.pktPayload, expr.BytesView(payload))
+	return c.pktProg.AppendEncode(dst, c.encPkt)
 }
 
 // AppendEncodeAck serialises an acknowledgement into the tail of dst.
 func (c *Codec) AppendEncodeAck(dst []byte, seq uint8) ([]byte, error) {
-	clear(c.encVals)
-	c.encVals["seq"] = expr.U8(uint64(seq))
-	return c.Ack.AppendEncode(dst, c.encVals)
+	c.encAck.Set(c.ackSeq, expr.U8(uint64(seq)))
+	return c.ackProg.AppendEncode(dst, c.encAck)
 }
 
 // DecodePacket parses and validates a received data packet. A non-nil
@@ -164,20 +187,45 @@ func (c *Codec) DecodePacket(data []byte) (CheckedPacket, error) {
 }
 
 // DecodePacketInPlace parses and validates a received data packet using
-// the codec's reusable scratch map. The returned packet's payload
-// aliases data (wire.Layout.DecodeInto semantics), so it is only valid
+// the codec's reusable scratch frame. The returned packet's payload
+// aliases data (wire.Program.DecodeInto semantics), so it is only valid
 // while the caller owns data — the endpoints' per-delivery buffers
 // qualify.
 func (c *Codec) DecodePacketInPlace(data []byte) (CheckedPacket, error) {
-	if err := c.Packet.DecodeInto(c.decVals, data); err != nil {
+	if err := c.pktProg.DecodeInto(c.decPkt, data); err != nil {
 		return CheckedPacket{}, err
 	}
 	p := Packet{
-		Seq:     uint8(c.decVals["seq"].AsUint()),
-		Payload: c.decVals["payload"].RawBytes(),
+		Seq:     uint8(c.decPkt.Get(c.pktSeq).AsUint()),
+		Payload: c.decPkt.Get(c.pktPayload).RawBytes(),
 	}
 	return packetWitness.Validate(p)
 }
+
+// DecodePacketFrame parses and validates a received data packet into the
+// codec's reusable packet frame and returns it. The frame is laid out by
+// the packet's canonical shape (field i at slot i) — wrap it with
+// expr.FrameMsg to hand the machine a slot-backed message value. Byte
+// fields alias data; both frame and aliases are valid until the next
+// packet decode on this codec.
+func (c *Codec) DecodePacketFrame(data []byte) (*expr.Frame, error) {
+	if err := c.pktProg.DecodeInto(c.decPkt, data); err != nil {
+		return nil, err
+	}
+	return c.decPkt, nil
+}
+
+// DecodeAckFrame is DecodePacketFrame for acknowledgements.
+func (c *Codec) DecodeAckFrame(data []byte) (*expr.Frame, error) {
+	if err := c.ackProg.DecodeInto(c.decAck, data); err != nil {
+		return nil, err
+	}
+	return c.decAck, nil
+}
+
+// PacketPayloadSlot returns the canonical slot of the packet payload
+// field (for engines reading payloads straight from a decoded frame).
+func (c *Codec) PacketPayloadSlot() int { return c.pktPayload }
 
 // EncodeAck serialises an acknowledgement.
 func (c *Codec) EncodeAck(seq uint8) ([]byte, error) {
@@ -194,15 +242,17 @@ func (c *Codec) DecodeAck(data []byte) (CheckedAck, error) {
 }
 
 // DecodeAckInPlace parses and validates an acknowledgement using the
-// codec's reusable scratch map (no allocations on the success path).
+// codec's reusable scratch frame (no allocations on the success path).
 func (c *Codec) DecodeAckInPlace(data []byte) (CheckedAck, error) {
-	if err := c.Ack.DecodeInto(c.decVals, data); err != nil {
+	if err := c.ackProg.DecodeInto(c.decAck, data); err != nil {
 		return CheckedAck{}, err
 	}
-	return ackWitness.Validate(Ack{Seq: uint8(c.decVals["seq"].AsUint())})
+	return ackWitness.Validate(Ack{Seq: uint8(c.decAck.Get(c.ackSeq).AsUint())})
 }
 
-// The endpoints rebuild expression-language message values for the
-// interpreter from checked packets using reusable field maps and
-// expr.MsgView (see endpoints.go) — the former map-copying packetValue /
-// ackValue helpers were replaced by that allocation-free path.
+// The endpoints hand the interpreter slot-backed message values —
+// expr.FrameMsg over the codec's decode frames, using the machine
+// program's shapes — so guards index fields by slot instead of hashing
+// names (see endpoints.go). The former map-copying packetValue/ackValue
+// helpers, and the reusable field maps that replaced them, are gone from
+// the per-packet path entirely.

@@ -137,6 +137,8 @@ type TypedSender struct {
 	maxRetries int
 	retries    int
 
+	encBuf []byte // reusable AppendEncodePacket buffer
+
 	stats SenderStats
 	done  bool
 	ok    bool
@@ -227,11 +229,12 @@ func (s *TypedSender) transmit(ready Ready, isRetransmit bool) {
 		return
 	}
 	s.state = wait
-	enc, err := s.codec.EncodePacket(wait.Seq, wait.Data)
+	enc, err := s.codec.AppendEncodePacket(s.encBuf[:0], wait.Seq, wait.Data)
 	if err != nil {
 		s.fail(err)
 		return
 	}
+	s.encBuf = enc[:0]
 	if err := s.ep.Send(s.peer, enc); err != nil {
 		s.fail(err)
 		return
@@ -251,7 +254,7 @@ func (s *TypedSender) onDatagram(_ netsim.Addr, data []byte) {
 		return
 	}
 	wait, isWait := s.state.(Wait)
-	ack, err := s.codec.DecodeAck(data)
+	ack, err := s.codec.DecodeAckInPlace(data)
 	if err != nil {
 		s.stats.AcksCorrupted++
 		if !isWait {
@@ -323,6 +326,7 @@ type TypedReceiver struct {
 	log   fsmtyped.Log
 
 	state     ReadyFor
+	encBuf    []byte // reusable AppendEncodeAck buffer
 	delivered [][]byte
 	stats     ReceiverStats
 	err       error
@@ -356,7 +360,10 @@ func (r *TypedReceiver) onDatagram(_ netsim.Addr, data []byte) {
 	if r.err != nil {
 		return
 	}
-	pkt, err := r.codec.DecodePacket(data)
+	// In-place decode: the payload aliases the simulator's delivery
+	// buffer, which the handler owns; accepted payloads are therefore
+	// safe to keep without copying (as in Receiver).
+	pkt, err := r.codec.DecodePacketInPlace(data)
 	if err != nil {
 		r.stats.PacketsCorrupted++
 		return
@@ -370,11 +377,12 @@ func (r *TypedReceiver) onDatagram(_ netsim.Addr, data []byte) {
 		r.state = next
 		r.delivered = append(r.delivered, pkt.Value().Payload)
 	}
-	enc, eerr := r.codec.EncodeAck(acked)
+	enc, eerr := r.codec.AppendEncodeAck(r.encBuf[:0], acked)
 	if eerr != nil {
 		r.err = eerr
 		return
 	}
+	r.encBuf = enc[:0]
 	if serr := r.ep.Send(r.peer, enc); serr != nil {
 		r.err = serr
 		return

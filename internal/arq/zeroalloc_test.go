@@ -1,0 +1,114 @@
+package arq
+
+import (
+	"testing"
+
+	"protodsl/internal/expr"
+	"protodsl/internal/fsm"
+)
+
+// TestCodecZeroAllocs pins the live codec path's allocation contract:
+// steady-state packet/ack encode and in-place decode through the slot
+// programs allocate nothing.
+func TestCodecZeroAllocs(t *testing.T) {
+	c, err := NewCodec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 256)
+	enc, err := c.AppendEncodePacket(nil, 1, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := append([]byte(nil), enc...)
+	ackEnc, err := c.AppendEncodeAck(nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack := append([]byte(nil), ackEnc...)
+
+	buf := enc[:0]
+	if n := testing.AllocsPerRun(200, func() {
+		out, err := c.AppendEncodePacket(buf[:0], 3, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = out[:0]
+	}); n != 0 {
+		t.Fatalf("AppendEncodePacket allocates %.1f/op", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := c.DecodePacketInPlace(pkt); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("DecodePacketInPlace allocates %.1f/op", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := c.DecodeAckInPlace(ack); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("DecodeAckInPlace allocates %.1f/op", n)
+	}
+}
+
+// TestMachinePacketLoopZeroAllocs drives the full per-packet machine
+// path — ack decode into the codec frame, FrameMsg wrap, StepEv with the
+// `ack.seq == seq` guard, output frame encode — and asserts zero
+// allocations, i.e. the rewritten endpoints' steady-state loop.
+func TestMachinePacketLoopZeroAllocs(t *testing.T) {
+	machine, err := fsm.NewMachine(SenderSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := NewCodec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ackShape := machine.Program().MsgShape("Ack")
+	evSend, _ := machine.EventID(EvSend)
+	evOK, _ := machine.EventID(EvOK)
+	payload := make([]byte, 64)
+	var encBuf, ackBuf []byte
+	seq := uint8(0)
+
+	// Warm the buffers once.
+	a, err := codec.AppendEncodeAck(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ackBuf = append([]byte(nil), a...)
+
+	if n := testing.AllocsPerRun(200, func() {
+		res, err := machine.StepEv(evSend, expr.BytesView(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := codec.PacketProgram().AppendEncode(encBuf[:0], res.Outputs[0].Frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		encBuf = enc[:0]
+		// The peer acks the in-flight seq; decode it and step OK.
+		a, err := codec.AppendEncodeAck(ackBuf[:0], seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ackBuf = a[:0]
+		frame, err := codec.DecodeAckFrame(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		okRes, err := machine.StepEv(evOK, expr.FrameMsg(ackShape, frame))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if okRes.Fired == nil {
+			t.Fatal("ack did not fire")
+		}
+		seq++
+	}); n != 0 {
+		t.Fatalf("send/ack machine loop allocates %.1f/op", n)
+	}
+}

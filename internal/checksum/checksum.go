@@ -1,0 +1,72 @@
+// Package checksum is the single word-at-a-time implementation of the
+// wire checksums used across the repository: the paper's additive mod-256
+// sum (sum8), the RFC 1071 Internet checksum (inet16) and the IEEE CRC-32.
+//
+// Both the layout-interpreting codec (internal/wire, including its
+// slot-compiled programs) and the generated-code runtime (internal/genrt)
+// call these helpers, so the two codec families share one checksum
+// implementation byte for byte. The cross-package equivalence tests here
+// pin each word-at-a-time routine against the obvious byte loop on every
+// length and alignment.
+//
+// All functions are stateless pure functions over caller-owned buffers,
+// safe for concurrent use.
+package checksum
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Sum8 is the additive mod-256 checksum over data (the paper's §3.4
+// packet checksum). Bytes are summed eight at a time: each 64-bit word is
+// folded lane-wise (8→4→2 lanes) so no lane can overflow, then the lane
+// sums are added to the accumulator.
+func Sum8(data []byte) uint64 {
+	const m8 = 0x00FF00FF00FF00FF  // even-byte lanes
+	const m16 = 0x0000FFFF0000FFFF // even-16-bit lanes
+	var sum uint64
+	for len(data) >= 8 {
+		w := binary.LittleEndian.Uint64(data)
+		pairs := (w & m8) + ((w >> 8) & m8)            // 4 lanes, each ≤ 2·255
+		quads := (pairs & m16) + ((pairs >> 16) & m16) // 2 lanes, each ≤ 4·255
+		sum += (quads & 0xFFFFFFFF) + (quads >> 32)
+		data = data[8:]
+	}
+	for _, b := range data {
+		sum += uint64(b)
+	}
+	return sum & 0xFF
+}
+
+// Inet16 is the RFC 1071 Internet checksum over data, interpreted as
+// big-endian 16-bit words (the final odd byte, if any, is padded on the
+// right with zero). The sum is accumulated 32 bits at a time — RFC 1071
+// §2(C): the one's-complement sum is independent of the word size used to
+// compute it — and the carries are folded down at the end.
+func Inet16(data []byte) uint16 {
+	var sum uint64
+	for len(data) >= 8 {
+		w := binary.BigEndian.Uint64(data)
+		sum += (w >> 32) + (w & 0xFFFFFFFF)
+		data = data[8:]
+	}
+	for len(data) >= 2 {
+		sum += uint64(binary.BigEndian.Uint16(data))
+		data = data[2:]
+	}
+	if len(data) == 1 {
+		sum += uint64(data[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// CRC32 is the IEEE CRC-32 over data. hash/crc32 already uses a
+// slicing-by-eight (word-at-a-time) table internally; this wrapper exists
+// so every caller names the one shared implementation.
+func CRC32(data []byte) uint32 {
+	return crc32.ChecksumIEEE(data)
+}

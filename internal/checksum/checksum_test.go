@@ -1,0 +1,114 @@
+package checksum
+
+import (
+	"hash/crc32"
+	"math/rand"
+	"testing"
+)
+
+// The reference implementations: the byte loops the word-at-a-time
+// routines replaced (previously duplicated between internal/wire and
+// internal/genrt).
+
+func refSum8(data []byte) uint64 {
+	var sum uint64
+	for _, b := range data {
+		sum += uint64(b)
+	}
+	return sum & 0xFF
+}
+
+func refInet16(data []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// TestWordAtATimeEquivalence pins Sum8 and Inet16 against the byte-loop
+// references on every length 0..257 (covering all tail residues around
+// the 8-byte word boundary) and on longer random buffers, at every
+// sub-word alignment.
+func TestWordAtATimeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	buf := make([]byte, 4<<10+8)
+	for i := range buf {
+		buf[i] = byte(rng.Intn(256))
+	}
+	lengths := make([]int, 0, 300)
+	for n := 0; n <= 257; n++ {
+		lengths = append(lengths, n)
+	}
+	lengths = append(lengths, 511, 512, 513, 1499, 4096)
+	for _, n := range lengths {
+		for align := 0; align < 8; align++ {
+			data := buf[align : align+n]
+			if got, want := Sum8(data), refSum8(data); got != want {
+				t.Fatalf("Sum8 len=%d align=%d: got %#x want %#x", n, align, got, want)
+			}
+			if got, want := Inet16(data), refInet16(data); got != want {
+				t.Fatalf("Inet16 len=%d align=%d: got %#x want %#x", n, align, got, want)
+			}
+			if got, want := CRC32(data), crc32.ChecksumIEEE(data); got != want {
+				t.Fatalf("CRC32 len=%d align=%d: got %#x want %#x", n, align, got, want)
+			}
+		}
+	}
+}
+
+// TestInet16AllOnesEdge exercises the classic end-around-carry edge: a
+// buffer summing to 0xFFFF must produce checksum 0 (not 0xFFFF), and the
+// all-zero buffer must produce 0xFFFF.
+func TestInet16AllOnesEdge(t *testing.T) {
+	if got := Inet16([]byte{0xFF, 0xFF}); got != 0 {
+		t.Fatalf("Inet16(FFFF) = %#x, want 0", got)
+	}
+	if got := Inet16(make([]byte, 64)); got != 0xFFFF {
+		t.Fatalf("Inet16(zeros) = %#x, want 0xFFFF", got)
+	}
+}
+
+func BenchmarkSum8(b *testing.B) {
+	data := make([]byte, 512)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	b.Run("word", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			Sum8(data)
+		}
+	})
+	b.Run("byte-loop", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			refSum8(data)
+		}
+	})
+}
+
+func BenchmarkInet16(b *testing.B) {
+	data := make([]byte, 512)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	b.Run("word", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			Inet16(data)
+		}
+	})
+	b.Run("byte-loop", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			refInet16(data)
+		}
+	})
+}

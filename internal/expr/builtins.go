@@ -2,7 +2,8 @@ package expr
 
 import (
 	"fmt"
-	"hash/crc32"
+
+	"protodsl/internal/checksum"
 )
 
 // Builtin describes a builtin function of the language: its arity and
@@ -153,9 +154,7 @@ var builtinSum8 = &Builtin{
 					sum += (v >> uint(shift)) & 0xFF
 				}
 			case KindBytes:
-				for _, b := range a.RawBytes() {
-					sum += uint64(b)
-				}
+				sum += checksum.Sum8(a.RawBytes())
 			default:
 				return Value{}, fmt.Errorf("sum8: bad operand kind %s", a.Kind())
 			}
@@ -165,19 +164,10 @@ var builtinSum8 = &Builtin{
 }
 
 // Inet16 computes the 16-bit one's-complement Internet checksum (RFC 1071)
-// over the given bytes. Exposed for reuse by the wire encoder.
+// over the given bytes. Exposed for reuse by the wire encoder; the
+// implementation is the shared word-at-a-time one in internal/checksum.
 func Inet16(data []byte) uint16 {
-	var sum uint32
-	for i := 0; i+1 < len(data); i += 2 {
-		sum += uint32(data[i])<<8 | uint32(data[i+1])
-	}
-	if len(data)%2 == 1 {
-		sum += uint32(data[len(data)-1]) << 8
-	}
-	for sum>>16 != 0 {
-		sum = (sum & 0xFFFF) + (sum >> 16)
-	}
-	return ^uint16(sum)
+	return checksum.Inet16(data)
 }
 
 var builtinInet16 = &Builtin{
@@ -202,6 +192,6 @@ var builtinCRC32 = &Builtin{
 		return TU32, nil
 	},
 	Eval: func(args []Value) (Value, error) {
-		return U32(uint64(crc32.ChecksumIEEE(args[0].RawBytes()))), nil
+		return U32(uint64(checksum.CRC32(args[0].RawBytes()))), nil
 	},
 }

@@ -16,8 +16,9 @@ import "fmt"
 // built once per scope shape (e.g. a machine's variables plus an event's
 // parameters) and shared by every expression compiled against it.
 type ScopeLayout struct {
-	slots map[string]int
-	size  int
+	slots  map[string]int
+	shapes map[string]*MsgShape
+	size   int
 }
 
 // NewScopeLayout returns an empty layout.
@@ -53,6 +54,23 @@ func (l *ScopeLayout) Slot(name string) (int, bool) {
 	return s, ok
 }
 
+// SetShape declares that the variable bound to name holds slot-backed
+// messages of the given shape at runtime. Compiled field accesses on that
+// variable then resolve the field slot at compile time and read it by
+// integer index when the runtime value carries the same shape; values of
+// any other representation fall back to the generic (observationally
+// identical) path. The declaration is an optimisation hint only — it
+// never changes semantics.
+func (l *ScopeLayout) SetShape(name string, shape *MsgShape) {
+	if l.shapes == nil {
+		l.shapes = make(map[string]*MsgShape)
+	}
+	l.shapes[name] = shape
+}
+
+// ShapeOf returns the shape declared for name, if any.
+func (l *ScopeLayout) ShapeOf(name string) *MsgShape { return l.shapes[name] }
+
 // Size returns the number of slots a frame for this layout needs.
 func (l *ScopeLayout) Size() int { return l.size }
 
@@ -61,6 +79,12 @@ func (l *ScopeLayout) Clone() *ScopeLayout {
 	cp := &ScopeLayout{slots: make(map[string]int, len(l.slots)), size: l.size}
 	for k, v := range l.slots {
 		cp.slots[k] = v
+	}
+	if l.shapes != nil {
+		cp.shapes = make(map[string]*MsgShape, len(l.shapes))
+		for k, v := range l.shapes {
+			cp.shapes[k] = v
+		}
 	}
 	return cp
 }
@@ -120,23 +144,30 @@ func Compile(e Expr, layout *ScopeLayout) Compiled {
 	case *FieldAccess:
 		// Peephole fusion: `ident.field` — the shape of every message
 		// guard (`ack.seq == seq`) — loads the slot and the field in one
-		// closure, with no inner closure call.
+		// closure, with no inner closure call. When the layout declares a
+		// message shape for the ident, the field slot is resolved here at
+		// compile time and the runtime read is a pair of integer indexes —
+		// no string is hashed on the hot path.
 		if id, ok := n.X.(*Ident); ok {
 			if slot, ok := layout.Slot(id.Name); ok {
 				name, off := n.Name, n.Offset
 				idName, idOff := id.Name, id.Offset
-				return func(f *Frame) (Value, error) {
-					xv := f.slots[slot]
-					if xv.kind == KindMsg {
-						if fv, ok := xv.msg[name]; ok {
-							return fv, nil
+				if shape := layout.ShapeOf(id.Name); shape != nil {
+					if fslot, ok := shape.Slot(name); ok {
+						return func(f *Frame) (Value, error) {
+							xv := f.slots[slot]
+							if xv.shape == shape {
+								if fv := xv.fr.slots[fslot]; fv.kind != KindInvalid {
+									return fv, nil
+								}
+								return Value{}, evalErrf(off, fmt.Errorf("message %s has no field %q", xv.name, name))
+							}
+							return fieldAccessSlow(xv, name, idName, off, idOff)
 						}
-						return Value{}, evalErrf(off, fmt.Errorf("message %s has no field %q", xv.name, name))
 					}
-					if xv.kind == KindInvalid {
-						return Value{}, evalErrf(idOff, fmt.Errorf("undefined variable %q", idName))
-					}
-					return Value{}, evalErrf(off, fmt.Errorf("field access on %s value", xv.Kind()))
+				}
+				return func(f *Frame) (Value, error) {
+					return fieldAccessSlow(f.slots[slot], name, idName, off, idOff)
 				}
 			}
 		}
@@ -150,7 +181,7 @@ func Compile(e Expr, layout *ScopeLayout) Compiled {
 			if xv.kind != KindMsg {
 				return Value{}, evalErrf(off, fmt.Errorf("field access on %s value", xv.Kind()))
 			}
-			fv, ok := xv.msg[name]
+			fv, ok := xv.fieldByName(name)
 			if !ok {
 				return Value{}, evalErrf(off, fmt.Errorf("message %s has no field %q", xv.name, name))
 			}
@@ -182,6 +213,23 @@ func CompileBool(e Expr, layout *ScopeLayout) func(*Frame) (bool, error) {
 		}
 		return v.b, nil
 	}
+}
+
+// fieldAccessSlow is the generic `ident.field` read shared by the fused
+// field-access closures: it handles map-backed messages, frame-backed
+// messages of a different shape than the compile-time declaration, and
+// the error cases, reproducing Eval's behaviour exactly.
+func fieldAccessSlow(xv Value, name, idName string, off, idOff int) (Value, error) {
+	if xv.kind == KindMsg {
+		if fv, ok := xv.fieldByName(name); ok {
+			return fv, nil
+		}
+		return Value{}, evalErrf(off, fmt.Errorf("message %s has no field %q", xv.name, name))
+	}
+	if xv.kind == KindInvalid {
+		return Value{}, evalErrf(idOff, fmt.Errorf("undefined variable %q", idName))
+	}
+	return Value{}, evalErrf(off, fmt.Errorf("field access on %s value", xv.Kind()))
 }
 
 func errClosure(pos int, err error) Compiled {
@@ -395,7 +443,7 @@ func fuseFieldVarCompare(n *Binary, layout *ScopeLayout) Compiled {
 	xName, xOff := faID.Name, faID.Offset
 	yName, yOff := yID.Name, yID.Offset
 	negate := n.Op == OpNe
-	return func(f *Frame) (Value, error) {
+	slow := func(f *Frame) (Value, error) {
 		xv := f.slots[xSlot]
 		if xv.kind != KindMsg {
 			if xv.kind == KindInvalid {
@@ -403,7 +451,7 @@ func fuseFieldVarCompare(n *Binary, layout *ScopeLayout) Compiled {
 			}
 			return Value{}, evalErrf(faOff, fmt.Errorf("field access on %s value", xv.Kind()))
 		}
-		fv, ok := xv.msg[field]
+		fv, ok := xv.fieldByName(field)
 		if !ok {
 			return Value{}, evalErrf(faOff, fmt.Errorf("message %s has no field %q", xv.name, field))
 		}
@@ -419,6 +467,25 @@ func fuseFieldVarCompare(n *Binary, layout *ScopeLayout) Compiled {
 		}
 		return Value{kind: KindBool, b: eq != negate}, nil
 	}
+	// Shape fast path: when the layout declares the message shape of the
+	// accessed ident, the entire guard is three integer-indexed loads and
+	// one compare at runtime.
+	if shape := layout.ShapeOf(faID.Name); shape != nil {
+		if fslot, ok := shape.Slot(field); ok {
+			return func(f *Frame) (Value, error) {
+				xv := f.slots[xSlot]
+				if xv.shape == shape {
+					fv := xv.fr.slots[fslot]
+					yv := f.slots[ySlot]
+					if fv.kind == KindUint && yv.kind == KindUint {
+						return Value{kind: KindBool, b: (fv.u == yv.u) != negate}, nil
+					}
+				}
+				return slow(f)
+			}
+		}
+	}
+	return slow
 }
 
 // fuseVarLitArith fuses `ident op uint-literal` (e.g. the ARQ action

@@ -68,6 +68,11 @@ type Value struct {
 	s    string
 	msg  map[string]Value
 	name string // message type name when kind == KindMsg
+
+	// Slot-backed message representation (see shape.go): when shape is
+	// non-nil the fields live in fr's slots instead of msg.
+	shape *MsgShape
+	fr    *Frame
 }
 
 // Bool returns a boolean value.
@@ -159,14 +164,23 @@ func (v Value) AsString() string { return v.s }
 // MsgName returns the message type name of a message value.
 func (v Value) MsgName() string { return v.name }
 
-// Field returns the named field of a message value.
+// Field returns the named field of a message value (either
+// representation).
 func (v Value) Field(name string) (Value, bool) {
-	f, ok := v.msg[name]
-	return f, ok
+	return v.fieldByName(name)
 }
 
 // MsgFields returns a copy of the fields of a message value.
 func (v Value) MsgFields() map[string]Value {
+	if v.shape != nil {
+		cp := make(map[string]Value, len(v.shape.names))
+		for i, name := range v.shape.names {
+			if fv := v.fr.slots[i]; fv.kind != KindInvalid {
+				cp[name] = fv
+			}
+		}
+		return cp
+	}
 	cp := make(map[string]Value, len(v.msg))
 	for k, val := range v.msg {
 		cp[k] = val
@@ -198,11 +212,15 @@ func (v Value) Equal(o Value) bool {
 	case KindString:
 		return v.s == o.s
 	case KindMsg:
-		if v.name != o.name || len(v.msg) != len(o.msg) {
+		if v.name != o.name || v.numMsgFields() != o.numMsgFields() {
 			return false
 		}
-		for k, fv := range v.msg {
-			ov, ok := o.msg[k]
+		for _, k := range v.msgFieldNames() {
+			fv, ok := v.fieldByName(k)
+			if !ok {
+				continue // absent in a frame-backed value's shape list
+			}
+			ov, ok := o.fieldByName(k)
 			if !ok || !fv.Equal(ov) {
 				return false
 			}
@@ -229,14 +247,18 @@ func (v Value) String() string {
 		sb.WriteString(v.name)
 		sb.WriteString("{")
 		first := true
-		for _, k := range sortedKeys(v.msg) {
+		for _, k := range v.msgFieldNames() {
+			fv, ok := v.fieldByName(k)
+			if !ok {
+				continue
+			}
 			if !first {
 				sb.WriteString(", ")
 			}
 			first = false
 			sb.WriteString(k)
 			sb.WriteString(": ")
-			sb.WriteString(v.msg[k].String())
+			sb.WriteString(fv.String())
 		}
 		sb.WriteString("}")
 		return sb.String()
@@ -265,11 +287,15 @@ func (v Value) HashKey() string {
 		var sb strings.Builder
 		sb.WriteString("m")
 		sb.WriteString(v.name)
-		for _, k := range sortedKeys(v.msg) {
+		for _, k := range v.msgFieldNames() {
+			fv, ok := v.fieldByName(k)
+			if !ok {
+				continue
+			}
 			sb.WriteString("|")
 			sb.WriteString(k)
 			sb.WriteString("=")
-			sb.WriteString(v.msg[k].HashKey())
+			sb.WriteString(fv.HashKey())
 		}
 		return sb.String()
 	default:

@@ -42,9 +42,33 @@ type Program struct {
 
 	frameSize  int
 	maxAssigns int
+	maxOutputs int // most outputs on any single transition
+
+	// Canonical message shapes (field i at slot i), shared with the wire
+	// programs so decoded frames index straight into compiled guards.
+	shapes map[string]*expr.MsgShape
+	// outputShapes[i] is the shape of the i-th compiled output op
+	// program-wide; machines preallocate one frame per op.
+	outputShapes []*expr.MsgShape
 
 	// rows[state*numEvents+event] drives dispatch.
 	rows []dispatchRow
+}
+
+// MsgShape returns the canonical shape compiled for the named wire
+// message (nil if the spec does not declare it). Engines wrap decoded
+// slot frames with exactly this shape (expr.FrameMsg) so the compiled
+// guard fast path hits.
+func (p *Program) MsgShape(name string) *expr.MsgShape { return p.shapes[name] }
+
+// EventID identifies an event for the positional StepEv fast path.
+type EventID int
+
+// EventID resolves an event name once; engines cache the result and step
+// with it so the per-packet path never hashes the event name.
+func (p *Program) EventID(name string) (EventID, bool) {
+	idx, ok := p.eventIdx[name]
+	return EventID(idx), ok
 }
 
 type compiledEvent struct {
@@ -86,6 +110,14 @@ type compiledOutput struct {
 	message string
 	names   []string
 	exprs   []expr.Compiled
+
+	// Frame path: slots[j] is the canonical field slot of names[j] in
+	// shape, frameIdx indexes the machine's preallocated output frames.
+	// shape is nil when the message (or one of its fields) is unknown, in
+	// which case only the map-building Step path can emit this output.
+	shape    *expr.MsgShape
+	slots    []int
+	frameIdx int
 }
 
 // CompileSpec checks the spec and compiles it to an executable Program.
@@ -129,6 +161,18 @@ func compileChecked(spec *Spec) *Program {
 		}
 	}
 
+	// Canonical shapes for the spec's wire messages: field i at slot i,
+	// matching the frames the wire programs fill. Compiled field accesses
+	// on message-typed variables and parameters resolve against these.
+	p.shapes = make(map[string]*expr.MsgShape, len(spec.Messages))
+	for name, m := range spec.Messages {
+		fields := make([]string, len(m.Fields))
+		for j := range m.Fields {
+			fields[j] = m.Fields[j].Name
+		}
+		p.shapes[name] = expr.NewMsgShape(name, fields)
+	}
+
 	// Variable slots in declaration order.
 	base := expr.NewScopeLayout()
 	p.nVars = len(spec.Vars)
@@ -138,6 +182,11 @@ func compileChecked(spec *Spec) *Program {
 		p.varSlots[v.Name] = slot
 		p.varNames = append(p.varNames, v.Name)
 		p.varTypes = append(p.varTypes, v.Type)
+		if v.Type.Kind == expr.KindMsg {
+			if shape := p.shapes[v.Type.MsgName]; shape != nil {
+				base.SetShape(v.Name, shape)
+			}
+		}
 		init := v.Init
 		if !init.IsValid() {
 			init = zeroValue(v.Type)
@@ -157,6 +206,11 @@ func compileChecked(spec *Spec) *Program {
 		for j, param := range ev.Params {
 			slot := p.nVars + j
 			layout.Bind(param.Name, slot)
+			if param.Type.Kind == expr.KindMsg {
+				if shape := p.shapes[param.Type.MsgName]; shape != nil {
+					layout.SetShape(param.Name, shape)
+				}
+			}
 			ce.params = append(ce.params, compiledParam{name: param.Name, typ: param.Type, slot: slot})
 		}
 		if len(ev.Params) > maxParams {
@@ -193,12 +247,25 @@ func compileChecked(spec *Spec) *Program {
 			p.maxAssigns = len(t.Assigns)
 		}
 		for _, o := range t.Outputs {
-			co := compiledOutput{message: o.Message}
+			co := compiledOutput{message: o.Message, frameIdx: len(p.outputShapes)}
+			co.shape = p.shapes[o.Message]
 			for _, name := range sortedFieldNames(o.Fields) {
 				co.names = append(co.names, name)
 				co.exprs = append(co.exprs, expr.Compile(o.Fields[name], layout))
+				if co.shape != nil {
+					slot, ok := co.shape.Slot(name)
+					if !ok {
+						co.shape = nil // unknown field: map path only
+					} else {
+						co.slots = append(co.slots, slot)
+					}
+				}
 			}
+			p.outputShapes = append(p.outputShapes, co.shape)
 			ct.outputs = append(ct.outputs, co)
+		}
+		if len(t.Outputs) > p.maxOutputs {
+			p.maxOutputs = len(t.Outputs)
 		}
 		row := &p.rows[from*p.numEvents+evIdx]
 		row.ts = append(row.ts, ct)
@@ -220,12 +287,26 @@ func (p *Program) Spec() *Spec { return p.spec }
 // NewMachine instantiates the compiled program in its initial state.
 func (p *Program) NewMachine() *Machine {
 	m := &Machine{
-		prog:    p,
-		frame:   expr.NewFrame(p.frameSize),
-		scratch: make([]expr.Value, p.maxAssigns),
+		prog:      p,
+		frame:     expr.NewFrame(p.frameSize),
+		scratch:   make([]expr.Value, p.maxAssigns),
+		outFrames: newOutputFrames(p),
+		outBuf:    make([]FrameOutput, 0, p.maxOutputs),
 	}
 	m.resetVars()
 	return m
+}
+
+// newOutputFrames preallocates one frame per compiled output op (nil for
+// outputs whose message shape is unknown).
+func newOutputFrames(p *Program) []*expr.Frame {
+	frames := make([]*expr.Frame, len(p.outputShapes))
+	for i, shape := range p.outputShapes {
+		if shape != nil {
+			frames[i] = expr.NewFrame(shape.NumFields())
+		}
+	}
+	return frames
 }
 
 func sortedFieldNames(fields map[string]expr.Expr) []string {

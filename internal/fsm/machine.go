@@ -63,6 +63,11 @@ type Machine struct {
 	frame    *expr.Frame
 	scratch  []expr.Value // simultaneous-assignment staging, len maxAssigns
 	steps    uint64
+
+	// Frame-path output staging (StepEv): one preallocated frame per
+	// compiled output op, and a reused result slice.
+	outFrames []*expr.Frame
+	outBuf    []FrameOutput
 }
 
 // NewMachine checks the spec, compiles it, and instantiates it in its
@@ -141,11 +146,13 @@ func (m *Machine) Clone() *Machine {
 		frame.Set(i, m.frame.Get(i))
 	}
 	return &Machine{
-		prog:     m.prog,
-		stateIdx: m.stateIdx,
-		frame:    frame,
-		scratch:  make([]expr.Value, m.prog.maxAssigns),
-		steps:    m.steps,
+		prog:      m.prog,
+		stateIdx:  m.stateIdx,
+		frame:     frame,
+		scratch:   make([]expr.Value, m.prog.maxAssigns),
+		steps:     m.steps,
+		outFrames: newOutputFrames(m.prog),
+		outBuf:    make([]FrameOutput, 0, m.prog.maxOutputs),
 	}
 }
 
@@ -213,6 +220,130 @@ func (m *Machine) Step(event string, args map[string]expr.Value) (StepResult, er
 	}
 	res.Rejected = true
 	m.steps++
+	return res, nil
+}
+
+// FrameOutput is a message emission on the frame path: field values in
+// the message's canonical field-order slots, ready for a wire program's
+// AppendEncode. The frame is machine-owned and reused — it is valid only
+// until the machine's next StepEv.
+type FrameOutput struct {
+	Message string
+	Shape   *expr.MsgShape
+	Frame   *expr.Frame
+}
+
+// FrameResult is StepEv's counterpart of StepResult. Outputs aliases a
+// machine-owned slice and frames, valid until the next StepEv.
+type FrameResult struct {
+	From, To string
+	Fired    *Transition
+	Outputs  []FrameOutput
+	Ignored  bool
+	Rejected bool
+}
+
+// EventID resolves an event name for StepEv (see Program.EventID).
+func (m *Machine) EventID(name string) (EventID, bool) { return m.prog.EventID(name) }
+
+// StepEv is the frame-path counterpart of Step: the event is named by a
+// pre-resolved EventID, arguments bind positionally to the event's
+// declared parameters, and fired outputs are written into preallocated
+// slot frames instead of freshly allocated field maps. Dispatch, guards
+// and assignment semantics are identical to Step — only the argument and
+// output plumbing differs — so the steady-state packet loop neither
+// hashes a string nor allocates.
+func (m *Machine) StepEv(ev EventID, args ...expr.Value) (FrameResult, error) {
+	p := m.prog
+	if ev < 0 || int(ev) >= len(p.events) {
+		return FrameResult{}, fmt.Errorf("machine %s: %w: event id %d", p.spec.Name, ErrUnknownEvent, ev)
+	}
+	ce := &p.events[ev]
+	if len(args) != len(ce.params) {
+		return FrameResult{}, fmt.Errorf("machine %s: event %s: %w: got %d arguments, want %d",
+			p.spec.Name, ce.ev.Name, ErrBadArg, len(args), len(ce.params))
+	}
+	for i := range ce.params {
+		param := &ce.params[i]
+		if !kindMatches(param.typ, args[i]) {
+			return FrameResult{}, fmt.Errorf("machine %s: event %s: %w: %q has kind %s, want %s",
+				p.spec.Name, ce.ev.Name, ErrBadArg, param.name, args[i].Kind(), param.typ)
+		}
+		m.frame.Set(param.slot, args[i])
+	}
+
+	state := p.states[m.stateIdx]
+	res := FrameResult{From: state, To: state}
+	row := &p.rows[m.stateIdx*p.numEvents+int(ev)]
+	if len(row.ts) == 0 {
+		if row.ignored {
+			res.Ignored = true
+			m.steps++
+			return res, nil
+		}
+		return FrameResult{}, fmt.Errorf("machine %s: %w: event %q in state %q",
+			p.spec.Name, ErrInvalidTransition, ce.ev.Name, state)
+	}
+	for i := range row.ts {
+		ct := &row.ts[i]
+		if ct.guard != nil {
+			hold, err := ct.guard(m.frame)
+			if err != nil {
+				return FrameResult{}, fmt.Errorf("machine %s: guard of %s: %w", p.spec.Name, ct.t.String(), err)
+			}
+			if !hold {
+				continue
+			}
+		}
+		return m.fireFrame(ct, res)
+	}
+	res.Rejected = true
+	m.steps++
+	return res, nil
+}
+
+// fireFrame is fire on the frame path: identical evaluation order
+// (assign RHS and outputs against the pre-state, then assignments
+// applied), with outputs staged in the machine's reusable frames.
+func (m *Machine) fireFrame(ct *compiledTransition, res FrameResult) (FrameResult, error) {
+	p := m.prog
+	for i := range ct.assigns {
+		a := &ct.assigns[i]
+		v, err := a.rhs(m.frame)
+		if err != nil {
+			return FrameResult{}, fmt.Errorf("machine %s: assign %s: %w", p.spec.Name, a.target, err)
+		}
+		m.scratch[i] = coerce(v, a.typ)
+	}
+	m.outBuf = m.outBuf[:0]
+	for i := range ct.outputs {
+		o := &ct.outputs[i]
+		if o.shape == nil {
+			return FrameResult{}, fmt.Errorf("machine %s: output %s: message has no compiled shape; use Step",
+				p.spec.Name, o.message)
+		}
+		of := m.outFrames[o.frameIdx]
+		for j := 0; j < o.shape.NumFields(); j++ {
+			of.Set(j, expr.Value{}) // undeclared fields read as missing
+		}
+		for j := range o.exprs {
+			v, err := o.exprs[j](m.frame)
+			if err != nil {
+				return FrameResult{}, fmt.Errorf("machine %s: output %s field %s: %w",
+					p.spec.Name, o.message, o.names[j], err)
+			}
+			of.Set(o.slots[j], v)
+		}
+		m.outBuf = append(m.outBuf, FrameOutput{Message: o.message, Shape: o.shape, Frame: of})
+	}
+	for i := range ct.assigns {
+		m.frame.Set(ct.assigns[i].slot, m.scratch[i])
+	}
+	m.stateIdx = ct.toIdx
+	m.steps++
+	res.To = p.states[ct.toIdx]
+	res.Fired = ct.t
+	res.Outputs = m.outBuf
 	return res, nil
 }
 

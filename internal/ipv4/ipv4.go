@@ -102,12 +102,22 @@ var headerWitness = proof.NewValidator[Header]("ipv4.Header",
 )
 
 // Codec encodes and decodes IPv4 headers. The Append/InPlace methods
-// reuse internal scratch state, making the codec single-goroutine (use
-// one per worker).
+// run on the layout's slot-compiled program with reusable frame scratch
+// (no map on the per-packet path), making the codec single-goroutine
+// (use one per worker).
 type Codec struct {
-	layout  *wire.Layout
-	encVals map[string]expr.Value // AppendEncode scratch
-	decVals map[string]expr.Value // DecodeInPlace scratch
+	layout *wire.Layout
+	prog   *wire.Program
+
+	encFrame, decFrame *expr.Frame
+	slots              headerSlots
+}
+
+// headerSlots caches the canonical field slots of the header program.
+type headerSlots struct {
+	version, ihl, tos, totalLength, identification,
+	flags, fragmentOffset, ttl, protocol, checksum,
+	source, destination, options int
 }
 
 // NewCodec compiles the header layout.
@@ -116,10 +126,31 @@ func NewCodec() (*Codec, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ipv4: %w", err)
 	}
+	prog := l.Program()
+	slot := func(name string) int {
+		s, _ := prog.Slot(name)
+		return s
+	}
 	return &Codec{
-		layout:  l,
-		encVals: make(map[string]expr.Value, 13),
-		decVals: make(map[string]expr.Value, 13),
+		layout:   l,
+		prog:     prog,
+		encFrame: prog.NewFrame(),
+		decFrame: prog.NewFrame(),
+		slots: headerSlots{
+			version:        slot("version"),
+			ihl:            slot("ihl"),
+			tos:            slot("tos"),
+			totalLength:    slot("total_length"),
+			identification: slot("identification"),
+			flags:          slot("flags"),
+			fragmentOffset: slot("fragment_offset"),
+			ttl:            slot("ttl"),
+			protocol:       slot("protocol"),
+			checksum:       slot("header_checksum"),
+			source:         slot("source"),
+			destination:    slot("destination"),
+			options:        slot("options"),
+		},
 	}, nil
 }
 
@@ -153,8 +184,8 @@ func (c *Codec) Encode(h Header) ([]byte, error) {
 }
 
 // AppendEncode serialises the header into the tail of dst — the
-// allocation-free counterpart of Encode, reusing the codec's scratch
-// field map and not copying options.
+// allocation-free counterpart of Encode, writing the codec's scratch
+// frame slots (no map operation) and not copying options.
 func (c *Codec) AppendEncode(dst []byte, h Header) ([]byte, error) {
 	if _, err := headerWitness.Validate(h); err != nil {
 		return nil, err
@@ -162,20 +193,20 @@ func (c *Codec) AppendEncode(dst []byte, h Header) ([]byte, error) {
 	if len(h.Options) != (int(h.IHL)-5)*4 {
 		return nil, fmt.Errorf("ipv4: options length %d does not match IHL %d", len(h.Options), h.IHL)
 	}
-	clear(c.encVals)
-	c.encVals["version"] = expr.U8(uint64(h.Version))
-	c.encVals["ihl"] = expr.U8(uint64(h.IHL))
-	c.encVals["tos"] = expr.U8(uint64(h.TOS))
-	c.encVals["total_length"] = expr.U16(uint64(h.TotalLength))
-	c.encVals["identification"] = expr.U16(uint64(h.Identification))
-	c.encVals["flags"] = expr.U8(uint64(h.Flags))
-	c.encVals["fragment_offset"] = expr.U16(uint64(h.FragmentOffset))
-	c.encVals["ttl"] = expr.U8(uint64(h.TTL))
-	c.encVals["protocol"] = expr.U8(uint64(h.Protocol))
-	c.encVals["source"] = expr.U32(addrToUint(h.Source))
-	c.encVals["destination"] = expr.U32(addrToUint(h.Destination))
-	c.encVals["options"] = expr.BytesView(h.Options)
-	return c.layout.AppendEncode(dst, c.encVals)
+	f, s := c.encFrame, &c.slots
+	f.Set(s.version, expr.U8(uint64(h.Version)))
+	f.Set(s.ihl, expr.U8(uint64(h.IHL)))
+	f.Set(s.tos, expr.U8(uint64(h.TOS)))
+	f.Set(s.totalLength, expr.U16(uint64(h.TotalLength)))
+	f.Set(s.identification, expr.U16(uint64(h.Identification)))
+	f.Set(s.flags, expr.U8(uint64(h.Flags)))
+	f.Set(s.fragmentOffset, expr.U16(uint64(h.FragmentOffset)))
+	f.Set(s.ttl, expr.U8(uint64(h.TTL)))
+	f.Set(s.protocol, expr.U8(uint64(h.Protocol)))
+	f.Set(s.source, expr.U32(addrToUint(h.Source)))
+	f.Set(s.destination, expr.U32(addrToUint(h.Destination)))
+	f.Set(s.options, expr.BytesView(h.Options))
+	return c.prog.AppendEncode(dst, f)
 }
 
 // Decode parses the first IHL*4 bytes of data as an IPv4 header and
@@ -185,10 +216,11 @@ func (c *Codec) Decode(data []byte) (CheckedHeader, []byte, error) {
 	return c.decode(data, false)
 }
 
-// DecodeInPlace is the allocation-free counterpart of Decode: it reuses
-// the codec's scratch value map, the returned header's Options alias
-// data, and the checksum bytes of data are briefly zeroed and restored
-// during verification (wire.Layout.DecodeInto semantics).
+// DecodeInPlace is the allocation-free counterpart of Decode: it decodes
+// into the codec's reusable slot frame (no map operation), the returned
+// header's Options alias data, and the checksum bytes of data are
+// briefly zeroed and restored during verification
+// (wire.Program.DecodeInto semantics).
 func (c *Codec) DecodeInPlace(data []byte) (CheckedHeader, []byte, error) {
 	return c.decode(data, true)
 }
@@ -206,37 +238,34 @@ func (c *Codec) decode(data []byte, inPlace bool) (CheckedHeader, []byte, error)
 		return CheckedHeader{}, nil, fmt.Errorf("ipv4: %w: header claims %d bytes, have %d",
 			wire.ErrShortBuffer, hdrLen, len(data))
 	}
-	var vals map[string]expr.Value
-	if inPlace {
-		if err := c.layout.DecodeInto(c.decVals, data[:hdrLen]); err != nil {
-			return CheckedHeader{}, nil, err
-		}
-		vals = c.decVals
-	} else {
-		var err error
-		vals, err = c.layout.Decode(data[:hdrLen])
-		if err != nil {
-			return CheckedHeader{}, nil, err
-		}
+	hdr := data[:hdrLen]
+	if !inPlace {
+		// Decode's contract leaves data untouched; the program's in-place
+		// checksum verification briefly patches it, so work on a copy.
+		hdr = append([]byte(nil), hdr...)
 	}
+	if err := c.prog.DecodeInto(c.decFrame, hdr); err != nil {
+		return CheckedHeader{}, nil, err
+	}
+	f, s := c.decFrame, &c.slots
 	h := Header{
-		Version:        uint8(vals["version"].AsUint()),
-		IHL:            uint8(vals["ihl"].AsUint()),
-		TOS:            uint8(vals["tos"].AsUint()),
-		TotalLength:    uint16(vals["total_length"].AsUint()),
-		Identification: uint16(vals["identification"].AsUint()),
-		Flags:          uint8(vals["flags"].AsUint()),
-		FragmentOffset: uint16(vals["fragment_offset"].AsUint()),
-		TTL:            uint8(vals["ttl"].AsUint()),
-		Protocol:       uint8(vals["protocol"].AsUint()),
-		Checksum:       uint16(vals["header_checksum"].AsUint()),
-		Source:         uintToAddr(vals["source"].AsUint()),
-		Destination:    uintToAddr(vals["destination"].AsUint()),
+		Version:        uint8(f.Get(s.version).AsUint()),
+		IHL:            uint8(f.Get(s.ihl).AsUint()),
+		TOS:            uint8(f.Get(s.tos).AsUint()),
+		TotalLength:    uint16(f.Get(s.totalLength).AsUint()),
+		Identification: uint16(f.Get(s.identification).AsUint()),
+		Flags:          uint8(f.Get(s.flags).AsUint()),
+		FragmentOffset: uint16(f.Get(s.fragmentOffset).AsUint()),
+		TTL:            uint8(f.Get(s.ttl).AsUint()),
+		Protocol:       uint8(f.Get(s.protocol).AsUint()),
+		Checksum:       uint16(f.Get(s.checksum).AsUint()),
+		Source:         uintToAddr(f.Get(s.source).AsUint()),
+		Destination:    uintToAddr(f.Get(s.destination).AsUint()),
 	}
 	if inPlace {
-		h.Options = vals["options"].RawBytes()
+		h.Options = f.Get(s.options).RawBytes()
 	} else {
-		h.Options = vals["options"].AsBytes()
+		h.Options = f.Get(s.options).AsBytes()
 	}
 	checked, err := headerWitness.Validate(h)
 	if err != nil {

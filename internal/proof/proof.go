@@ -50,13 +50,21 @@ type Check[T any] struct {
 type Validator[T any] struct {
 	name   string
 	checks []Check[T]
+	// names caches the full check-name list: a successful Validate always
+	// establishes every check, so certificates share this one immutable
+	// slice instead of allocating per call (Established() copies on read).
+	names []string
 }
 
 // NewValidator builds a validator from its checks.
 func NewValidator[T any](name string, checks ...Check[T]) *Validator[T] {
 	cs := make([]Check[T], len(checks))
 	copy(cs, checks)
-	return &Validator[T]{name: name, checks: cs}
+	names := make([]string, len(cs))
+	for i := range cs {
+		names[i] = cs[i].Name
+	}
+	return &Validator[T]{name: name, checks: cs, names: names}
 }
 
 // Name returns the validator's name (it appears on certificates).
@@ -65,16 +73,14 @@ func (v *Validator[T]) Name() string { return v.name }
 // Validate runs every check. On success it returns a Checked[T] witness
 // whose certificate records which checks were established.
 func (v *Validator[T]) Validate(x T) (Checked[T], error) {
-	established := make([]string, 0, len(v.checks))
 	for _, c := range v.checks {
 		if err := c.Fn(x); err != nil {
 			return Checked[T]{}, &CheckError{Validator: v.name, Check: c.Name, Err: err}
 		}
-		established = append(established, c.Name)
 	}
 	return Checked[T]{
 		value: x,
-		cert:  Certificate{validator: v.name, established: established},
+		cert:  Certificate{validator: v.name, established: v.names},
 		valid: true,
 	}, nil
 }

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"protodsl/internal/arq"
 	"protodsl/internal/netsim"
 )
 
@@ -78,6 +79,129 @@ func BenchmarkRTNetLoopback(b *testing.B) {
 	for _, f := range fs {
 		if err := f.Do(func(rt netsim.Runtime, port netsim.Port) {
 			_ = port.Send(peer, payload)
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	<-done
+	b.StopTimer()
+}
+
+// BenchmarkRTNetLoopbackARQ is BenchmarkRTNetLoopback with the live
+// codec on the path: the server decodes each ARQ packet through the slot
+// program and answers with an encoded ack; the client decodes the ack
+// and sends the next packet. Every op is therefore one real-loopback
+// round trip *plus* one packet decode, one ack encode, one ack decode
+// and one packet encode — the rtnet steady-state loop as the protocol
+// engines drive it. Target: 0 allocs/op (slot frames and reusable
+// buffers only).
+func BenchmarkRTNetLoopbackARQ(b *testing.B) {
+	const flows = 64
+	const payloadSize = 256
+
+	server, err := Listen("127.0.0.1:0", Config{Shards: 4, Batch: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer server.Close()
+	err = server.Serve(func(rt netsim.Runtime, port netsim.Port, peer netsim.Addr, flow byte) func(netsim.Addr, []byte) {
+		codec, cerr := arq.NewCodec()
+		if cerr != nil {
+			b.Error(cerr)
+			return func(netsim.Addr, []byte) {}
+		}
+		var ackBuf []byte
+		return func(from netsim.Addr, data []byte) {
+			pkt, derr := codec.DecodePacketInPlace(data)
+			if derr != nil {
+				return
+			}
+			enc, eerr := codec.AppendEncodeAck(ackBuf[:0], pkt.Value().Seq)
+			if eerr != nil {
+				return
+			}
+			ackBuf = enc[:0]
+			_ = port.Send(from, enc)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	client, err := Listen("127.0.0.1:0", Config{Shards: 4, Batch: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	peer, err := client.Dial(string(server.Addr()))
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	var remaining atomic.Int64
+	remaining.Store(int64(b.N))
+	done := make(chan struct{})
+	var once sync.Once
+	payload := make([]byte, payloadSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	type flowState struct {
+		codec  *arq.Codec
+		encBuf []byte
+		seq    uint8
+	}
+	fs := make([]*Flow, flows)
+	for id := 0; id < flows; id++ {
+		f, err := client.Flow(byte(id))
+		if err != nil {
+			b.Fatal(err)
+		}
+		fs[id] = f
+		st := &flowState{}
+		st.codec, err = arq.NewCodec()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Do(func(rt netsim.Runtime, port netsim.Port) {
+			port.SetHandler(func(from netsim.Addr, data []byte) {
+				if _, derr := st.codec.DecodeAckInPlace(data); derr != nil {
+					return
+				}
+				if v := remaining.Add(-1); v > 0 {
+					st.seq++
+					enc, eerr := st.codec.AppendEncodePacket(st.encBuf[:0], st.seq, payload)
+					if eerr != nil {
+						return
+					}
+					st.encBuf = enc[:0]
+					_ = port.Send(peer, enc)
+				} else if v == 0 {
+					once.Do(func() { close(done) })
+				}
+			})
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	// Pre-encode the kick-off packet (seq 0) so the timed region is
+	// purely the steady-state loop.
+	kickCodec, err := arq.NewCodec()
+	if err != nil {
+		b.Fatal(err)
+	}
+	kick, err := kickCodec.AppendEncodePacket(nil, 0, payload)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.SetBytes(payloadSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for _, f := range fs {
+		if err := f.Do(func(rt netsim.Runtime, port netsim.Port) {
+			_ = port.Send(peer, kick)
 		}); err != nil {
 			b.Fatal(err)
 		}

@@ -68,7 +68,10 @@ type bitReader struct {
 	bitPos int
 }
 
-// readBits reads n bits MSB-first.
+// readBits reads n bits MSB-first. Like the writer's aligned fast path,
+// reads proceed a byte at a time rather than a bit at a time: an
+// unaligned field costs at most one partial lead byte, whole middle
+// bytes, and one partial tail byte — O(bits/8), not O(bits).
 func (r *bitReader) readBits(n int) (uint64, error) {
 	if r.bitPos+n > 8*len(r.buf) {
 		return 0, ErrShortBuffer
@@ -83,11 +86,30 @@ func (r *bitReader) readBits(n int) (uint64, error) {
 		return v, nil
 	}
 	var v uint64
-	for i := 0; i < n; i++ {
-		byteIdx := r.bitPos / 8
-		bit := (r.buf[byteIdx] >> uint(7-r.bitPos%8)) & 1
-		v = v<<1 | uint64(bit)
-		r.bitPos++
+	rem := n
+	// Partial lead byte: the bits from bitPos to the next byte boundary
+	// (or fewer, if the field ends inside this byte).
+	if bit := r.bitPos % 8; bit != 0 {
+		avail := 8 - bit
+		take := avail
+		if rem < take {
+			take = rem
+		}
+		b := r.buf[r.bitPos/8] >> uint(avail-take) // drop bits past the field
+		v = uint64(b) & ((1 << uint(take)) - 1)    // drop bits before bitPos
+		r.bitPos += take
+		rem -= take
+	}
+	// Whole middle bytes.
+	for rem >= 8 {
+		v = v<<8 | uint64(r.buf[r.bitPos/8])
+		r.bitPos += 8
+		rem -= 8
+	}
+	// Partial tail byte: the high rem bits of the next byte.
+	if rem > 0 {
+		v = v<<uint(rem) | uint64(r.buf[r.bitPos/8]>>uint(8-rem))
+		r.bitPos += rem
 	}
 	return v, nil
 }

@@ -3,8 +3,8 @@ package wire
 import (
 	"errors"
 	"fmt"
-	"hash/crc32"
 
+	"protodsl/internal/checksum"
 	"protodsl/internal/expr"
 )
 
@@ -48,6 +48,12 @@ func codecErr(msg, field string, err error) error {
 }
 
 // Encode serialises the message from the given field values.
+//
+// Encode/AppendEncode/Decode/DecodeInto are the map-based compatibility
+// codec: convenient for tests, examples and one-shot callers, and the
+// reference the slot programs are differentially tested against. The
+// per-packet hot path is Layout.Program() (see program.go), which runs
+// the same checks over slot frames without any map operation.
 //
 // Plain fields must all be present with values of the field's type.
 // Computed fields (lengths, checksums) are filled in automatically; if a
@@ -127,15 +133,28 @@ func (l *Layout) AppendEncode(dst []byte, values map[string]expr.Value) ([]byte,
 		return nil, codecErr(m.Name, "", fmt.Errorf("encoded size is not byte-aligned"))
 	}
 
-	// Second pass: compute and patch checksum fields.
+	// Second pass: compute every checksum over the still-zeroed
+	// serialisation, then patch — decode zeroes all checksum fields at
+	// once before verifying, so patching one checksum before computing
+	// the next would break multi-checksum round-trips.
+	var sumsBuf [4]uint64
+	sums := sumsBuf[:0]
+	for i := range m.Fields {
+		f := &m.Fields[i]
+		if f.Compute == nil || f.Compute.Kind != ComputeChecksum {
+			continue
+		}
+		sums = append(sums, checksumOf(f.Compute.Algo, w.buf[w.base:]))
+	}
+	idx := 0
 	for i := range m.Fields {
 		f := &m.Fields[i]
 		if f.Compute == nil || f.Compute.Kind != ComputeChecksum {
 			continue
 		}
 		off, _ := l.FieldOffset(f.Name)
-		sum := checksumOf(f.Compute.Algo, w.buf[w.base:])
-		patchUint(w.buf, w.base+off/8, f.Bits/8, sum)
+		patchUint(w.buf, w.base+off/8, f.Bits/8, sums[idx])
+		idx++
 	}
 	return w.buf, nil
 }
@@ -357,15 +376,11 @@ func byteLength(m *Message, f *Field, values map[string]expr.Value, r *bitReader
 func checksumOf(algo ChecksumAlgo, data []byte) uint64 {
 	switch algo {
 	case ChecksumSum8:
-		var sum uint64
-		for _, b := range data {
-			sum += uint64(b)
-		}
-		return sum & 0xFF
+		return checksum.Sum8(data)
 	case ChecksumInet16:
-		return uint64(expr.Inet16(data))
+		return uint64(checksum.Inet16(data))
 	case ChecksumCRC32:
-		return uint64(crc32.ChecksumIEEE(data))
+		return uint64(checksum.CRC32(data))
 	default:
 		return 0
 	}

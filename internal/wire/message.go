@@ -199,7 +199,14 @@ type Layout struct {
 	fixedPrefixBits int
 	// hasVariable reports whether any field has variable length.
 	hasVariable bool
+	// prog is the slot-compiled program (built eagerly by Compile).
+	prog *Program
 }
+
+// Program returns the layout's slot-compiled program: the hot-path codec
+// over expr.Frame field slots (see program.go). It is built once at
+// Compile time and shareable across goroutines.
+func (l *Layout) Program() *Program { return l.prog }
 
 // Message returns the underlying message definition.
 func (l *Layout) Message() *Message { return l.msg }
@@ -327,6 +334,7 @@ func Compile(m *Message) (*Layout, error) {
 	} else {
 		layout.fixedPrefixBits = bitOff
 	}
+	layout.prog = newProgram(layout)
 	return layout, nil
 }
 

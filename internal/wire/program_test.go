@@ -1,0 +1,337 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"protodsl/internal/expr"
+)
+
+// arqPacketMessage mirrors the ARQ data packet (seq, sum8 checksum,
+// auto length, payload) without importing internal/arq (which imports
+// wire).
+func arqPacketMessage() *Message {
+	return &Message{
+		Name: "Packet",
+		Fields: []Field{
+			{Name: "seq", Kind: FieldUint, Bits: 8},
+			{Name: "chk", Kind: FieldUint, Bits: 8,
+				Compute: &Compute{Kind: ComputeChecksum, Algo: ChecksumSum8}},
+			{Name: "paylen", Kind: FieldUint, Bits: 16},
+			{Name: "payload", Kind: FieldBytes, LenKind: LenField, LenField: "paylen"},
+		},
+	}
+}
+
+func computedLenMessage() *Message {
+	return &Message{
+		Name: "Framed",
+		Fields: []Field{
+			{Name: "words", Kind: FieldUint, Bits: 8},
+			{Name: "crc", Kind: FieldUint, Bits: 32,
+				Compute: &Compute{Kind: ComputeChecksum, Algo: ChecksumCRC32}},
+			{Name: "body", Kind: FieldBytes, LenKind: LenExpr, LenExpr: expr.MustParse("words * 4")},
+			{Name: "tail", Kind: FieldBytes, LenKind: LenRest},
+		},
+	}
+}
+
+func progEncode(t *testing.T, l *Layout, set func(f *expr.Frame)) ([]byte, error) {
+	t.Helper()
+	prog := l.Program()
+	f := prog.NewFrame()
+	set(f)
+	return prog.AppendEncode(nil, f)
+}
+
+func slotOf(t *testing.T, l *Layout, name string) int {
+	t.Helper()
+	s, ok := l.Program().Slot(name)
+	if !ok {
+		t.Fatalf("no slot for field %q", name)
+	}
+	return s
+}
+
+// TestProgramEncodeMatchesLayout pins byte-for-byte agreement between the
+// slot program and the map codec on representative messages.
+func TestProgramEncodeMatchesLayout(t *testing.T) {
+	l, err := Compile(arqPacketMessage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, payload := range [][]byte{nil, {0xAB}, bytes.Repeat([]byte{0x5A}, 300)} {
+		want, err := l.Encode(map[string]expr.Value{
+			"seq": expr.U8(7), "payload": expr.Bytes(payload),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := progEncode(t, l, func(f *expr.Frame) {
+			f.Set(slotOf(t, l, "seq"), expr.U8(7))
+			f.Set(slotOf(t, l, "payload"), expr.BytesView(payload))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("payload len %d: program %x != layout %x", len(payload), got, want)
+		}
+		// Round trip through the program decoder.
+		prog := l.Program()
+		frame := prog.NewFrame()
+		if err := prog.DecodeInto(frame, got); err != nil {
+			t.Fatal(err)
+		}
+		if seq := frame.Get(slotOf(t, l, "seq")).AsUint(); seq != 7 {
+			t.Fatalf("decoded seq %d", seq)
+		}
+		if pl := frame.Get(slotOf(t, l, "payload")).RawBytes(); !bytes.Equal(pl, payload) {
+			t.Fatalf("decoded payload %x != %x", pl, payload)
+		}
+	}
+}
+
+// TestProgramFrameReuse pins the contract difference from the map codec:
+// computed slots (lengths, checksums) are recomputed every call, so a
+// frame reused across packets needs only its plain slots refreshed.
+func TestProgramFrameReuse(t *testing.T) {
+	l, err := Compile(arqPacketMessage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := l.Program()
+	f := prog.NewFrame()
+	seq, pay := slotOf(t, l, "seq"), slotOf(t, l, "payload")
+	for i, payload := range [][]byte{bytes.Repeat([]byte{1}, 10), {2}, bytes.Repeat([]byte{3}, 200)} {
+		f.Set(seq, expr.U8(uint64(i)))
+		f.Set(pay, expr.BytesView(payload))
+		enc, err := prog.AppendEncode(nil, f)
+		if err != nil {
+			t.Fatalf("reuse round %d: %v", i, err)
+		}
+		want, err := l.Encode(map[string]expr.Value{
+			"seq": expr.U8(uint64(i)), "payload": expr.Bytes(payload),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, want) {
+			t.Fatalf("reuse round %d: %x != %x", i, enc, want)
+		}
+	}
+}
+
+// TestProgramErrorClasses exercises the decode/encode failure paths and
+// asserts the same sentinel error classes as the map codec.
+func TestProgramErrorClasses(t *testing.T) {
+	l, err := Compile(arqPacketMessage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := l.Program()
+	frame := prog.NewFrame()
+	good, err := l.Encode(map[string]expr.Value{"seq": expr.U8(1), "payload": expr.Bytes([]byte{1, 2, 3})})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("short-buffer", func(t *testing.T) {
+		for cut := 1; cut < len(good); cut++ {
+			data := append([]byte(nil), good[:len(good)-cut]...)
+			perr := prog.DecodeInto(frame, data)
+			_, merr := l.Decode(data)
+			if perr == nil {
+				t.Fatalf("cut %d: program decode succeeded", cut)
+			}
+			// Same class: short buffer (or, for truncations that still
+			// parse, checksum mismatch).
+			if errors.Is(perr, ErrShortBuffer) != errors.Is(merr, ErrShortBuffer) ||
+				errors.Is(perr, ErrChecksumMismatch) != errors.Is(merr, ErrChecksumMismatch) {
+				t.Fatalf("cut %d: program %v vs layout %v", cut, perr, merr)
+			}
+		}
+	})
+
+	t.Run("checksum-mismatch", func(t *testing.T) {
+		data := append([]byte(nil), good...)
+		data[len(data)-1] ^= 0xFF
+		if err := prog.DecodeInto(frame, data); !errors.Is(err, ErrChecksumMismatch) {
+			t.Fatalf("got %v, want checksum mismatch", err)
+		}
+		// The checksum bytes must be restored after the failed verify.
+		chkOff, _ := l.FieldOffset("chk")
+		if data[chkOff/8] != good[chkOff/8] {
+			t.Fatal("checksum byte not restored after mismatch")
+		}
+	})
+
+	t.Run("trailing-bytes", func(t *testing.T) {
+		// Corrupt paylen downward so bytes remain after the final field;
+		// the map codec reports the same class.
+		data := append([]byte(nil), good...)
+		data[3] = 0 // paylen low byte: claims 0-byte payload
+		perr := prog.DecodeInto(frame, data)
+		_, merr := l.Decode(data)
+		if !errors.Is(perr, ErrTrailingBytes) || !errors.Is(merr, ErrTrailingBytes) {
+			t.Fatalf("program %v, layout %v; want trailing bytes from both", perr, merr)
+		}
+	})
+
+	t.Run("missing-field", func(t *testing.T) {
+		f := prog.NewFrame()
+		if _, err := prog.AppendEncode(nil, f); !errors.Is(err, ErrMissingField) {
+			t.Fatalf("got %v, want missing field", err)
+		}
+	})
+
+	t.Run("range-overflow", func(t *testing.T) {
+		f := prog.NewFrame()
+		f.Set(slotOf(t, l, "seq"), expr.U16(300)) // does not fit 8 bits
+		f.Set(slotOf(t, l, "payload"), expr.BytesView(nil))
+		if _, err := prog.AppendEncode(nil, f); !errors.Is(err, ErrBadFieldValue) {
+			t.Fatalf("got %v, want bad field value", err)
+		}
+	})
+
+	t.Run("bad-kind", func(t *testing.T) {
+		f := prog.NewFrame()
+		f.Set(slotOf(t, l, "seq"), expr.Str("nope"))
+		f.Set(slotOf(t, l, "payload"), expr.BytesView(nil))
+		if _, err := prog.AppendEncode(nil, f); !errors.Is(err, ErrBadFieldValue) {
+			t.Fatalf("got %v, want bad field value", err)
+		}
+	})
+}
+
+// TestProgramComputedLenAndMultiChecksum covers LenExpr, LenRest and a
+// 32-bit CRC through the slot path against the map path.
+func TestProgramComputedLenAndMultiChecksum(t *testing.T) {
+	l, err := Compile(computedLenMessage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := l.Program()
+	body := bytes.Repeat([]byte{0xC3}, 8) // words=2 -> 8 bytes
+	tail := []byte{9, 9, 9}
+	want, err := l.Encode(map[string]expr.Value{
+		"words": expr.U8(2), "body": expr.Bytes(body), "tail": expr.Bytes(tail),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.NewFrame()
+	f.Set(slotOf(t, l, "words"), expr.U8(2))
+	f.Set(slotOf(t, l, "body"), expr.BytesView(body))
+	f.Set(slotOf(t, l, "tail"), expr.BytesView(tail))
+	got, err := prog.AppendEncode(nil, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("program %x != layout %x", got, want)
+	}
+	if err := prog.DecodeInto(f, got); err != nil {
+		t.Fatal(err)
+	}
+	if b := f.Get(slotOf(t, l, "body")).RawBytes(); !bytes.Equal(b, body) {
+		t.Fatalf("body %x != %x", b, body)
+	}
+	if b := f.Get(slotOf(t, l, "tail")).RawBytes(); !bytes.Equal(b, tail) {
+		t.Fatalf("tail %x != %x", b, tail)
+	}
+
+	// Length-expression mismatch on encode: same class as the map path.
+	f2 := prog.NewFrame()
+	f2.Set(slotOf(t, l, "words"), expr.U8(3)) // claims 12, body is 8
+	f2.Set(slotOf(t, l, "body"), expr.BytesView(body))
+	f2.Set(slotOf(t, l, "tail"), expr.BytesView(tail))
+	if _, err := prog.AppendEncode(nil, f2); !errors.Is(err, ErrBadFieldValue) {
+		t.Fatalf("got %v, want bad field value", err)
+	}
+}
+
+// TestMultiChecksumRoundTrip pins the multi-checksum fix: every
+// checksum is computed over the serialisation with ALL checksum fields
+// zeroed (matching decode's verification), not over a buffer where
+// earlier checksums were already patched. Both codec generations must
+// round-trip a two-checksum message.
+func TestMultiChecksumRoundTrip(t *testing.T) {
+	m := &Message{
+		Name: "Dual",
+		Fields: []Field{
+			{Name: "a", Kind: FieldUint, Bits: 8},
+			{Name: "c1", Kind: FieldUint, Bits: 8,
+				Compute: &Compute{Kind: ComputeChecksum, Algo: ChecksumSum8}},
+			{Name: "c2", Kind: FieldUint, Bits: 16,
+				Compute: &Compute{Kind: ComputeChecksum, Algo: ChecksumInet16}},
+			{Name: "body", Kind: FieldBytes, LenKind: LenRest},
+		},
+	}
+	l, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := []byte{7, 8, 9}
+
+	enc, err := l.Encode(map[string]expr.Value{"a": expr.U8(7), "body": expr.Bytes(body)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Decode(enc); err != nil {
+		t.Fatalf("layout round trip: %v", err)
+	}
+
+	prog := l.Program()
+	f := prog.NewFrame()
+	f.Set(slotOf(t, l, "a"), expr.U8(7))
+	f.Set(slotOf(t, l, "body"), expr.BytesView(body))
+	got, err := prog.AppendEncode(nil, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, enc) {
+		t.Fatalf("program %x != layout %x", got, enc)
+	}
+	if err := prog.DecodeInto(prog.NewFrame(), got); err != nil {
+		t.Fatalf("program round trip: %v", err)
+	}
+}
+
+// TestProgramZeroAllocs pins the acceptance criterion: the slot codec's
+// steady-state encode and decode allocate nothing.
+func TestProgramZeroAllocs(t *testing.T) {
+	l, err := Compile(arqPacketMessage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := l.Program()
+	payload := bytes.Repeat([]byte{7}, 128)
+	f := prog.NewFrame()
+	seq, pay := slotOf(t, l, "seq"), slotOf(t, l, "payload")
+	f.Set(seq, expr.U8(1))
+	f.Set(pay, expr.BytesView(payload))
+	enc, err := prog.AppendEncode(nil, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := enc[:0]
+	if n := testing.AllocsPerRun(200, func() {
+		out, err := prog.AppendEncode(buf[:0], f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = out[:0]
+	}); n != 0 {
+		t.Fatalf("AppendEncode allocates %.1f/op", n)
+	}
+	dec := prog.NewFrame()
+	if n := testing.AllocsPerRun(200, func() {
+		if err := prog.DecodeInto(dec, enc); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("DecodeInto allocates %.1f/op", n)
+	}
+}
