@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench benchfull bench-json allocscheck lint fmt vet fmtcheck docscheck clean
+.PHONY: all build test race bench benchfull bench-json bench-diff allocscheck lint fmt vet fmtcheck docscheck clean
 
 all: build test lint docscheck
 
@@ -39,11 +39,29 @@ benchfull:
 bench-json:
 	$(GO) run ./cmd/benchjson -benchtime 2s -out BENCH_hotpath.json
 
-# Allocation gate: the slot codec and the rtnet steady-state loops must
-# report 0 allocs/op. Regressions fail here, not in the narrative.
+# Regression guard: run the hot-path set fresh and fail on any >25%
+# ns/op regression against the committed trajectory (or on a guarded
+# benchmark going missing — renames must regenerate BENCH_hotpath.json).
+# RTNetReusePort is recorded in the trajectory but not guarded: it is a
+# shard-scaling diagnostic whose ns/op depends on host topology and
+# scheduler contention (on a single-vCPU runner it swings tens of
+# percent run to run), not a hot-path latency pin. benchdiff also
+# downgrades the gate to advisory when the recorded CPU model differs
+# from the runner's — though virtualised hosts reporting one generic
+# CPU string can still alias distinct physical machines; if the gate
+# flaps on identical-looking CPUs, regenerate the baseline on the
+# runner class that enforces it.
+bench-diff:
+	$(GO) run ./cmd/benchjson -benchtime 2s -out .bench_fresh.json
+	$(GO) run ./internal/tools/benchdiff -old BENCH_hotpath.json -new .bench_fresh.json -max-regress 25 \
+		-match '^Benchmark(CompiledVsTreeWalk|AblationCodecPath|AblationChecksums|RTNetLoopback|Sum8|Inet16|TimerChurn|AggregateInto)'
+
+# Allocation gate: the slot codec, the rtnet steady-state loops, the
+# timing wheel's churn path and the harness metrics merge must report
+# 0 allocs/op. Regressions fail here, not in the narrative.
 allocscheck:
-	$(GO) run ./cmd/benchjson -bench 'AblationCodecPath/slot|RTNetLoopback' \
-		-benchtime 30000x -require-zero 'slot|RTNetLoopback' -out /dev/null
+	$(GO) run ./cmd/benchjson -bench 'AblationCodecPath/slot|RTNetLoopback|TimerChurn/wheel|AggregateInto' \
+		-benchtime 30000x -require-zero 'slot|RTNetLoopback|TimerChurn/wheel|AggregateInto' -out /dev/null
 
 lint: vet fmtcheck
 

@@ -37,7 +37,8 @@ func run(args []string, out io.Writer) error {
 		listen   = fs.String("listen", "127.0.0.1:9000", "UDP address to listen on")
 		variant  = fs.String("variant", "gbn", "ARQ variant to accept: gbn or sr")
 		window   = fs.Int("window", 32, "receive window (must match the client's for sr)")
-		shards   = fs.Int("shards", 0, "worker event loops (0 = min(GOMAXPROCS, 4))")
+		shards   = fs.Int("shards", 0, "worker event loops, one SO_REUSEPORT socket each where supported (0 = min(GOMAXPROCS, 4))")
+		single   = fs.Bool("singlesocket", false, "force one shared socket (disable per-shard SO_REUSEPORT sockets)")
 		stats    = fs.Duration("stats", 5*time.Second, "stats print interval (0 = silent)")
 		duration = fs.Duration("duration", 0, "serve for this long then exit (0 = until interrupted)")
 	)
@@ -48,7 +49,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown variant %q (want gbn or sr)", *variant)
 	}
 
-	node, err := rtnet.Listen(*listen, rtnet.Config{Shards: *shards})
+	node, err := rtnet.Listen(*listen, rtnet.Config{Shards: *shards, SingleSocket: *single})
 	if err != nil {
 		return err
 	}
@@ -85,7 +86,9 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	fmt.Fprintf(out, "protoserve: %s receivers on udp://%s (%s)\n", *variant, node.Addr(), "ctrl-c to stop")
+	gso, gro := node.Offloads()
+	fmt.Fprintf(out, "protoserve: %s receivers on udp://%s (shards=%d sockets=%d gso=%v gro=%v; ctrl-c to stop)\n",
+		*variant, node.Addr(), node.Shards(), node.Sockets(), gso, gro)
 
 	interrupt := make(chan os.Signal, 1)
 	signal.Notify(interrupt, os.Interrupt)

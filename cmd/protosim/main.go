@@ -256,7 +256,9 @@ func runClient(out io.Writer, cfg clientConfig) error {
 	}
 	rep := harness.Aggregate(grouped)
 
+	gso, gro := node.Offloads()
 	fmt.Fprintf(out, "real-network %s transfer to %s (real clock, not virtual)\n", cfg.variant, peer)
+	fmt.Fprintf(out, "  client runtime: shards=%d sockets=%d gso=%v gro=%v\n", node.Shards(), node.Sockets(), gso, gro)
 	fmt.Fprintf(out, "  flows: %d (%d ok), window %d, %d x %dB payloads each\n",
 		rep.Flows, rep.OKFlows, cfg.window, cfg.payloads, cfg.size)
 	fmt.Fprintf(out, "  packets sent: %d (retransmits %d)\n", rep.PacketsSent, rep.Retransmits)

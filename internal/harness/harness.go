@@ -257,6 +257,11 @@ type Report struct {
 	Fairness metrics.Summary // one observation per shard
 	// Results holds every flow, shard-major, for detailed inspection.
 	Results []FlowResult
+
+	// goodputs is the per-shard fairness scratch buffer, kept so
+	// AggregateInto reuses it across runs instead of growing a fresh
+	// slice per shard.
+	goodputs []float64
 }
 
 // Run executes shards instances of the experiment across a worker pool
@@ -311,10 +316,37 @@ func Run(cfg MultiFlowConfig, shards, workers int) (*Report, error) {
 // time — feed the same aggregation pipeline (goodput and duration
 // summaries, per-shard Jain fairness) the simulated experiments use.
 func Aggregate(perShard [][]FlowResult) *Report {
-	rep := &Report{Shards: len(perShard)}
-	var goodputs []float64
+	rep := &Report{}
+	AggregateInto(rep, perShard)
+	return rep
+}
+
+// AggregateInto is Aggregate reusing the caller's Report: the Results
+// slice and the fairness scratch buffer are preallocated from the
+// shard counts (one sizing pass, then exact-capacity fills), so the
+// merge performs no per-sample allocation and a warm Report aggregates
+// repeatedly at 0 allocs/op — the shape long-running collectors
+// (periodic rtnet metrics, benchmark loops) want. Previous contents of
+// rep are discarded.
+func AggregateInto(rep *Report, perShard [][]FlowResult) {
+	total, maxFlows := 0, 0
 	for _, results := range perShard {
-		goodputs = goodputs[:0]
+		total += len(results)
+		if len(results) > maxFlows {
+			maxFlows = len(results)
+		}
+	}
+	results := rep.Results[:0]
+	if cap(results) < total {
+		results = make([]FlowResult, 0, total)
+	}
+	goodputs := rep.goodputs[:0]
+	if cap(goodputs) < maxFlows {
+		goodputs = make([]float64, 0, maxFlows)
+	}
+	*rep = Report{Shards: len(perShard), Results: results, goodputs: goodputs}
+	for _, results := range perShard {
+		shardGoodputs := rep.goodputs[:0]
 		for _, r := range results {
 			rep.Results = append(rep.Results, r)
 			rep.Flows++
@@ -324,11 +356,10 @@ func Aggregate(perShard [][]FlowResult) *Report {
 				rep.OKFlows++
 			}
 			g := r.Goodput()
-			goodputs = append(goodputs, g)
+			shardGoodputs = append(shardGoodputs, g)
 			rep.Goodput.Add(g)
 			rep.Duration.Add(r.Duration.Seconds())
 		}
-		rep.Fairness.Add(metrics.JainFairness(goodputs))
+		rep.Fairness.Add(metrics.JainFairness(shardGoodputs))
 	}
-	return rep
 }

@@ -9,8 +9,16 @@
 // The simulator is single-threaded: protocol handlers run inside the
 // event loop, so no locking is needed and runs are deterministic. Virtual
 // time advances only when live events fire — cancelled timers are removed
-// from the queue outright (indexed heap), so a dead event can never move
-// the clock or burn event budget.
+// from the timer store outright, so a dead event can never move the clock
+// or burn event budget.
+//
+// The timer store is a hierarchical timing wheel (internal/timerwheel):
+// O(1) arm/cancel/advance instead of the binary heap's O(log n), with
+// advancement jumping straight to the next occupied slot — no per-tick
+// scan — and events firing in strict (deadline, arm-order) sequence, so
+// every seeded run is byte-identical to the heap-backed core it
+// replaced (the golden-trace tests in internal/arq and internal/harness
+// pin this). See DESIGN.md §9.
 //
 // Concurrency contract: a Sim and everything attached to it (endpoints,
 // muxes, timers) belong to exactly one goroutine. Scaling out means many
@@ -31,11 +39,12 @@
 package netsim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
 	"time"
+
+	"protodsl/internal/timerwheel"
 )
 
 // Simulation errors.
@@ -52,56 +61,19 @@ var (
 // Addr identifies an endpoint.
 type Addr string
 
-// event is a scheduled callback. seq breaks ties deterministically.
-// index is the event's position in the heap (maintained by Swap/Push/Pop)
-// so cancellation can heap.Remove it in O(log n) instead of leaving a
-// dead entry behind; -1 marks an event that is no longer queued.
-type event struct {
-	at    time.Duration
-	seq   uint64
-	fn    func()
-	index int
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
+// wheelGranularity is the simulator's timer-wheel tick: 1.024µs. The
+// granularity quantises only slot placement — deadlines and firing
+// order stay exact to the nanosecond — so it is a pure
+// cache-locality/cascade-depth trade-off, sized well under the
+// millisecond-scale delays and RTOs the experiments use.
+const wheelGranularity = time.Microsecond
 
 // Sim is a simulation instance. Create with New; not safe for concurrent
 // use (by design — see the package comment).
 type Sim struct {
 	now       time.Duration
-	queue     eventHeap
-	pool      []*event // free list of event structs for reuse
+	wheel     *timerwheel.Wheel
 	rng       *rand.Rand
-	nextSeq   uint64
 	endpoints map[Addr]*Endpoint
 	links     map[linkKey]*link
 	stats     Stats
@@ -116,6 +88,7 @@ type linkKey struct{ from, to Addr }
 func New(seed int64) *Sim {
 	return &Sim{
 		rng:       rand.New(rand.NewSource(seed)),
+		wheel:     timerwheel.New(wheelGranularity),
 		endpoints: make(map[Addr]*Endpoint),
 		links:     make(map[linkKey]*link),
 	}
@@ -140,58 +113,32 @@ func (s *Sim) Trace() []TraceEvent {
 // Stats returns a snapshot of the simulator's packet counters.
 func (s *Sim) Stats() Stats { return s.stats }
 
-// schedule enqueues fn at absolute virtual time at. Event structs come
-// from a free list: the steady-state send/timeout loop reuses them
-// instead of allocating.
-func (s *Sim) schedule(at time.Duration, fn func()) *event {
+// schedule enqueues fn at absolute virtual time at. Event structs are
+// pooled inside the wheel: the steady-state send/timeout loop reuses
+// them instead of allocating.
+func (s *Sim) schedule(at time.Duration, fn func()) *timerwheel.Event {
 	if at < s.now {
 		at = s.now
 	}
-	var e *event
-	if n := len(s.pool); n > 0 {
-		e = s.pool[n-1]
-		s.pool[n-1] = nil
-		s.pool = s.pool[:n-1]
-	} else {
-		e = &event{}
-	}
-	e.at, e.seq, e.fn = at, s.nextSeq, fn
-	s.nextSeq++
-	heap.Push(&s.queue, e)
-	return e
-}
-
-// release returns a dequeued event to the free list.
-func (s *Sim) release(e *event) {
-	e.fn = nil
-	s.pool = append(s.pool, e)
-}
-
-// remove takes a still-queued event out of the heap and recycles it.
-func (s *Sim) remove(e *event) {
-	if e.index < 0 {
-		return
-	}
-	heap.Remove(&s.queue, e.index)
-	s.release(e)
+	return s.wheel.Arm(at, fn)
 }
 
 // simTimer is the simulator's Timer implementation.
 type simTimer struct {
 	sim   *Sim
-	ev    *event
+	ev    *timerwheel.Event
 	fired bool
 }
 
 // Cancel prevents the timer from firing and removes its event from the
-// queue: a cancelled timer costs nothing to the event loop and — crucially
+// wheel: a cancelled timer costs nothing to the event loop and — crucially
 // — can never advance virtual time. Cancelling an already-fired or
 // already-cancelled timer is a no-op.
 func (t *simTimer) Cancel() {
 	if t.ev == nil {
 		return
 	}
-	t.sim.remove(t.ev)
+	t.sim.wheel.Cancel(t.ev)
 	t.ev = nil
 }
 
@@ -221,15 +168,13 @@ func (s *Sim) Post(fn func()) { s.schedule(s.now, fn) }
 // exceed `until`. It returns the number of events processed.
 func (s *Sim) Run(until time.Duration) int {
 	n := 0
-	for len(s.queue) > 0 {
-		next := s.queue[0]
-		if next.at > until {
+	for {
+		at, ok := s.wheel.PeekDeadline()
+		if !ok || at > until {
 			break
 		}
-		heap.Pop(&s.queue)
-		s.now = next.at
-		fn := next.fn
-		s.release(next)
+		at, fn, _ := s.wheel.Pop()
+		s.now = at
 		fn()
 		s.processed++
 		n++
@@ -244,22 +189,22 @@ func (s *Sim) Run(until time.Duration) int {
 // than maxEvents fire (which indicates a livelock such as an
 // ever-rescheduling timer).
 func (s *Sim) RunUntilIdle(maxEvents int) error {
-	for n := 0; len(s.queue) > 0; n++ {
+	for n := 0; ; n++ {
+		if _, ok := s.wheel.PeekDeadline(); !ok {
+			return nil
+		}
 		if n >= maxEvents {
 			return fmt.Errorf("%w: %d events", ErrBudgetExceeded, maxEvents)
 		}
-		next := heap.Pop(&s.queue).(*event)
-		s.now = next.at
-		fn := next.fn
-		s.release(next)
+		at, fn, _ := s.wheel.Pop()
+		s.now = at
 		fn()
 		s.processed++
 	}
-	return nil
 }
 
 // Idle reports whether no events are pending.
-func (s *Sim) Idle() bool { return len(s.queue) == 0 }
+func (s *Sim) Idle() bool { return s.wheel.Len() == 0 }
 
 // Rand exposes the simulation PRNG so protocol components (e.g. random
 // relay choice) share the deterministic seed.

@@ -122,7 +122,7 @@ func TestTimerStateMachine(t *testing.T) {
 }
 
 // The arm/cancel/re-arm cycle of an ARQ sender must not allocate a new
-// event struct per cycle: the pool recycles them.
+// event struct per cycle: the wheel's pool recycles them.
 func TestEventPoolRecyclesArmCancelCycle(t *testing.T) {
 	s := New(1)
 	// Warm up the pool.
@@ -139,19 +139,19 @@ func TestEventPoolRecyclesArmCancelCycle(t *testing.T) {
 	}
 }
 
-// Post/deliver churn through Run must recycle events too.
+// Post/deliver churn through the run loop must recycle events too.
 func TestEventPoolRecyclesRunLoop(t *testing.T) {
 	s := New(1)
 	s.Post(func() {})
 	if err := s.RunUntilIdle(10); err != nil {
 		t.Fatal(err)
 	}
-	if len(s.pool) == 0 {
+	if s.wheel.PooledEvents() == 0 {
 		t.Error("run loop did not return events to the pool")
 	}
-	before := len(s.pool)
+	before := s.wheel.PooledEvents()
 	s.Post(func() {})
-	if len(s.pool) != before-1 {
+	if s.wheel.PooledEvents() != before-1 {
 		t.Error("schedule did not reuse a pooled event")
 	}
 }

@@ -1,6 +1,7 @@
 package rtnet
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -202,6 +203,97 @@ func BenchmarkRTNetLoopbackARQ(b *testing.B) {
 	for _, f := range fs {
 		if err := f.Do(func(rt netsim.Runtime, port netsim.Port) {
 			_ = port.Send(peer, kick)
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	<-done
+	b.StopTimer()
+}
+
+// BenchmarkRTNetReusePort measures how aggregate loopback throughput
+// scales with the shard count now that every shard owns a SO_REUSEPORT
+// socket: 64 concurrent flows ping-pong fixed-size frames between a
+// client and a server node, both configured with the given shard (and
+// therefore socket) count. With one shard everything serialises on one
+// socket pair; with four, the kernel steers flows across four socket
+// pairs and four independent reader/loop/flush pipelines. MB/s is
+// aggregate payload throughput; the sub-benchmark ratio is the scaling
+// figure to watch.
+//
+// The ratio is only meaningful on a multi-core host. On a single-vCPU
+// container (GOMAXPROCS=1) the extra pipelines cannot run in parallel,
+// so added shards cost pure context switching and the ratio *inverts*
+// — BENCH_hotpath.json records the host's CPU alongside the numbers
+// for exactly this reason.
+func BenchmarkRTNetReusePort(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchPingPong(b, shards)
+		})
+	}
+}
+
+func benchPingPong(b *testing.B, shards int) {
+	const flows = 64
+	const frameSize = 512
+
+	server, err := Listen("127.0.0.1:0", Config{Shards: shards, Batch: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer server.Close()
+	err = server.Serve(func(rt netsim.Runtime, port netsim.Port, peer netsim.Addr, flow byte) func(netsim.Addr, []byte) {
+		return func(from netsim.Addr, data []byte) { _ = port.Send(from, data) }
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	client, err := Listen("127.0.0.1:0", Config{Shards: shards, Batch: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	peer, err := client.Dial(string(server.Addr()))
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	var remaining atomic.Int64
+	remaining.Store(int64(b.N))
+	done := make(chan struct{})
+	var once sync.Once
+	payload := make([]byte, frameSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	fs := make([]*Flow, flows)
+	for id := 0; id < flows; id++ {
+		f, err := client.Flow(byte(id))
+		if err != nil {
+			b.Fatal(err)
+		}
+		fs[id] = f
+		if err := f.Do(func(rt netsim.Runtime, port netsim.Port) {
+			port.SetHandler(func(from netsim.Addr, data []byte) {
+				if v := remaining.Add(-1); v > 0 {
+					_ = port.Send(peer, payload)
+				} else if v == 0 {
+					once.Do(func() { close(done) })
+				}
+			})
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.SetBytes(frameSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for _, f := range fs {
+		if err := f.Do(func(rt netsim.Runtime, port netsim.Port) {
+			_ = port.Send(peer, payload)
 		}); err != nil {
 			b.Fatal(err)
 		}

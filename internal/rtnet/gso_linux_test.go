@@ -1,0 +1,128 @@
+//go:build linux && (amd64 || arm64)
+
+package rtnet
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// TestCoalesceRun pins the GSO run-detection rule: consecutive staged
+// packets to one destination coalesce while sizes stay equal, a single
+// shorter packet may terminate the run (the UDP_SEGMENT short-tail
+// contract), and destination changes, larger packets, the kernel's
+// segment cap and the byte cap all break it.
+func TestCoalesceRun(t *testing.T) {
+	a := netip.MustParseAddrPort("127.0.0.1:1000")
+	b := netip.MustParseAddrPort("127.0.0.1:2000")
+	mk := func(dsts []netip.AddrPort, sizes []int) []outPkt {
+		out := make([]outPkt, len(sizes))
+		off := 0
+		for i, sz := range sizes {
+			out[i] = outPkt{to: dsts[i], off: off, end: off + sz}
+			off += sz
+		}
+		return out
+	}
+	same := func(n int, ap netip.AddrPort) []netip.AddrPort {
+		d := make([]netip.AddrPort, n)
+		for i := range d {
+			d[i] = ap
+		}
+		return d
+	}
+
+	t.Run("equal sizes coalesce", func(t *testing.T) {
+		out := mk(same(5, a), []int{100, 100, 100, 100, 100})
+		if got := coalesceRun(out, 0); got != 5 {
+			t.Errorf("run = %d, want 5", got)
+		}
+	})
+	t.Run("short tail terminates", func(t *testing.T) {
+		out := mk(same(4, a), []int{100, 100, 40, 100})
+		if got := coalesceRun(out, 0); got != 3 {
+			t.Errorf("run = %d, want 3 (short segment must be last)", got)
+		}
+	})
+	t.Run("larger packet breaks", func(t *testing.T) {
+		out := mk(same(3, a), []int{100, 200, 100})
+		if got := coalesceRun(out, 0); got != 1 {
+			t.Errorf("run = %d, want 1", got)
+		}
+	})
+	t.Run("destination change breaks", func(t *testing.T) {
+		out := mk([]netip.AddrPort{a, a, b, a}, []int{100, 100, 100, 100})
+		if got := coalesceRun(out, 0); got != 2 {
+			t.Errorf("run = %d, want 2", got)
+		}
+	})
+	t.Run("segment cap respected", func(t *testing.T) {
+		out := mk(same(udpMaxSegments+10, a), func() []int {
+			s := make([]int, udpMaxSegments+10)
+			for i := range s {
+				s[i] = 100
+			}
+			return s
+		}())
+		if got := coalesceRun(out, 0); got != udpMaxSegments {
+			t.Errorf("run = %d, want %d (UDP_MAX_SEGMENTS)", got, udpMaxSegments)
+		}
+	})
+	t.Run("byte cap respected", func(t *testing.T) {
+		// 60 × 1300 B = 78 KB would overflow one UDP datagram.
+		out := mk(same(60, a), func() []int {
+			s := make([]int, 60)
+			for i := range s {
+				s[i] = 1300
+			}
+			return s
+		}())
+		got := coalesceRun(out, 0)
+		if got*1300 > maxGSOBytes {
+			t.Errorf("run = %d (%d bytes) exceeds the GSO byte cap %d", got, got*1300, maxGSOBytes)
+		}
+		if got < 2 {
+			t.Errorf("run = %d, want a multi-segment run under the cap", got)
+		}
+	})
+	t.Run("segment above path-MTU bound not coalesced", func(t *testing.T) {
+		// gso_size past the route MTU makes the kernel reject the send
+		// (EINVAL), so such frames must ride the plain fragmenting path.
+		out := mk(same(4, a), []int{maxGSOSegment + 1, maxGSOSegment + 1, maxGSOSegment + 1, maxGSOSegment + 1})
+		if got := coalesceRun(out, 0); got != 1 {
+			t.Errorf("run = %d for %dB segments, want 1 (kernel EINVALs gso_size > MTU)", got, maxGSOSegment+1)
+		}
+	})
+	t.Run("mid-run start honours offsets", func(t *testing.T) {
+		out := mk(same(4, a), []int{100, 100, 100, 100})
+		if got := coalesceRun(out, 2); got != 2 {
+			t.Errorf("run from index 2 = %d, want 2", got)
+		}
+	})
+
+	// GRO control-message parsing round-trips the segment size.
+	t.Run("gro cmsg roundtrip", func(t *testing.T) {
+		ctrl := make([]byte, cmsgSpace)
+		n := putSegmentCmsg(ctrl, 1234)
+		if n != cmsgSpace {
+			t.Fatalf("control length %d, want %d", n, cmsgSpace)
+		}
+		// putSegmentCmsg writes UDP_SEGMENT; patch the type to UDP_GRO
+		// to emulate the kernel's receive-side message.
+		h := ctrl[:sizeofCmsghdr]
+		h[8] = byte(solUDP) // level (LE int32)
+		ctrl[12] = byte(udpGRO)
+		if got := parseGROCmsg(ctrl); got != 1234 {
+			t.Errorf("parseGROCmsg = %d, want 1234", got)
+		}
+	})
+	t.Run("gro cmsg garbage safe", func(t *testing.T) {
+		if got := parseGROCmsg([]byte{1, 2, 3}); got != 0 {
+			t.Errorf("short control data parsed to %d", got)
+		}
+		bad := make([]byte, 32) // zero Len: must not loop or crash
+		if got := parseGROCmsg(bad); got != 0 {
+			t.Errorf("zero-length cmsg parsed to %d", got)
+		}
+	})
+}

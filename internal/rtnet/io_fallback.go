@@ -1,26 +1,46 @@
 //go:build !linux || !(amd64 || arm64)
 
 // Portable packet I/O: no burst reads (the blocking read in the reader
-// loop carries everything) and per-packet writes via the net package.
-// Still allocation-free in steady state — WriteToUDPAddrPort takes the
-// destination by value — just more syscalls than the mmsg fast path.
+// loop carries everything), per-packet writes via the net package, no
+// SO_REUSEPORT socket groups (a Node keeps one socket shared by all
+// shards) and no UDP GSO/GRO coalescing. Still allocation-free in
+// steady state — WriteToUDPAddrPort takes the destination by value —
+// just more syscalls than the Linux fast paths.
 
 package rtnet
 
 import (
+	"errors"
 	"net/netip"
 	"syscall"
 )
+
+// reusePortSupported: per-shard sockets sharing one port need
+// SO_REUSEPORT; without it the Node falls back to one shared socket.
+const reusePortSupported = false
+
+func setReusePort(c syscall.RawConn) error {
+	return errors.New("rtnet: SO_REUSEPORT unsupported on this platform")
+}
+
+func probeGSO(raw syscall.RawConn) bool { return false }
+
+func enableGRO(raw syscall.RawConn) bool { return false }
+
+func parseGROCmsg(oob []byte) int { return 0 }
 
 type burstReader struct{}
 
 func newBurstReader(batchSize, maxPacket int) *burstReader { return &burstReader{} }
 
+// capacity returns 0: no burst path on this platform.
+func (r *burstReader) capacity() int { return 0 }
+
 // read reports no burst datagrams: the platform has no non-blocking
 // batched receive, so the blocking read path handles everything.
 func (r *burstReader) read(raw syscall.RawConn) int { return 0 }
 
-func (r *burstReader) packet(i int) ([]byte, netip.AddrPort) {
+func (r *burstReader) packet(i int) ([]byte, netip.AddrPort, int) {
 	panic("rtnet: burst reads unavailable on this platform")
 }
 
@@ -28,11 +48,11 @@ type burstSender struct{}
 
 func newBurstSender(batchSize int) *burstSender { return &burstSender{} }
 
-// send writes each staged packet individually.
-func (s *burstSender) send(n *Node, out []outPkt, buf []byte) (sent, errs int) {
+// send writes each staged packet individually on the shard's socket.
+func (s *burstSender) send(sh *Shard, out []outPkt, buf []byte) (sent, errs int) {
 	for i := range out {
 		p := &out[i]
-		if _, err := n.conn.WriteToUDPAddrPort(buf[p.off:p.end], p.to); err != nil {
+		if _, err := sh.conn.WriteToUDPAddrPort(buf[p.off:p.end], p.to); err != nil {
 			errs++
 		} else {
 			sent++

@@ -1,11 +1,22 @@
 //go:build linux && (amd64 || arm64)
 
-// Batched packet I/O via recvmmsg/sendmmsg: many datagrams per syscall,
-// into preallocated buffers, with raw sockaddr conversion so the hot
-// path performs zero allocations. The build tag pins the architectures
-// whose struct mmsghdr layout (56-byte msghdr, 8-byte alignment) the Go
-// struct below mirrors; other platforms use the portable fallback in
-// io_fallback.go.
+// Batched packet I/O via recvmmsg/sendmmsg with UDP segmentation
+// offload: many datagrams per syscall, into preallocated buffers, with
+// raw sockaddr conversion so the hot path performs zero allocations.
+//
+// On top of the PR 3 mmsg paths this file implements the PR 5 segment
+// coalescing: runs of equal-size staged packets to one peer ride a
+// single sendmmsg entry as a UDP_SEGMENT (GSO) super-datagram — one
+// syscall-side packet the kernel splits into wire datagrams — and the
+// receive side enables UDP_GRO so bursts from one peer arrive
+// re-coalesced, with the segment size delivered in a control message
+// and the frames split back apart in userspace. Both are probed at
+// socket setup and degrade to the plain mmsg paths when the kernel
+// refuses them.
+//
+// The build tag pins the architectures whose struct mmsghdr layout
+// (56-byte msghdr, 8-byte alignment) the Go struct below mirrors; other
+// platforms use the portable fallback in io_fallback.go.
 
 package rtnet
 
@@ -15,6 +26,112 @@ import (
 	"unsafe"
 )
 
+const (
+	// Frozen-syscall-package gaps: SO_REUSEPORT (kernel 3.9) and the
+	// UDP segmentation options (4.18/5.0) postdate the syscall freeze.
+	soREUSEPORT = 0xf
+	solUDP      = 17
+	udpSegment  = 103 // UDP_SEGMENT: per-send GSO segment size
+	udpGRO      = 104 // UDP_GRO: coalesce receives, announce segment size
+
+	// udpMaxSegments mirrors the kernel's UDP_MAX_SEGMENTS cap on how
+	// many wire datagrams one GSO send may carry.
+	udpMaxSegments = 64
+	// maxGSOBytes bounds one GSO super-datagram (the UDP length field
+	// minus headroom for headers).
+	maxGSOBytes = 65000
+	// maxGSOSegment bounds the per-segment size we are willing to
+	// coalesce: the kernel rejects UDP_SEGMENT sends whose gso_size
+	// exceeds the route MTU (EINVAL), so frames that may not fit a
+	// typical path MTU take the plain sendmmsg path instead — where
+	// they IP-fragment exactly as they did before GSO existed. 1400
+	// clears Ethernet (1500) and common tunnel overheads.
+	maxGSOSegment = 1400
+
+	// sizeofCmsghdr and the alignment rules below mirror <sys/socket.h>
+	// for 64-bit Linux (8-byte aligned control messages).
+	sizeofCmsghdr = 16
+	cmsgSpace     = sizeofCmsghdr + 8 // header + padded uint16 payload
+)
+
+// cmsghdr mirrors struct cmsghdr on 64-bit Linux.
+type cmsghdr struct {
+	Len   uint64
+	Level int32
+	Type  int32
+}
+
+// reusePortSupported reports whether per-shard sockets can share one
+// port; on Linux they can.
+const reusePortSupported = true
+
+// setReusePort sets SO_REUSEPORT on a socket about to bind (wired into
+// net.ListenConfig.Control).
+func setReusePort(c syscall.RawConn) error {
+	var serr error
+	if err := c.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soREUSEPORT, 1)
+	}); err != nil {
+		return err
+	}
+	return serr
+}
+
+// probeGSO reports whether the kernel accepts UDP_SEGMENT on this
+// socket (setting it to 0 leaves per-socket GSO off; sends opt in with
+// a control message).
+func probeGSO(raw syscall.RawConn) bool {
+	ok := false
+	_ = raw.Control(func(fd uintptr) {
+		ok = syscall.SetsockoptInt(int(fd), solUDP, udpSegment, 0) == nil
+	})
+	return ok
+}
+
+// enableGRO turns on UDP_GRO; coalesced deliveries then carry the
+// segment size in a UDP_GRO control message.
+func enableGRO(raw syscall.RawConn) bool {
+	ok := false
+	_ = raw.Control(func(fd uintptr) {
+		ok = syscall.SetsockoptInt(int(fd), solUDP, udpGRO, 1) == nil
+	})
+	return ok
+}
+
+// parseGROCmsg extracts the UDP_GRO segment size from receive control
+// data; 0 means the delivery was not coalesced.
+func parseGROCmsg(oob []byte) int {
+	for len(oob) >= sizeofCmsghdr {
+		h := (*cmsghdr)(unsafe.Pointer(&oob[0]))
+		if h.Len < sizeofCmsghdr || int(h.Len) > len(oob) {
+			return 0
+		}
+		if h.Level == solUDP && h.Type == udpGRO && int(h.Len) >= sizeofCmsghdr+2 {
+			// The kernel writes a u16 (some paths widen to int32); the
+			// low two bytes are the segment size either way on LE.
+			return int(*(*uint16)(unsafe.Pointer(&oob[sizeofCmsghdr])))
+		}
+		// Advance to the next (8-byte aligned) control message.
+		adv := (int(h.Len) + 7) &^ 7
+		if adv <= 0 || adv > len(oob) {
+			return 0
+		}
+		oob = oob[adv:]
+	}
+	return 0
+}
+
+// putSegmentCmsg fills a preallocated control buffer with a
+// UDP_SEGMENT message carrying seg and returns the control length.
+func putSegmentCmsg(ctrl []byte, seg int) uint64 {
+	h := (*cmsghdr)(unsafe.Pointer(&ctrl[0]))
+	h.Len = sizeofCmsghdr + 2
+	h.Level = solUDP
+	h.Type = udpSegment
+	*(*uint16)(unsafe.Pointer(&ctrl[sizeofCmsghdr])) = uint16(seg)
+	return cmsgSpace
+}
+
 // mmsghdr mirrors struct mmsghdr: a msghdr plus the kernel-filled
 // datagram length. Go pads the struct to 8-byte alignment, matching C.
 type mmsghdr struct {
@@ -23,39 +140,48 @@ type mmsghdr struct {
 }
 
 // burstReader drains a socket with recvmmsg after the reader's blocking
-// read has woken it: up to Batch datagrams per syscall.
+// read has woken it: up to Batch datagrams per syscall, each possibly a
+// GRO-coalesced bundle whose segment size packet() reports.
 type burstReader struct {
-	bufs [][]byte
-	iovs []syscall.Iovec
-	rsas []syscall.RawSockaddrAny
-	msgs []mmsghdr
+	bufs  [][]byte
+	iovs  []syscall.Iovec
+	rsas  []syscall.RawSockaddrAny
+	ctrls [][]byte
+	msgs  []mmsghdr
 }
 
 func newBurstReader(batchSize, maxPacket int) *burstReader {
 	r := &burstReader{
-		bufs: make([][]byte, batchSize),
-		iovs: make([]syscall.Iovec, batchSize),
-		rsas: make([]syscall.RawSockaddrAny, batchSize),
-		msgs: make([]mmsghdr, batchSize),
+		bufs:  make([][]byte, batchSize),
+		iovs:  make([]syscall.Iovec, batchSize),
+		rsas:  make([]syscall.RawSockaddrAny, batchSize),
+		ctrls: make([][]byte, batchSize),
+		msgs:  make([]mmsghdr, batchSize),
 	}
 	for i := range r.bufs {
 		r.bufs[i] = make([]byte, maxPacket)
+		r.ctrls[i] = make([]byte, cmsgSpace)
 		r.iovs[i].Base = &r.bufs[i][0]
 		r.iovs[i].SetLen(maxPacket)
 		r.msgs[i].hdr.Name = (*byte)(unsafe.Pointer(&r.rsas[i]))
 		r.msgs[i].hdr.Iov = &r.iovs[i]
 		r.msgs[i].hdr.Iovlen = 1
+		r.msgs[i].hdr.Control = &r.ctrls[i][0]
 	}
 	return r
 }
 
-// read receives up to cap datagrams without blocking (MSG_DONTWAIT) and
-// returns how many arrived; 0 when the socket is drained.
+// capacity returns the burst size (datagrams per recvmmsg).
+func (r *burstReader) capacity() int { return len(r.msgs) }
+
+// read receives up to capacity datagrams without blocking (MSG_DONTWAIT)
+// and returns how many arrived; 0 when the socket is drained.
 func (r *burstReader) read(raw syscall.RawConn) int {
 	count := 0
 	rerr := raw.Read(func(fd uintptr) bool {
 		for i := range r.msgs {
 			r.msgs[i].hdr.Namelen = syscall.SizeofSockaddrAny
+			r.msgs[i].hdr.SetControllen(cmsgSpace)
 			r.msgs[i].mlen = 0
 		}
 		for {
@@ -79,28 +205,44 @@ func (r *burstReader) read(raw syscall.RawConn) int {
 	return count
 }
 
-// packet returns the i-th received datagram and its source. The bytes
-// alias the reader's buffers: valid until the next read call.
-func (r *burstReader) packet(i int) ([]byte, netip.AddrPort) {
-	return r.bufs[i][:r.msgs[i].mlen], fromRawSockaddr(&r.rsas[i])
+// packet returns the i-th received datagram, its source, and the GRO
+// segment size (0: a single frame). The bytes alias the reader's
+// buffers: valid until the next read call.
+func (r *burstReader) packet(i int) ([]byte, netip.AddrPort, int) {
+	seg := 0
+	if cl := r.msgs[i].hdr.Controllen; cl > 0 {
+		seg = parseGROCmsg(r.ctrls[i][:cl])
+	}
+	return r.bufs[i][:r.msgs[i].mlen], fromRawSockaddr(&r.rsas[i]), seg
 }
 
 // burstSender flushes a shard's staged packets with sendmmsg: one
-// syscall per burst. A full socket buffer parks the shard on the
-// netpoller (raw.Write) rather than dropping — backpressure, not loss.
+// syscall per burst, and within the burst one *entry* per run of
+// equal-size packets to one peer — a UDP_SEGMENT (GSO) super-datagram
+// the kernel splits into wire frames. A full socket buffer parks the
+// shard on the netpoller (raw.Write) rather than dropping —
+// backpressure, not loss.
 type burstSender struct {
-	iovs []syscall.Iovec
-	rsas []syscall.RawSockaddrAny
-	msgs []mmsghdr
+	iovs  []syscall.Iovec
+	rsas  []syscall.RawSockaddrAny
+	ctrls [][]byte
+	msgs  []mmsghdr
+	// pkts[i] is how many staged packets message i carries (GSO runs
+	// carry several), so partial sendmmsg completions resume at the
+	// right staged packet.
+	pkts []int
 }
 
 func newBurstSender(batchSize int) *burstSender {
 	s := &burstSender{
-		iovs: make([]syscall.Iovec, batchSize),
-		rsas: make([]syscall.RawSockaddrAny, batchSize),
-		msgs: make([]mmsghdr, batchSize),
+		iovs:  make([]syscall.Iovec, batchSize),
+		rsas:  make([]syscall.RawSockaddrAny, batchSize),
+		ctrls: make([][]byte, batchSize),
+		msgs:  make([]mmsghdr, batchSize),
+		pkts:  make([]int, batchSize),
 	}
 	for i := range s.msgs {
+		s.ctrls[i] = make([]byte, cmsgSpace)
 		s.msgs[i].hdr.Name = (*byte)(unsafe.Pointer(&s.rsas[i]))
 		s.msgs[i].hdr.Iov = &s.iovs[i]
 		s.msgs[i].hdr.Iovlen = 1
@@ -108,23 +250,73 @@ func newBurstSender(batchSize int) *burstSender {
 	return s
 }
 
-// send transmits every staged packet, batching up to cap per sendmmsg.
-// Packets whose destination family cannot ride this socket are counted
-// as errors; the rest are delivered or retried until writable.
-func (s *burstSender) send(n *Node, out []outPkt, buf []byte) (sent, errs int) {
+// coalesceRun returns how many staged packets starting at out[i] can
+// ride one GSO super-datagram: consecutive packets to the same
+// destination, all sized like the first except for an optional shorter
+// final segment (the UDP_SEGMENT contract), within the kernel's
+// segment-count and byte caps. Staged payloads are contiguous in the
+// flush buffer by construction, so the run is a single iovec.
+func coalesceRun(out []outPkt, i int) int {
+	first := &out[i]
+	seg := first.end - first.off
+	if seg > maxGSOSegment {
+		return 1 // may exceed the path MTU: let the plain path fragment it
+	}
+	total := seg
+	n := 1
+	for i+n < len(out) && n < udpMaxSegments {
+		p := &out[i+n]
+		sz := p.end - p.off
+		if p.to != first.to || sz > seg || total+sz > maxGSOBytes {
+			break
+		}
+		total += sz
+		n++
+		if sz < seg {
+			// A short segment terminates the super-datagram.
+			break
+		}
+	}
+	return n
+}
+
+// send transmits every staged packet on the shard's own socket,
+// coalescing GSO runs (when the socket supports UDP_SEGMENT) and
+// batching up to the burst size per sendmmsg. Packets whose destination
+// family cannot ride this socket are counted as errors; the rest are
+// delivered or retried until writable.
+func (s *burstSender) send(sh *Shard, out []outPkt, buf []byte) (sent, errs int) {
+	n := sh.node
+	raw := sh.raw
 	i := 0
 	for i < len(out) {
-		// Stage a run of consecutive convertible destinations.
+		// Stage a burst of messages over consecutive convertible
+		// destinations.
 		m := 0
-		for i+m < len(out) && m < len(s.msgs) {
-			p := &out[i+m]
+		staged := 0
+		for i+staged < len(out) && m < len(s.msgs) {
+			p := &out[i+staged]
 			nl, ok := putRawSockaddr(&s.rsas[m], p.to, n.v6)
 			if !ok {
 				break
 			}
+			run := 1
+			if n.gso {
+				run = coalesceRun(out, i+staged)
+			}
+			last := &out[i+staged+run-1]
 			s.iovs[m].Base = &buf[p.off]
-			s.iovs[m].SetLen(p.end - p.off)
+			s.iovs[m].SetLen(last.end - p.off)
 			s.msgs[m].hdr.Namelen = nl
+			if run > 1 {
+				s.msgs[m].hdr.Control = &s.ctrls[m][0]
+				s.msgs[m].hdr.SetControllen(int(putSegmentCmsg(s.ctrls[m], p.end-p.off)))
+			} else {
+				s.msgs[m].hdr.Control = nil
+				s.msgs[m].hdr.SetControllen(0)
+			}
+			s.pkts[m] = run
+			staged += run
 			m++
 		}
 		if m == 0 { // out[i] unconvertible: skip it
@@ -133,7 +325,7 @@ func (s *burstSender) send(n *Node, out []outPkt, buf []byte) (sent, errs int) {
 			continue
 		}
 		k := 0
-		werr := n.raw.Write(func(fd uintptr) bool {
+		werr := raw.Write(func(fd uintptr) bool {
 			for {
 				r0, _, errno := syscall.Syscall6(sysSENDMMSG, fd,
 					uintptr(unsafe.Pointer(&s.msgs[0])), uintptr(m),
@@ -151,12 +343,22 @@ func (s *burstSender) send(n *Node, out []outPkt, buf []byte) (sent, errs int) {
 				return true
 			}
 		})
-		if werr != nil || k < 0 {
+		if werr != nil {
 			errs += len(out) - i
 			return
 		}
-		sent += k
-		i += k
+		if k < 0 {
+			// A hard per-send error (e.g. an unroutable destination):
+			// drop only the first staged message and keep flushing the
+			// rest rather than discarding the whole burst.
+			errs += s.pkts[0]
+			i += s.pkts[0]
+			continue
+		}
+		for j := 0; j < k; j++ {
+			sent += s.pkts[j]
+			i += s.pkts[j]
+		}
 	}
 	return
 }

@@ -1,122 +1,62 @@
 package rtnet
 
 import (
-	"container/heap"
 	"time"
 
 	"protodsl/internal/netsim"
+	"protodsl/internal/timerwheel"
 )
 
 // Loop is a shard's real-clock scheduler: the netsim.Runtime
 // implementation protocol engines run against when they are attached to
 // a real socket instead of a simulator.
 //
-// It mirrors the simulator's timer guarantees exactly — the heap is
-// indexed, so Cancel physically removes the event (heap.Remove) and a
-// cancelled timer can never fire or cost the event loop anything — but
-// time is the host's monotonic clock, measured as a Duration since the
-// owning Node's start so engine-visible timestamps look just like
-// virtual ones.
+// It mirrors the simulator's timer guarantees exactly — the timer store
+// is the same hierarchical timing wheel (internal/timerwheel), so
+// Cancel physically unlinks the event in O(1) and a cancelled timer can
+// never fire or cost the event loop anything — but time is the host's
+// monotonic clock, measured as a Duration since the owning Node's start
+// so engine-visible timestamps look just like virtual ones. Deadlines
+// stay exact; the wheel's granularity (64µs or so, on the order of the
+// shard loop's poll quantum) only decides slot placement.
 //
 // A Loop belongs to exactly one shard goroutine. Now/After/Post must
 // only be called from inside that shard's event loop (engine handlers,
 // timer callbacks, and functions run via Node.Do / Flow.Do all qualify).
 type Loop struct {
-	start   time.Time
-	queue   timerHeap
-	pool    []*timerEvent // free list of event structs for reuse
-	posted  []func()
-	nextSeq uint64
+	start  time.Time
+	wheel  *timerwheel.Wheel
+	posted []func()
 }
 
 var _ netsim.Runtime = (*Loop)(nil)
 
-func newLoop(start time.Time) *Loop { return &Loop{start: start} }
+// loopGranularity is the real-clock wheel tick (65.5µs): roughly the
+// poll quantum of a shard loop blocking on a kernel timer, and an
+// order of magnitude under even a 1ms RTO (engines typically arm tens
+// of milliseconds, hundreds of ticks out). Granularity affects only
+// slot residency — deadlines are not rounded.
+const loopGranularity = 65536 * time.Nanosecond
 
-// timerEvent is a scheduled callback; index is its heap position so
-// cancellation can heap.Remove it (-1 once dequeued), exactly like the
-// simulator's event struct.
-type timerEvent struct {
-	at    time.Duration
-	seq   uint64
-	fn    func()
-	index int
-}
-
-type timerHeap []*timerEvent
-
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h timerHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *timerHeap) Push(x any) {
-	e := x.(*timerEvent)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *timerHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
-
-func (l *Loop) schedule(at time.Duration, fn func()) *timerEvent {
-	var e *timerEvent
-	if n := len(l.pool); n > 0 {
-		e = l.pool[n-1]
-		l.pool[n-1] = nil
-		l.pool = l.pool[:n-1]
-	} else {
-		e = &timerEvent{}
-	}
-	e.at, e.seq, e.fn = at, l.nextSeq, fn
-	l.nextSeq++
-	heap.Push(&l.queue, e)
-	return e
-}
-
-func (l *Loop) release(e *timerEvent) {
-	e.fn = nil
-	l.pool = append(l.pool, e)
-}
-
-func (l *Loop) remove(e *timerEvent) {
-	if e.index < 0 {
-		return
-	}
-	heap.Remove(&l.queue, e.index)
-	l.release(e)
+func newLoop(start time.Time) *Loop {
+	return &Loop{start: start, wheel: timerwheel.New(loopGranularity)}
 }
 
 // rtTimer is the real-clock netsim.Timer implementation.
 type rtTimer struct {
 	loop  *Loop
-	ev    *timerEvent
+	ev    *timerwheel.Event
 	fired bool
 }
 
 // Cancel prevents the timer from firing and removes its event from the
-// heap; cancelling an already-fired or already-cancelled timer is a
+// wheel; cancelling an already-fired or already-cancelled timer is a
 // no-op (the same contract as the simulator's timers).
 func (t *rtTimer) Cancel() {
 	if t.ev == nil {
 		return
 	}
-	t.loop.remove(t.ev)
+	t.loop.wheel.Cancel(t.ev)
 	t.ev = nil
 }
 
@@ -132,7 +72,11 @@ func (l *Loop) Now() time.Duration { return time.Since(l.start) }
 // After schedules fn to run after real duration d on this shard's loop.
 func (l *Loop) After(d time.Duration, fn func()) netsim.Timer {
 	t := &rtTimer{loop: l}
-	t.ev = l.schedule(l.Now()+d, func() {
+	at := l.Now() + d
+	if at < 0 {
+		at = 0
+	}
+	t.ev = l.wheel.Arm(at, func() {
 		t.fired = true
 		t.ev = nil
 		fn()
@@ -146,24 +90,19 @@ func (l *Loop) Post(fn func()) { l.posted = append(l.posted, fn) }
 
 // next returns the earliest pending timer deadline.
 func (l *Loop) next() (time.Duration, bool) {
-	if len(l.queue) == 0 {
-		return 0, false
-	}
-	return l.queue[0].at, true
+	return l.wheel.PeekDeadline()
 }
 
 // runDue fires every timer whose deadline has passed, interleaving
 // posted functions the way the simulator does.
 func (l *Loop) runDue() {
-	for len(l.queue) > 0 {
+	for {
 		now := time.Since(l.start)
-		top := l.queue[0]
-		if top.at > now {
+		at, ok := l.wheel.PeekDeadline()
+		if !ok || at > now {
 			return
 		}
-		heap.Pop(&l.queue)
-		fn := top.fn
-		l.release(top)
+		_, fn, _ := l.wheel.Pop()
 		fn()
 		l.runPosted()
 	}

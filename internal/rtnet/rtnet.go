@@ -5,24 +5,35 @@
 // attached to an rtnet flow cannot tell it is no longer in simulation,
 // except that time is real and the network genuinely loses packets.
 //
-// Architecture (one Node per socket):
+// Architecture (one socket *per shard*, sharing one port):
 //
-//	reader goroutine ── batched reads ──► shard 0 event loop ── engines
-//	   (one per Node)                  ─► shard 1 event loop ── engines
-//	                                   ─► ...
+//	socket 0 ── reader 0 ── batched reads ──┐
+//	socket 1 ── reader 1 ── batched reads ──┼─► shard event loops ── engines
+//	socket N ── reader N ── batched reads ──┘   (frames routed by flow id)
 //
-// A Node owns one UDP socket, one reader goroutine and a set of shard
-// event loops. Logical flows are multiplexed over the socket with the
-// netsim.Mux frame header (flow id + bitwise complement); the reader
-// validates the header, routes each frame to the shard owning its flow
-// id (id mod shards), and hands frames over in batches of reusable
-// buffers. Each shard goroutine owns a Loop (real-clock timers with the
-// simulator's cancel-really-cancels guarantee), a Mux, and every engine
-// attached to its flows — preserving netsim's one-engine-one-goroutine
-// contract: nothing inside a shard is ever touched by another
-// goroutine. Outbound packets are staged per wakeup and flushed in one
-// batch (sendmmsg where available), so the steady-state send/receive
-// path allocates nothing.
+// A Node owns one UDP port. On Linux every shard gets its own socket
+// bound to that port with SO_REUSEPORT — the kernel steers incoming
+// flows across the sockets, so receive processing and socket buffering
+// scale with the shard count instead of serialising on one socket lock
+// — and each socket keeps the PR 3 single-reader-goroutine design,
+// just multiplied. Logical flows are multiplexed with the netsim.Mux
+// frame header (flow id + bitwise complement); readers validate the
+// header and route each frame to the shard owning its flow id (id mod
+// shards), whichever socket it arrived on. Each shard goroutine owns a
+// timing-wheel Loop (real-clock timers with the simulator's
+// cancel-really-cancels guarantee), a Mux, every engine attached to its
+// flows, and its *own* socket for sends — preserving netsim's
+// one-engine-one-goroutine contract: nothing inside a shard is ever
+// touched by another goroutine.
+//
+// Outbound packets are staged per wakeup and flushed in one sendmmsg
+// burst, with runs of equal-size frames to one peer coalesced into
+// UDP_SEGMENT (GSO) super-datagrams — a wakeup's window of frames to a
+// peer goes down as one syscall-side packet. Receives enable UDP_GRO,
+// so such bursts come back up re-coalesced and are split in userspace.
+// Both degrade gracefully (probed at Listen; portable fallbacks in
+// io_fallback.go), and the steady-state send/receive path allocates
+// nothing. See DESIGN.md §7.
 //
 // Concurrency contract: engine state may only be touched from its
 // owning shard's loop. Cross-goroutine access goes through Node.Do /
@@ -30,6 +41,7 @@
 package rtnet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -47,6 +59,17 @@ import (
 // route.
 const maxPeerNames = 1 << 16
 
+// groDatagramSize is the blocking-read scratch size once UDP_GRO is
+// active: a coalesced delivery can approach the 64 KiB UDP maximum
+// regardless of MaxPacket.
+const groDatagramSize = 1 << 16
+
+// groBurst caps the recvmmsg burst once GRO is active: each burst slot
+// then needs a 64 KiB buffer, and one coalesced delivery already
+// carries many frames, so a small burst keeps memory bounded without
+// costing syscalls.
+const groBurst = 8
+
 // Package errors.
 var (
 	// ErrClosed is returned for operations on a closed Node.
@@ -60,7 +83,9 @@ var (
 // defaults.
 type Config struct {
 	// Shards is the number of worker event loops (flow id mod Shards
-	// picks the owner). Zero selects min(GOMAXPROCS, 4).
+	// picks the owner) and — where SO_REUSEPORT is available — the
+	// number of sockets sharing the node's port, one per shard. Zero
+	// selects min(GOMAXPROCS, 4).
 	Shards int
 	// MaxPacket is the largest UDP datagram accepted or staged, mux
 	// header included. Zero selects 2048.
@@ -68,8 +93,8 @@ type Config struct {
 	// Batch is the number of packets handed to a shard per wakeup and
 	// the burst size of the batched read/write paths. Zero selects 32.
 	Batch int
-	// SocketBuffer sizes the kernel send/receive buffers. Zero selects
-	// 1 MiB.
+	// SocketBuffer sizes the kernel send/receive buffers (per socket).
+	// Zero selects 1 MiB.
 	SocketBuffer int
 	// MaxPeersPerFlow caps how many distinct peers a *served* flow will
 	// spawn engines for (Serve); datagrams from further peers on that
@@ -78,6 +103,10 @@ type Config struct {
 	// bound. Zero selects 1024. Flows claimed with Node.Flow are not
 	// affected.
 	MaxPeersPerFlow int
+	// SingleSocket forces one shared socket even where SO_REUSEPORT is
+	// available (the pre-REUSEPORT data path; the scaling benchmark's
+	// baseline).
+	SingleSocket bool
 }
 
 func (c *Config) applyDefaults() {
@@ -109,65 +138,126 @@ type pkt struct {
 }
 
 // batch is a reusable bundle of received frames. Buffers are sized so
-// appends never reallocate: the reader fills batches, shards drain them
+// appends never reallocate: readers fill batches, shards drain them
 // and hand them back through the free pool.
 type batch struct {
 	pkts []pkt
 	buf  []byte
 }
 
-// Node is one UDP socket carrying many logical flows. Create with
+// Node is one UDP port carrying many logical flows. Create with
 // Listen; see the package comment for the threading model.
 type Node struct {
-	conn   *net.UDPConn
-	raw    syscall.RawConn
-	start  time.Time
-	addr   netsim.Addr
-	v6     bool
-	cfg    Config
-	shards []*Shard
-	free   chan *batch
-	done   chan struct{}
-	once   sync.Once
-	wg     sync.WaitGroup
+	conns    []*net.UDPConn    // one per shard (REUSEPORT) or one shared
+	raws     []syscall.RawConn // parallel to conns
+	start    time.Time
+	addr     netsim.Addr
+	v6       bool
+	gso      bool // UDP_SEGMENT accepted on the sockets
+	gro      bool // UDP_GRO active on the sockets
+	cfg      Config
+	shards   []*Shard
+	free     chan *batch
+	done     chan struct{}
+	once     sync.Once
+	wg       sync.WaitGroup
+	readerWg sync.WaitGroup
 
-	drops    atomic.Uint64 // unframed or corrupted-header datagrams
+	drops    atomic.Uint64 // unframed, corrupted-header or oversize datagrams
 	sendErrs atomic.Uint64 // failed socket writes (dropped like the wire would)
 }
 
-// Listen opens a UDP socket on addr (e.g. "127.0.0.1:0") and starts the
-// reader and shard goroutines.
+// listenSockets binds the node's socket group: one SO_REUSEPORT socket
+// per shard where the platform supports it (unless cfg.SingleSocket),
+// one plain socket otherwise. All sockets share the same port; the
+// first bind picks it when addr's port is 0.
+func listenSockets(addr string, cfg Config) ([]*net.UDPConn, error) {
+	single := func() ([]*net.UDPConn, error) {
+		ua, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			return nil, err
+		}
+		conn, err := net.ListenUDP("udp", ua)
+		if err != nil {
+			return nil, err
+		}
+		return []*net.UDPConn{conn}, nil
+	}
+	if !reusePortSupported || cfg.SingleSocket || cfg.Shards == 1 {
+		return single()
+	}
+	lc := net.ListenConfig{Control: func(network, address string, c syscall.RawConn) error {
+		return setReusePort(c)
+	}}
+	first, err := lc.ListenPacket(context.Background(), "udp", addr)
+	if err != nil {
+		// SO_REUSEPORT refused (unusual on Linux): fall back to the
+		// single-socket data path rather than failing the node.
+		return single()
+	}
+	conns := []*net.UDPConn{first.(*net.UDPConn)}
+	bound := first.LocalAddr().String()
+	for len(conns) < cfg.Shards {
+		pc, err := lc.ListenPacket(context.Background(), "udp", bound)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, fmt.Errorf("rtnet: binding REUSEPORT socket %d to %s: %w", len(conns), bound, err)
+		}
+		conns = append(conns, pc.(*net.UDPConn))
+	}
+	return conns, nil
+}
+
+// Listen opens the node's socket group on addr (e.g. "127.0.0.1:0")
+// and starts the reader and shard goroutines.
 func Listen(addr string, cfg Config) (*Node, error) {
 	cfg.applyDefaults()
-	ua, err := net.ResolveUDPAddr("udp", addr)
+	conns, err := listenSockets(addr, cfg)
 	if err != nil {
 		return nil, err
 	}
-	conn, err := net.ListenUDP("udp", ua)
-	if err != nil {
-		return nil, err
+	closeAll := func() {
+		for _, c := range conns {
+			c.Close()
+		}
 	}
-	_ = conn.SetReadBuffer(cfg.SocketBuffer)
-	_ = conn.SetWriteBuffer(cfg.SocketBuffer)
-	raw, err := conn.SyscallConn()
-	if err != nil {
-		conn.Close()
-		return nil, err
+	raws := make([]syscall.RawConn, len(conns))
+	for i, conn := range conns {
+		_ = conn.SetReadBuffer(cfg.SocketBuffer)
+		_ = conn.SetWriteBuffer(cfg.SocketBuffer)
+		raw, err := conn.SyscallConn()
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		raws[i] = raw
 	}
-	lap := conn.LocalAddr().(*net.UDPAddr).AddrPort()
+	lap := conns[0].LocalAddr().(*net.UDPAddr).AddrPort()
 	canonical := netip.AddrPortFrom(lap.Addr().Unmap(), lap.Port())
 	n := &Node{
-		conn:  conn,
-		raw:   raw,
+		conns: conns,
+		raws:  raws,
 		start: time.Now(),
 		addr:  netsim.Addr(canonical.String()),
 		v6:    lap.Addr().Is6() && !lap.Addr().Is4In6(),
 		cfg:   cfg,
 		done:  make(chan struct{}),
 	}
-	// Enough batches that the reader can hold one pending per shard
+	// Segmentation offload: probe once (the sockets are identical),
+	// enable GRO everywhere it took.
+	n.gso = probeGSO(raws[0])
+	n.gro = true
+	for _, raw := range raws {
+		if !enableGRO(raw) {
+			n.gro = false
+			break
+		}
+	}
+	// Enough batches that every reader can hold one pending per shard
 	// while every shard is still chewing on a few.
-	poolSize := cfg.Shards * 4
+	poolSize := cfg.Shards * 2 * (len(conns) + 1)
 	n.free = make(chan *batch, poolSize)
 	for i := 0; i < poolSize; i++ {
 		n.free <- &batch{
@@ -179,11 +269,22 @@ func Listen(addr string, cfg Config) (*Node, error) {
 	for i := range n.shards {
 		n.shards[i] = newShard(n, i)
 	}
-	n.wg.Add(1 + len(n.shards))
+	n.wg.Add(1 + len(n.shards) + len(conns))
+	n.readerWg.Add(len(conns))
 	for _, s := range n.shards {
 		go s.run()
 	}
-	go n.readLoop()
+	for i := range conns {
+		go n.readLoop(conns[i], raws[i])
+	}
+	// Shard inboxes close only after every reader has exited.
+	go func() {
+		defer n.wg.Done()
+		n.readerWg.Wait()
+		for _, s := range n.shards {
+			close(s.in)
+		}
+	}()
 	return n, nil
 }
 
@@ -196,22 +297,32 @@ func (n *Node) Addr() netsim.Addr { return n.addr }
 // owning loop.
 func (n *Node) Shards() int { return len(n.shards) }
 
+// Sockets returns how many sockets share the node's port (Shards where
+// SO_REUSEPORT is in effect, 1 otherwise).
+func (n *Node) Sockets() int { return len(n.conns) }
+
+// Offloads reports whether UDP generic segmentation (send) and receive
+// coalescing are active on the node's sockets.
+func (n *Node) Offloads() (gso, gro bool) { return n.gso, n.gro }
+
 // Drops returns the number of datagrams discarded at the node for a
-// short or corrupted mux header — attacker-controlled bytes that never
-// reach a shard. Per-flow drops (unclaimed ids) are counted by each
-// shard's Mux on top of this.
+// short or corrupted mux header or an oversize frame —
+// attacker-controlled bytes that never reach a shard. Per-flow drops
+// (unclaimed ids) are counted by each shard's Mux on top of this.
 func (n *Node) Drops() uint64 { return n.drops.Load() }
 
 // SendErrors returns the number of staged packets the socket refused
 // (treated as wire loss: ARQ recovers them).
 func (n *Node) SendErrors() uint64 { return n.sendErrs.Load() }
 
-// Close shuts the node down: the socket is closed, shard loops drain
+// Close shuts the node down: the sockets are closed, shard loops drain
 // and exit, pending timers are dropped. Close is idempotent.
 func (n *Node) Close() error {
 	n.once.Do(func() {
 		close(n.done)
-		n.conn.Close()
+		for _, c := range n.conns {
+			c.Close()
+		}
 	})
 	n.wg.Wait()
 	return nil
@@ -332,39 +443,60 @@ func installAcceptor(sh *Shard, fp *netsim.FlowPort, id byte, accept AcceptFunc)
 	})
 }
 
-// readLoop is the node's reader goroutine: blocking read, opportunistic
-// non-blocking burst behind it (recvmmsg where available), then one
-// batch handoff per destination shard — many packets per wakeup, none
-// copied more than once, no allocation in steady state.
-func (n *Node) readLoop() {
+// readLoop is one socket's reader goroutine: blocking read,
+// opportunistic non-blocking burst behind it (recvmmsg where
+// available), GRO bundles split back into frames, then one batch
+// handoff per destination shard — many packets per wakeup, none copied
+// more than once, no allocation in steady state. With SO_REUSEPORT
+// there is one readLoop per shard socket; any reader may receive any
+// flow's frames (the kernel steers by address hash), so each routes by
+// flow id.
+func (n *Node) readLoop(conn *net.UDPConn, raw syscall.RawConn) {
 	defer n.wg.Done()
+	defer n.readerWg.Done()
 	names := make(map[netip.AddrPort]netsim.Addr)
 	pending := make([]*batch, len(n.shards))
-	scratch := make([]byte, n.cfg.MaxPacket)
-	br := newBurstReader(n.cfg.Batch, n.cfg.MaxPacket)
+	// One byte past MaxPacket: a larger datagram the kernel would
+	// silently truncate to the buffer size then reads as MaxPacket+1,
+	// so the route() oversize guard catches it instead of delivering a
+	// truncated-but-plausible frame.
+	scratchSize := n.cfg.MaxPacket + 1
+	burst := n.cfg.Batch
+	var oob []byte
+	if n.gro {
+		// Coalesced deliveries are only bounded by the UDP maximum.
+		scratchSize = groDatagramSize
+		if burst > groBurst {
+			burst = groBurst
+		}
+		oob = make([]byte, 64)
+	}
+	scratch := make([]byte, scratchSize)
+	br := newBurstReader(burst, scratchSize)
 	for {
-		nb, ap, err := n.conn.ReadFromUDPAddrPort(scratch)
+		nb, oobn, _, ap, err := conn.ReadMsgUDPAddrPort(scratch, oob)
 		if err != nil {
 			if n.closed() || errors.Is(err, net.ErrClosed) {
-				for _, s := range n.shards {
-					close(s.in)
-				}
 				return
 			}
 			continue // transient socket error: keep serving
 		}
-		n.route(pending, names, ap, scratch[:nb])
+		seg := 0
+		if oobn > 0 {
+			seg = parseGROCmsg(oob[:oobn])
+		}
+		n.routeDatagram(pending, names, ap, scratch[:nb], seg)
 		for {
-			count := br.read(n.raw)
+			count := br.read(raw)
 			for i := 0; i < count; i++ {
-				data, from := br.packet(i)
+				data, from, seg := br.packet(i)
 				if !from.IsValid() {
 					n.drops.Add(1)
 					continue
 				}
-				n.route(pending, names, from, data)
+				n.routeDatagram(pending, names, from, data, seg)
 			}
-			if count < n.cfg.Batch {
+			if count < br.capacity() || count == 0 {
 				break // socket drained (or burst reads unavailable)
 			}
 		}
@@ -381,10 +513,28 @@ func (n *Node) closed() bool {
 	}
 }
 
+// routeDatagram feeds one received datagram to route, splitting
+// GRO-coalesced bundles (seg > 0) back into their wire frames first.
+func (n *Node) routeDatagram(pending []*batch, names map[netip.AddrPort]netsim.Addr, ap netip.AddrPort, data []byte, seg int) {
+	if seg <= 0 || len(data) <= seg {
+		n.route(pending, names, ap, data)
+		return
+	}
+	for off := 0; off < len(data); off += seg {
+		end := off + seg
+		if end > len(data) {
+			end = len(data)
+		}
+		n.route(pending, names, ap, data[off:end])
+	}
+}
+
 // route validates the mux header and appends the frame to the owning
-// shard's pending batch, handing the batch over once full.
+// shard's pending batch, handing the batch over once full. Oversize
+// frames (possible once GRO widens the receive buffers past MaxPacket)
+// are dropped here like any other malformed input.
 func (n *Node) route(pending []*batch, names map[netip.AddrPort]netsim.Addr, ap netip.AddrPort, data []byte) {
-	if len(data) < 2 || data[1] != ^data[0] {
+	if len(data) < 2 || data[1] != ^data[0] || len(data) > n.cfg.MaxPacket {
 		n.drops.Add(1)
 		return
 	}
@@ -434,13 +584,15 @@ type outPkt struct {
 }
 
 // Shard is one worker event loop: a Loop (timers), a Mux (flow
-// framing), the engines attached to its flows, and a staging area for
-// this wakeup's outbound packets. Everything in it belongs to its own
-// goroutine.
+// framing), the engines attached to its flows, its own socket (under
+// SO_REUSEPORT) and a staging area for this wakeup's outbound packets.
+// Everything in it belongs to its own goroutine.
 type Shard struct {
 	node *Node
 	idx  int
 	loop *Loop
+	conn *net.UDPConn // the shard's send socket
+	raw  syscall.RawConn
 	in   chan *batch
 	call chan func()
 	mux  *netsim.Mux
@@ -459,6 +611,8 @@ func newShard(n *Node, idx int) *Shard {
 		node:   n,
 		idx:    idx,
 		loop:   newLoop(n.start),
+		conn:   n.conns[idx%len(n.conns)],
+		raw:    n.raws[idx%len(n.raws)],
 		in:     make(chan *batch, 4),
 		call:   make(chan func(), 16),
 		out:    make([]outPkt, 0, n.cfg.Batch),
@@ -570,13 +724,14 @@ func (s *Shard) deliver(b *batch) {
 	s.node.free <- b
 }
 
-// flush writes every staged packet in one burst (sendmmsg where
-// available). Socket refusals are dropped like wire loss and counted.
+// flush writes every staged packet in one burst on the shard's own
+// socket (sendmmsg + GSO coalescing where available). Socket refusals
+// are dropped like wire loss and counted.
 func (s *Shard) flush() {
 	if len(s.out) == 0 {
 		return
 	}
-	sent, errs := s.sender.send(s.node, s.out, s.outBuf)
+	sent, errs := s.sender.send(s, s.out, s.outBuf)
 	_ = sent
 	if errs > 0 {
 		s.node.sendErrs.Add(uint64(errs))

@@ -1,0 +1,171 @@
+// Command benchdiff is the CI bench-regression guard: it compares a
+// fresh benchjson run against the committed BENCH_hotpath.json and
+// fails when any tier-1 hot-path benchmark regressed past the
+// threshold in ns/op. It closes the gap the narrative can't: a PR that
+// quietly makes the slot codec or the rtnet loop 30% slower fails
+// `make bench-diff` instead of shipping a slower hot path with green
+// tests.
+//
+//	go run ./internal/tools/benchdiff -old BENCH_hotpath.json -new fresh.json -max-regress 25
+//
+// A benchmark present in the old file but missing from the new run
+// also fails: a renamed or deleted benchmark silently disarms its own
+// guard otherwise (the same fail-closed rule benchjson's -require-zero
+// applies). Benchmarks only in the new file are reported and allowed —
+// that is how new benchmarks land.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+)
+
+// Result and Report mirror cmd/benchjson's file layout (the subset the
+// diff needs).
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type Report struct {
+	CPU        string   `json:"cpu"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// diffLine is one comparison outcome.
+type diffLine struct {
+	name     string
+	oldNs    float64
+	newNs    float64
+	pct      float64 // signed change in percent (positive = slower)
+	regress  bool
+	missing  bool
+	newBench bool
+}
+
+// diff compares old against new under the given regexp filter and
+// regression threshold (percent).
+func diff(old, fresh *Report, match *regexp.Regexp, maxRegress float64) []diffLine {
+	newByName := make(map[string]Result, len(fresh.Benchmarks))
+	for _, r := range fresh.Benchmarks {
+		newByName[r.Name] = r
+	}
+	oldByName := make(map[string]Result, len(old.Benchmarks))
+	var lines []diffLine
+	for _, o := range old.Benchmarks {
+		oldByName[o.Name] = o
+		if !match.MatchString(o.Name) {
+			continue
+		}
+		n, ok := newByName[o.Name]
+		if !ok {
+			lines = append(lines, diffLine{name: o.Name, oldNs: o.NsPerOp, missing: true})
+			continue
+		}
+		pct := 0.0
+		if o.NsPerOp > 0 {
+			pct = (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		}
+		lines = append(lines, diffLine{
+			name:    o.Name,
+			oldNs:   o.NsPerOp,
+			newNs:   n.NsPerOp,
+			pct:     pct,
+			regress: pct > maxRegress,
+		})
+	}
+	for _, n := range fresh.Benchmarks {
+		if !match.MatchString(n.Name) {
+			continue
+		}
+		if _, ok := oldByName[n.Name]; !ok {
+			lines = append(lines, diffLine{name: n.Name, newNs: n.NsPerOp, newBench: true})
+		}
+	}
+	return lines
+}
+
+func load(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &rep, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "BENCH_hotpath.json", "committed benchmark trajectory")
+	newPath := flag.String("new", "", "fresh benchjson output to compare")
+	maxRegress := flag.Float64("max-regress", 25, "maximum tolerated ns/op regression in percent")
+	matchFlag := flag.String("match", ".", "regexp: benchmarks to guard")
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		os.Exit(2)
+	}
+	match, err := regexp.Compile(*matchFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: -match: %v\n", err)
+		os.Exit(2)
+	}
+	old, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	fresh, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	// ns/op is only comparable on the hardware that produced the
+	// baseline: across CPU models the same code routinely differs by
+	// more than any sane threshold. On a different CPU the gate
+	// downgrades to advisory — regressions print but do not fail —
+	// while missing-benchmark failures remain (those are source-level
+	// and machine-independent).
+	sameCPU := old.CPU == "" || fresh.CPU == "" || old.CPU == fresh.CPU
+	if !sameCPU {
+		fmt.Fprintf(os.Stderr, "benchdiff: committed numbers are from %q, this run is %q — cross-machine ns/op diffs are advisory, only missing benchmarks fail\n",
+			old.CPU, fresh.CPU)
+	}
+
+	lines := diff(old, fresh, match, *maxRegress)
+	if len(lines) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: -match %q guarded no benchmarks\n", *matchFlag)
+		os.Exit(1) // a guard that matches nothing gates nothing
+	}
+	bad := 0
+	for _, l := range lines {
+		switch {
+		case l.missing:
+			fmt.Printf("MISSING  %-55s was %10.1f ns/op, absent from the new run (renamed? regenerate BENCH_hotpath.json)\n", l.name, l.oldNs)
+			bad++
+		case l.newBench:
+			fmt.Printf("NEW      %-55s %10.1f ns/op (no committed baseline yet)\n", l.name, l.newNs)
+		case l.regress && sameCPU:
+			fmt.Printf("REGRESS  %-55s %10.1f -> %10.1f ns/op (%+.1f%% > %.0f%%)\n", l.name, l.oldNs, l.newNs, l.pct, *maxRegress)
+			bad++
+		case l.regress:
+			fmt.Printf("SLOWER   %-55s %10.1f -> %10.1f ns/op (%+.1f%%, advisory: different CPU)\n", l.name, l.oldNs, l.newNs, l.pct)
+		default:
+			fmt.Printf("ok       %-55s %10.1f -> %10.1f ns/op (%+.1f%%)\n", l.name, l.oldNs, l.newNs, l.pct)
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed past %.0f%% or went missing\n", bad, *maxRegress)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) within %.0f%% of the committed trajectory\n", len(lines), *maxRegress)
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"regexp"
+	"testing"
+)
+
+func rep(benchmarks ...Result) *Report { return &Report{Benchmarks: benchmarks} }
+
+func find(t *testing.T, lines []diffLine, name string) diffLine {
+	t.Helper()
+	for _, l := range lines {
+		if l.name == name {
+			return l
+		}
+	}
+	t.Fatalf("no diff line for %s", name)
+	return diffLine{}
+}
+
+func TestDiffClassification(t *testing.T) {
+	old := rep(
+		Result{Name: "BenchmarkA", NsPerOp: 100},
+		Result{Name: "BenchmarkB", NsPerOp: 100},
+		Result{Name: "BenchmarkGone", NsPerOp: 50},
+	)
+	fresh := rep(
+		Result{Name: "BenchmarkA", NsPerOp: 110},  // +10%: fine
+		Result{Name: "BenchmarkB", NsPerOp: 140},  // +40%: regression
+		Result{Name: "BenchmarkNew", NsPerOp: 10}, // new: allowed
+	)
+	lines := diff(old, fresh, regexp.MustCompile("."), 25)
+
+	if l := find(t, lines, "BenchmarkA"); l.regress || l.missing || l.newBench {
+		t.Errorf("A misclassified: %+v", l)
+	}
+	if l := find(t, lines, "BenchmarkB"); !l.regress {
+		t.Errorf("B (+40%%) not flagged as regression: %+v", l)
+	}
+	if l := find(t, lines, "BenchmarkGone"); !l.missing {
+		t.Errorf("Gone not flagged as missing: %+v", l)
+	}
+	if l := find(t, lines, "BenchmarkNew"); !l.newBench {
+		t.Errorf("New not flagged as new: %+v", l)
+	}
+}
+
+func TestDiffImprovementNeverFails(t *testing.T) {
+	old := rep(Result{Name: "BenchmarkFast", NsPerOp: 100})
+	fresh := rep(Result{Name: "BenchmarkFast", NsPerOp: 10})
+	lines := diff(old, fresh, regexp.MustCompile("."), 25)
+	if l := find(t, lines, "BenchmarkFast"); l.regress {
+		t.Errorf("a 10x improvement flagged as regression: %+v", l)
+	}
+}
+
+func TestDiffThresholdBoundary(t *testing.T) {
+	old := rep(Result{Name: "BenchmarkEdge", NsPerOp: 100})
+	// Exactly +25% is tolerated; the guard fires strictly past it.
+	fresh := rep(Result{Name: "BenchmarkEdge", NsPerOp: 125})
+	lines := diff(old, fresh, regexp.MustCompile("."), 25)
+	if l := find(t, lines, "BenchmarkEdge"); l.regress {
+		t.Errorf("+25.0%% flagged despite 25%% threshold: %+v", l)
+	}
+}
+
+func TestDiffMatchFilter(t *testing.T) {
+	old := rep(
+		Result{Name: "BenchmarkHot", NsPerOp: 100},
+		Result{Name: "BenchmarkCold", NsPerOp: 100},
+	)
+	fresh := rep(
+		Result{Name: "BenchmarkHot", NsPerOp: 100},
+		Result{Name: "BenchmarkCold", NsPerOp: 900},
+	)
+	lines := diff(old, fresh, regexp.MustCompile("Hot"), 25)
+	if len(lines) != 1 || lines[0].name != "BenchmarkHot" {
+		t.Fatalf("filter leaked: %+v", lines)
+	}
+}
