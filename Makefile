@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench benchfull bench-json bench-diff allocscheck lint fmt vet fmtcheck docscheck clean
+.PHONY: all build test race bench benchfull bench-json bench-diff allocscheck fuzz-smoke lint fmt vet fmtcheck docscheck clean
 
 all: build test lint docscheck
 
@@ -54,14 +54,23 @@ bench-json:
 bench-diff:
 	$(GO) run ./cmd/benchjson -benchtime 2s -out .bench_fresh.json
 	$(GO) run ./internal/tools/benchdiff -old BENCH_hotpath.json -new .bench_fresh.json -max-regress 25 \
-		-match '^Benchmark(CompiledVsTreeWalk|AblationCodecPath|AblationChecksums|RTNetLoopback|Sum8|Inet16|TimerChurn|AggregateInto)'
+		-match '^Benchmark(CompiledVsTreeWalk|AblationCodecPath|AblationChecksums|RTNetLoopback|Sum8|Inet16|TimerChurn|AggregateInto|ObsCounterAdd|ObsHistObserve|ObsRingRecord)'
 
 # Allocation gate: the slot codec, the rtnet steady-state loops, the
-# timing wheel's churn path and the harness metrics merge must report
-# 0 allocs/op. Regressions fail here, not in the narrative.
+# timing wheel's churn path, the harness metrics merge and the obs
+# write paths (counter add, histogram observe, ring-trace record) must
+# report 0 allocs/op. Regressions fail here, not in the narrative.
 allocscheck:
-	$(GO) run ./cmd/benchjson -bench 'AblationCodecPath/slot|RTNetLoopback|TimerChurn/wheel|AggregateInto' \
-		-benchtime 30000x -require-zero 'slot|RTNetLoopback|TimerChurn/wheel|AggregateInto' -out /dev/null
+	$(GO) run ./cmd/benchjson -bench 'AblationCodecPath/slot|RTNetLoopback|TimerChurn/wheel|AggregateInto|ObsCounterAdd|ObsHistObserve|ObsRingRecord' \
+		-benchtime 30000x -require-zero 'slot|RTNetLoopback|TimerChurn/wheel|AggregateInto|ObsCounterAdd|ObsHistObserve|ObsRingRecord' -out /dev/null
+
+# Fuzz smoke: ~30s of native fuzzing per target against the committed
+# hostile corpora (testdata/fuzz). Minimization is capped — on small
+# runners the default 60s-per-input minimizer would eat the whole
+# budget the moment anything interesting surfaces.
+fuzz-smoke:
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzProgramDecode -fuzztime 30s -fuzzminimizetime 10x
+	$(GO) test ./internal/dsl/ -run '^$$' -fuzz FuzzParse -fuzztime 30s -fuzzminimizetime 10x
 
 lint: vet fmtcheck
 

@@ -45,6 +45,7 @@ type Report struct {
 	GOOS       string   `json:"goos"`
 	GOARCH     string   `json:"goarch"`
 	CPU        string   `json:"cpu,omitempty"`
+	NumCPU     int      `json:"num_cpu,omitempty"`
 	Command    string   `json:"command"`
 	Benchmarks []Result `json:"benchmarks"`
 }
@@ -94,10 +95,10 @@ func parseBench(out string) (results []Result, cpu string) {
 
 func main() {
 	out := flag.String("out", "BENCH_hotpath.json", "output file ('-' for stdout)")
-	bench := flag.String("bench", "AblationCodecPath|CompiledVsTreeWalk|RTNetLoopback|RTNetReusePort|AblationChecksums|Sum8|Inet16|TimerChurn|AggregateInto",
+	bench := flag.String("bench", "AblationCodecPath|CompiledVsTreeWalk|RTNetLoopback|RTNetReusePort|AblationChecksums|Sum8|Inet16|TimerChurn|AggregateInto|ObsCounterAdd|ObsHistObserve|ObsRingRecord",
 		"benchmark regexp passed to go test -bench")
 	benchtime := flag.String("benchtime", "", "go test -benchtime (e.g. 2s, 30000x); empty for default")
-	pkgsFlag := flag.String("pkg", ".,./internal/rtnet,./internal/checksum,./internal/timerwheel,./internal/harness", "comma-separated packages to benchmark")
+	pkgsFlag := flag.String("pkg", ".,./internal/rtnet,./internal/checksum,./internal/timerwheel,./internal/harness,./internal/obs", "comma-separated packages to benchmark")
 	requireZero := flag.String("require-zero", "", "regexp: matching benchmarks must report 0 allocs/op")
 	flag.Parse()
 
@@ -157,6 +158,7 @@ func main() {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		CPU:        cpu,
+		NumCPU:     runtime.NumCPU(),
 		Command:    "go " + strings.Join(args, " "),
 		Benchmarks: results,
 	}

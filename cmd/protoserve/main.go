@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sync/atomic"
@@ -21,6 +23,7 @@ import (
 
 	"protodsl/internal/arq"
 	"protodsl/internal/netsim"
+	"protodsl/internal/obs"
 	"protodsl/internal/rtnet"
 )
 
@@ -40,6 +43,7 @@ func run(args []string, out io.Writer) error {
 		shards   = fs.Int("shards", 0, "worker event loops, one SO_REUSEPORT socket each where supported (0 = min(GOMAXPROCS, 4))")
 		single   = fs.Bool("singlesocket", false, "force one shared socket (disable per-shard SO_REUSEPORT sockets)")
 		stats    = fs.Duration("stats", 5*time.Second, "stats print interval (0 = silent)")
+		httpAddr = fs.String("http", "", "serve /metrics, /stats.json and /trace on this TCP address (empty = off)")
 		duration = fs.Duration("duration", 0, "serve for this long then exit (0 = until interrupted)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -89,6 +93,28 @@ func run(args []string, out io.Writer) error {
 	gso, gro := node.Offloads()
 	fmt.Fprintf(out, "protoserve: %s receivers on udp://%s (shards=%d sockets=%d gso=%v gro=%v; ctrl-c to stop)\n",
 		*variant, node.Addr(), node.Shards(), node.Sockets(), gso, gro)
+
+	// Stats endpoints snapshot the per-shard atomics without stopping the
+	// shard loops; the HTTP server rides its own goroutines. The bound
+	// address is printed so tests (and humans using ":0") can find it.
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		handler := obs.Handler(node.Obs(), func() map[string]uint64 {
+			return map[string]uint64{
+				"flows":         flows.Load(),
+				"flow_frames":   frames.Load(),
+				"payload_bytes": bytes.Load(),
+			}
+		})
+		srv := &http.Server{Handler: handler}
+		defer srv.Close()
+		go func() { _ = srv.Serve(ln) }()
+		fmt.Fprintf(out, "protoserve: stats on http://%s/metrics\n", ln.Addr())
+	}
 
 	interrupt := make(chan os.Signal, 1)
 	signal.Notify(interrupt, os.Interrupt)

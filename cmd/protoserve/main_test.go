@@ -2,11 +2,21 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
 	"regexp"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
+
+	"protodsl/internal/arq"
+	"protodsl/internal/harness"
+	"protodsl/internal/netsim"
+	"protodsl/internal/rtnet"
 )
 
 // syncBuffer lets the test read protoserve's output while run() is
@@ -59,5 +69,190 @@ func TestRejectsUnknownVariant(t *testing.T) {
 	var out syncBuffer
 	if err := run([]string{"-variant", "tcp"}, &out); err == nil {
 		t.Fatal("unknown variant accepted")
+	}
+}
+
+// waitMatch polls the buffer until re's first capture group appears.
+func waitMatch(t *testing.T, b *syncBuffer, re *regexp.Regexp) string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := re.FindStringSubmatch(b.String()); m != nil {
+			return m[1]
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("output never matched %v; got:\n%s", re, b.String())
+	return ""
+}
+
+// statsJSON mirrors the fields of obs.Snapshot the test asserts on.
+type statsJSON struct {
+	Totals       map[string]uint64 `json:"totals"`
+	TraceWritten uint64            `json:"trace_written"`
+}
+
+func getJSON(t *testing.T, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+}
+
+// TestStatsEndpointsUnderLoad boots a real protoserve (UDP + HTTP), runs
+// 64 concurrent go-back-N flows against it over loopback, and checks
+// that the live stats endpoints tell a consistent story: counters are
+// monotonic across snapshots taken while shard loops are running, and
+// the final totals account for every payload the harness reports as
+// transferred.
+func TestStatsEndpointsUnderLoad(t *testing.T) {
+	const (
+		nFlows    = 64
+		nPayloads = 8
+		size      = 256
+	)
+
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", "127.0.0.1:0", "-http", "127.0.0.1:0",
+			"-variant", "gbn", "-window", "32", "-stats", "0", "-duration", "2m",
+		}, &out)
+	}()
+	udpAddr := waitMatch(t, &out, regexp.MustCompile(`receivers on udp://([^ ]+) `))
+	httpBase := "http://" + waitMatch(t, &out, regexp.MustCompile(`stats on http://([^/]+)/metrics`))
+	defer func() {
+		// run() exits via its interrupt handler; the signal is consumed
+		// by its signal.Notify registration, not the test binary's
+		// default handler.
+		_ = syscall.Kill(syscall.Getpid(), syscall.SIGINT)
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("protoserve run: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Errorf("protoserve did not exit after interrupt")
+		}
+	}()
+
+	client, err := rtnet.Listen("127.0.0.1:0", rtnet.Config{Shards: 1})
+	if err != nil {
+		t.Fatalf("client listen: %v", err)
+	}
+	defer client.Close()
+	peer, err := client.Dial(udpAddr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+
+	fcfg := arq.FlowConfig{Window: 32, RTO: 100 * time.Millisecond, MaxRetries: 50}
+	senders := make([]*arq.GBNSender, nFlows)
+	flowDone := make([]chan struct{}, nFlows)
+	for id := 0; id < nFlows; id++ {
+		id := id
+		f, err := client.Flow(byte(id))
+		if err != nil {
+			t.Fatalf("flow %d: %v", id, err)
+		}
+		flowDone[id] = make(chan struct{})
+		payloads := harness.DistinctPayloads(id*3, nPayloads, size)
+		var aerr error
+		err = f.Do(func(rt netsim.Runtime, port netsim.Port) {
+			senders[id], aerr = arq.AttachGBNSender(rt, port, peer, fcfg, payloads,
+				func() { close(flowDone[id]) })
+		})
+		if err != nil {
+			t.Fatalf("flow %d attach: %v", id, err)
+		}
+		if aerr != nil {
+			t.Fatalf("flow %d sender: %v", id, aerr)
+		}
+	}
+
+	// Mid-traffic snapshot: taken while shard loops are live, without
+	// stopping them.
+	var mid statsJSON
+	getJSON(t, httpBase+"/stats.json", &mid)
+
+	for id := range flowDone {
+		select {
+		case <-flowDone[id]:
+		case <-time.After(time.Minute):
+			t.Fatalf("flow %d did not finish within 1m", id)
+		}
+	}
+	var sentTotal uint64
+	for id, s := range senders {
+		if err := s.Err(); err != nil {
+			t.Fatalf("flow %d: %v", id, err)
+		}
+		r := s.Result()
+		if !r.OK {
+			t.Fatalf("flow %d transfer not OK", id)
+		}
+		sentTotal += uint64(r.PacketsSent)
+	}
+
+	var fin statsJSON
+	getJSON(t, httpBase+"/stats.json", &fin)
+
+	// Counters only ever move forward.
+	for name, v := range mid.Totals {
+		if fin.Totals[name] < v {
+			t.Errorf("counter %s went backwards: %d -> %d", name, v, fin.Totals[name])
+		}
+	}
+
+	// Every payload was acked end-to-end, so the server must have
+	// delivered at least one data frame per payload, each carrying at
+	// least the payload bytes.
+	if got, want := fin.Totals["frames_in"], uint64(nFlows*nPayloads); got < want {
+		t.Errorf("server frames_in = %d, want >= %d (one per acked payload)", got, want)
+	}
+	if got, want := fin.Totals["bytes_in"], uint64(nFlows*nPayloads*size); got < want {
+		t.Errorf("server bytes_in = %d, want >= %d", got, want)
+	}
+	// The server acks what it hears: at least one frame out per flow.
+	if got := fin.Totals["frames_out"]; got < nFlows {
+		t.Errorf("server frames_out = %d, want >= %d", got, nFlows)
+	}
+
+	// The client's own stats block must agree exactly with the harness:
+	// every engine transmission (including retransmits) went through the
+	// shard port exactly once.
+	clientSnap := client.Obs().Snapshot()
+	if got := clientSnap.Totals["frames_out"]; got != sentTotal {
+		t.Errorf("client frames_out = %d, want %d (sum of per-flow PacketsSent)", got, sentTotal)
+	}
+	// Karn-filtered RTT samples were recorded on the live path.
+	if clientSnap.RTT.Count == 0 {
+		t.Errorf("client RTT histogram empty after %d acked payloads", nFlows*nPayloads)
+	}
+
+	// Prometheus endpoint renders the same counters plus the process
+	// gauges the server owns.
+	resp, err := http.Get(httpBase + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	prom, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read /metrics: %v", err)
+	}
+	for _, want := range []string{
+		"pdsl_frames_in_total{shard=",
+		fmt.Sprintf("pdsl_flows %d\n", nFlows),
+	} {
+		if !bytes.Contains(prom, []byte(want)) {
+			t.Errorf("/metrics missing %q; got:\n%s", want, prom)
+		}
 	}
 }

@@ -52,6 +52,7 @@ func run(args []string, out io.Writer) error {
 		flows     = fs.Int("flows", 64, "concurrent flows in -connect mode (1..256)")
 		variant   = fs.String("variant", "gbn", "ARQ variant in -connect mode: gbn or sr")
 		shards    = fs.Int("shards", 0, "client worker loops in -connect mode (0 = min(GOMAXPROCS, 4))")
+		dumpStats = fs.Bool("stats", false, "dump the observability snapshot (counters, RTT histogram) as JSON after the transfer")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,7 +77,7 @@ func run(args []string, out io.Writer) error {
 		return runClient(out, clientConfig{
 			server: *connect, flows: *flows, variant: *variant, shards: *shards,
 			payloads: *nPayloads, size: *size, window: *window,
-			rto: *rto, retries: *retries,
+			rto: *rto, retries: *retries, stats: *dumpStats,
 		})
 	}
 
@@ -105,6 +106,9 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "  ok: %v\n  delivered: %d/%d\n  packets sent: %d (retransmits %d)\n",
 			res.OK, len(res.Delivered), len(payloads), res.PacketsSent, res.Retransmits)
 		fmt.Fprintf(out, "  virtual time: %s\n  goodput: %.0f bytes/s\n", res.Duration, res.Goodput())
+		if *dumpStats {
+			return res.Obs.WriteJSON(out)
+		}
 		return nil
 	}
 
@@ -125,6 +129,9 @@ func run(args []string, out io.Writer) error {
 		res.Receiver.PacketsReceived, res.Receiver.PacketsCorrupted, res.Receiver.Duplicates)
 	fmt.Fprintf(out, "  network: %s\n", res.Network)
 	fmt.Fprintf(out, "  virtual time: %s\n  goodput: %.0f bytes/s\n", res.Duration, res.Goodput())
+	if *dumpStats {
+		return res.Obs.WriteJSON(out)
+	}
 	return nil
 }
 
@@ -139,6 +146,7 @@ type clientConfig struct {
 	window   int
 	rto      time.Duration
 	retries  int
+	stats    bool
 }
 
 // runClient drives cfg.flows concurrent ARQ senders over one UDP socket
@@ -267,5 +275,8 @@ func runClient(out io.Writer, cfg clientConfig) error {
 		rep.Goodput.Mean(), float64(rep.OKFlows*flowBytes)/elapsed.Seconds())
 	fmt.Fprintf(out, "  fairness (Jain, per shard): %.3f\n", rep.Fairness.Mean())
 	fmt.Fprintf(out, "  client socket: header_drops=%d send_errs=%d\n", node.Drops(), node.SendErrors())
+	if cfg.stats {
+		return node.Obs().Snapshot().WriteJSON(out)
+	}
 	return nil
 }

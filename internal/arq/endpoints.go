@@ -7,6 +7,7 @@ import (
 	"protodsl/internal/expr"
 	"protodsl/internal/fsm"
 	"protodsl/internal/netsim"
+	"protodsl/internal/obs"
 )
 
 // SenderStats counts sender-side protocol events.
@@ -43,6 +44,8 @@ type Sender struct {
 	rto        time.Duration
 	maxRetries int
 	retries    int
+	obs        *obs.Shard    // sim's stats block
+	sentAt     time.Duration // first-transmit time of the in-flight packet
 
 	// Reusable hot-loop state. The frame views handed to the machine are
 	// only read during the StepEv call (the sender spec stores no message
@@ -84,7 +87,7 @@ func NewSender(sim *netsim.Sim, ep *netsim.Endpoint, peer netsim.Addr,
 	s := &Sender{
 		sim: sim, ep: ep, peer: peer, machine: machine, codec: codec,
 		payloads: payloads, rto: rto, maxRetries: maxRetries,
-		ackShape: ackShape,
+		ackShape: ackShape, obs: obs.Of(sim),
 	}
 	s.evSend, _ = machine.EventID(EvSend)
 	s.evOK, _ = machine.EventID(EvOK)
@@ -178,6 +181,9 @@ func (s *Sender) transmit(isRetransmit bool) {
 	s.stats.PacketsSent++
 	if isRetransmit {
 		s.stats.Retransmits++
+		s.obs.Inc(obs.Retransmits)
+	} else {
+		s.sentAt = s.sim.Now()
 	}
 	s.armTimer()
 }
@@ -222,7 +228,11 @@ func (s *Sender) onDatagram(_ netsim.Addr, data []byte) {
 	}
 	switch {
 	case res.Fired != nil && res.Fired.Name == "ack":
-		// The in-flight packet is acknowledged: advance.
+		// The in-flight packet is acknowledged: advance. Karn's rule —
+		// only a never-retransmitted packet yields a valid RTT sample.
+		if s.retries == 0 {
+			s.obs.RTT().Observe(s.sim.Now() - s.sentAt)
+		}
 		if s.timer != nil {
 			s.timer.Cancel()
 		}
@@ -249,6 +259,7 @@ func (s *Sender) onTimeout() {
 		return // late timer in Ready: ignored by the spec
 	}
 	s.stats.Timeouts++
+	s.obs.Inc(obs.Timeouts)
 	s.retries++
 	if s.retries > s.maxRetries {
 		// The paper's Failure outcome: the machine rests in Timeout — a

@@ -5,7 +5,18 @@ import (
 	"time"
 
 	"protodsl/internal/netsim"
+	"protodsl/internal/obs"
 )
+
+// sendMeta is per-window-slot transmit metadata for RTT sampling: when
+// the slot's packet first went out, and whether it was ever
+// retransmitted. Karn's rule: an ack for a retransmitted packet gives
+// no valid RTT sample (the ack could answer either copy), so only
+// never-retransmitted packets are observed.
+type sendMeta struct {
+	at   time.Duration
+	retx bool
+}
 
 // This file implements the go-back-N extension of the paper's
 // stop-and-wait protocol: a sliding window of up to W unacknowledged
@@ -67,6 +78,9 @@ type GBNResult struct {
 	PacketsSent int
 	Retransmits int
 	Duration    time.Duration
+	// Obs is the simulator's observability snapshot (counters, RTT
+	// histogram), taken at transfer end. Nil outside RunTransferGBN.
+	Obs *obs.Snapshot
 }
 
 // Goodput returns delivered payload bytes per virtual second.
@@ -97,6 +111,9 @@ type gbnSender struct {
 	rto        time.Duration
 	maxRetries int
 	retries    int
+
+	obs  *obs.Shard // runtime's stats block (discard when it has none)
+	meta []sendMeta // per-window-slot transmit times, indexed idx%window
 
 	encBuf     []byte // reusable AppendEncodePacket buffer
 	sent       int
@@ -160,6 +177,10 @@ func (s *gbnSender) transmit(idx int, isRetrans bool) error {
 	s.sent++
 	if isRetrans {
 		s.retrans++
+		s.obs.Inc(obs.Retransmits)
+		s.meta[idx%s.window].retx = true
+	} else {
+		s.meta[idx%s.window] = sendMeta{at: s.rt.Now()}
 	}
 	return nil
 }
@@ -186,6 +207,14 @@ func (s *gbnSender) onDatagram(_ netsim.Addr, data []byte) {
 	ackSeq := ack.Value().Seq
 	for i := s.base; i < s.next; i++ {
 		if uint8(i%256) == ackSeq {
+			// Karn-filtered RTT samples for every packet this cumulative
+			// ack newly covers.
+			now := s.rt.Now()
+			for j := s.base; j <= i; j++ {
+				if m := &s.meta[j%s.window]; !m.retx {
+					s.obs.RTT().Observe(now - m.at)
+				}
+			}
 			s.base = i + 1
 			s.retries = 0
 			s.pump()
@@ -199,6 +228,7 @@ func (s *gbnSender) onTimeout() {
 	if s.done {
 		return
 	}
+	s.obs.Inc(obs.Timeouts)
 	s.retries++
 	if s.retries > s.maxRetries {
 		s.finish(false)
@@ -343,6 +373,8 @@ func AttachGBNSender(rt netsim.Runtime, port netsim.Port, peer netsim.Addr, cfg 
 		payloads: payloads, window: cfg.Window,
 		rto: cfg.RTO, maxRetries: cfg.MaxRetries,
 		notify: onDone,
+		obs:    obs.Of(rt),
+		meta:   make([]sendMeta, cfg.Window),
 	}
 	port.SetHandler(send.onDatagram)
 	rt.Post(send.pump)
@@ -433,5 +465,7 @@ func RunTransferGBN(cfg GBNConfig, payloads [][]byte) (*GBNResult, error) {
 	if err := flow.Err(); err != nil {
 		return nil, err
 	}
-	return flow.Result(), nil
+	res := flow.Result()
+	res.Obs = sim.Obs().Snapshot()
+	return res, nil
 }

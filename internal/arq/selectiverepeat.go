@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"protodsl/internal/netsim"
+	"protodsl/internal/obs"
 )
 
 // This file implements selective repeat, the third rung of the ARQ
@@ -54,6 +55,7 @@ type srPacket struct {
 	acked   bool
 	retries int
 	timer   netsim.Timer
+	sentAt  time.Duration // first-transmit time, for Karn-filtered RTT samples
 }
 
 // srSender retransmits individually timed packets.
@@ -71,6 +73,7 @@ type srSender struct {
 
 	rto        time.Duration
 	maxRetries int
+	obs        *obs.Shard // runtime's stats block (discard when it has none)
 
 	encBuf     []byte
 	sent       int
@@ -136,6 +139,9 @@ func (s *srSender) transmit(idx int, isRetrans bool) error {
 	s.sent++
 	if isRetrans {
 		s.retrans++
+		s.obs.Inc(obs.Retransmits)
+	} else {
+		s.state[idx].sentAt = s.rt.Now()
 	}
 	if t := s.state[idx].timer; t != nil {
 		t.Cancel()
@@ -160,6 +166,11 @@ func (s *srSender) onDatagram(_ netsim.Addr, data []byte) {
 			continue
 		}
 		s.state[i].acked = true
+		// Karn's rule: only a never-retransmitted packet yields a valid
+		// RTT sample (retries counts retransmissions of this packet).
+		if s.state[i].retries == 0 {
+			s.obs.RTT().Observe(s.rt.Now() - s.state[i].sentAt)
+		}
 		if t := s.state[i].timer; t != nil {
 			t.Cancel()
 			s.state[i].timer = nil
@@ -176,6 +187,7 @@ func (s *srSender) onTimeout(idx int) {
 	if s.done || s.state[idx].acked {
 		return
 	}
+	s.obs.Inc(obs.Timeouts)
 	s.state[idx].retries++
 	if s.state[idx].retries > s.maxRetries {
 		s.finish(false)
@@ -329,6 +341,7 @@ func AttachSRSender(rt netsim.Runtime, port netsim.Port, peer netsim.Addr, cfg F
 		payloads: payloads, state: make([]srPacket, len(payloads)),
 		window: cfg.Window, rto: cfg.RTO, maxRetries: cfg.MaxRetries,
 		notify: onDone,
+		obs:    obs.Of(rt),
 	}
 	port.SetHandler(send.onDatagram)
 	rt.Post(send.pump)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"protodsl/internal/netsim"
+	"protodsl/internal/obs"
 )
 
 // Config parameterises a simulated transfer.
@@ -38,6 +39,9 @@ type Result struct {
 	Sender   SenderStats
 	Receiver ReceiverStats
 	Network  netsim.Stats
+	// Obs is the simulator's observability snapshot (counters, RTT
+	// histogram), taken at transfer end. Nil outside RunTransfer.
+	Obs *obs.Snapshot
 }
 
 // RunTransfer runs a complete stop-and-wait transfer of payloads across a
@@ -96,6 +100,7 @@ func RunTransfer(cfg Config, payloads [][]byte) (*Result, error) {
 		Sender:      send.Stats(),
 		Receiver:    recv.Stats(),
 		Network:     sim.Stats(),
+		Obs:         sim.Obs().Snapshot(),
 	}, nil
 }
 

@@ -3,6 +3,8 @@ package netsim
 import (
 	"fmt"
 	"time"
+
+	"protodsl/internal/obs"
 )
 
 // LinkParams configures one direction of a link. The zero value is a
@@ -71,6 +73,10 @@ func (e *Endpoint) Received() uint64 { return e.received }
 // incoming packets.
 func (e *Endpoint) SetHandler(fn func(from Addr, data []byte)) { e.handler = fn }
 
+// ObsShard exposes the owning sim's stats shard (obs.Source), so a Mux
+// wrapping this endpoint counts its drops into the sim's block.
+func (e *Endpoint) ObsShard() *obs.Shard { return e.sim.obsSh }
+
 // Connect installs a bidirectional link with identical parameters in both
 // directions.
 func (s *Sim) Connect(a, b *Endpoint, p LinkParams) {
@@ -110,6 +116,8 @@ func (e *Endpoint) Send(to Addr, data []byte) error {
 	}
 	e.sent++
 	s.stats.Sent++
+	s.obsSh.Inc(obs.FramesOut)
+	s.obsSh.Add(obs.BytesOut, uint64(len(data)))
 	payload := make([]byte, len(data))
 	copy(payload, data)
 	s.traceEvent(TraceSend, e.addr, to, len(payload))
@@ -134,11 +142,13 @@ func (e *Endpoint) Send(to Addr, data []byte) error {
 
 	if p.MTU > 0 && len(payload) > p.MTU {
 		s.stats.Dropped++
+		s.obsSh.Inc(obs.DropLink)
 		s.traceEvent(TraceDrop, e.addr, to, len(payload))
 		return nil
 	}
 	if p.LossProb > 0 && s.rng.Float64() < p.LossProb {
 		s.stats.Dropped++
+		s.obsSh.Inc(obs.DropLink)
 		s.traceEvent(TraceDrop, e.addr, to, len(payload))
 		return nil
 	}
@@ -188,6 +198,8 @@ func (s *Sim) scheduleDelivery(from Addr, dst *Endpoint, payload []byte, at time
 	s.schedule(at, func() {
 		dst.received++
 		s.stats.Delivered++
+		s.obsSh.Inc(obs.FramesIn)
+		s.obsSh.Add(obs.BytesIn, uint64(len(payload)))
 		s.traceEvent(TraceDeliver, from, dst.addr, len(payload))
 		if dst.handler != nil {
 			dst.handler(from, payload)

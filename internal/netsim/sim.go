@@ -44,6 +44,7 @@ import (
 	"math/rand"
 	"time"
 
+	"protodsl/internal/obs"
 	"protodsl/internal/timerwheel"
 )
 
@@ -68,6 +69,12 @@ type Addr string
 // millisecond-scale delays and RTOs the experiments use.
 const wheelGranularity = time.Microsecond
 
+// simTraceSlots sizes the trace ring EnableTrace arms: comfortably
+// above the longest golden-trace scenario (a few hundred events), so
+// the deterministic tests see every event; longer live runs wrap with
+// drop-oldest semantics.
+const simTraceSlots = 4096
+
 // Sim is a simulation instance. Create with New; not safe for concurrent
 // use (by design — see the package comment).
 type Sim struct {
@@ -77,20 +84,31 @@ type Sim struct {
 	endpoints map[Addr]*Endpoint
 	links     map[linkKey]*link
 	stats     Stats
-	trace     []TraceEvent
-	tracing   bool
 	processed uint64
+
+	// Observability: one stats shard (the sim is single-threaded) whose
+	// ring buffer replaces the old unbounded []TraceEvent trace. The
+	// ring stores interned endpoint ids, not strings, so recording one
+	// event is a few atomic stores; Trace() re-expands ids to names.
+	obs    *obs.Stats
+	obsSh  *obs.Shard
+	addrID map[Addr]uint16
+	addrs  []Addr
 }
 
 type linkKey struct{ from, to Addr }
 
 // New creates a simulator seeded for deterministic runs.
 func New(seed int64) *Sim {
+	st := obs.New(1, 0) // ring armed lazily by EnableTrace: Sims are created en masse
 	return &Sim{
 		rng:       rand.New(rand.NewSource(seed)),
 		wheel:     timerwheel.New(wheelGranularity),
 		endpoints: make(map[Addr]*Endpoint),
 		links:     make(map[linkKey]*link),
+		obs:       st,
+		obsSh:     st.Shard(0),
+		addrID:    make(map[Addr]uint16),
 	}
 }
 
@@ -100,18 +118,68 @@ func (s *Sim) Now() time.Duration { return s.now }
 // Processed returns the number of events executed so far.
 func (s *Sim) Processed() uint64 { return s.processed }
 
-// EnableTrace turns on event tracing (off by default: traces grow).
-func (s *Sim) EnableTrace() { s.tracing = true }
+// EnableTrace turns on event tracing (off by default), arming the
+// bounded trace ring on first use. Unlike the pre-ring implementation
+// the trace no longer grows without bound: once simTraceSlots events
+// are recorded the oldest are overwritten.
+func (s *Sim) EnableTrace() {
+	s.obs.ArmTrace(simTraceSlots)
+	s.obs.SetTrace(true)
+}
 
-// Trace returns a copy of the recorded trace.
+// DisableTrace stops recording; the ring keeps what it holds.
+func (s *Sim) DisableTrace() { s.obs.SetTrace(false) }
+
+// Trace returns a copy of the recorded trace, decoded from the ring
+// (oldest surviving event first).
 func (s *Sim) Trace() []TraceEvent {
-	out := make([]TraceEvent, len(s.trace))
-	copy(out, s.trace)
+	entries := s.obsSh.Ring().Snapshot(nil)
+	out := make([]TraceEvent, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, TraceEvent{
+			At:   e.At,
+			Kind: TraceKind(e.Kind),
+			From: s.addrOf(e.From),
+			To:   s.addrOf(e.To),
+			Size: e.Size,
+		})
+	}
 	return out
 }
 
 // Stats returns a snapshot of the simulator's packet counters.
 func (s *Sim) Stats() Stats { return s.stats }
+
+// Obs returns the simulator's observability block (one shard).
+func (s *Sim) Obs() *obs.Stats { return s.obs }
+
+// ObsShard exposes the sim's stats shard (obs.Source): engines handed
+// this Sim as their Runtime count into it via obs.Of.
+func (s *Sim) ObsShard() *obs.Shard { return s.obsSh }
+
+// intern maps an endpoint address to a small id for the trace ring.
+// Ids start at 1; 0 is the unknown sentinel. The ring packs ids into 12
+// bits, so a pathological >4095-endpoint sim traces "?" rather than
+// mislabelling.
+func (s *Sim) intern(a Addr) uint16 {
+	if id, ok := s.addrID[a]; ok {
+		return id
+	}
+	if len(s.addrs) >= 1<<12-1 {
+		return 0
+	}
+	s.addrs = append(s.addrs, a)
+	id := uint16(len(s.addrs))
+	s.addrID[a] = id
+	return id
+}
+
+func (s *Sim) addrOf(id uint16) Addr {
+	if id == 0 || int(id) > len(s.addrs) {
+		return "?"
+	}
+	return s.addrs[id-1]
+}
 
 // schedule enqueues fn at absolute virtual time at. Event structs are
 // pooled inside the wheel: the steady-state send/timeout loop reuses

@@ -3,6 +3,8 @@ package netsim
 import (
 	"errors"
 	"fmt"
+
+	"protodsl/internal/obs"
 )
 
 // Topology errors.
@@ -98,13 +100,16 @@ func Chain(s *Sim, names []string, hop LinkParams) ([]*Endpoint, error) {
 // one bottleneck.
 type Mux struct {
 	under Port
+	obs   *obs.Shard // the underlying port's stats shard (or the discard block)
 	flows [256]*FlowPort
 	drops uint64
 }
 
 // NewMux wraps a port (taking over its handler) and returns the mux.
+// When the port carries a stats block (simulator endpoints and rtnet
+// shard ports both do), mux drops are also counted there by reason.
 func NewMux(under Port) *Mux {
-	m := &Mux{under: under}
+	m := &Mux{under: under, obs: obs.Of(under)}
 	under.SetHandler(m.dispatch)
 	return m
 }
@@ -112,11 +117,13 @@ func NewMux(under Port) *Mux {
 func (m *Mux) dispatch(from Addr, data []byte) {
 	if len(data) < 2 || data[1] != ^data[0] {
 		m.drops++ // unframed noise or corrupted header: not attributable
+		m.obs.Inc(obs.DropBadHeader)
 		return
 	}
 	fp := m.flows[data[0]]
 	if fp == nil || fp.handler == nil {
 		m.drops++
+		m.obs.Inc(obs.DropUnknownFlow)
 		return
 	}
 	fp.handler(from, data[2:])

@@ -3,6 +3,8 @@ package netsim
 import (
 	"fmt"
 	"time"
+
+	"protodsl/internal/obs"
 )
 
 // TraceKind classifies trace events.
@@ -49,11 +51,16 @@ func (e TraceEvent) String() string {
 	return fmt.Sprintf("%12s %-8s %s -> %s (%d bytes)", e.At, e.Kind, e.From, e.To, e.Size)
 }
 
+// traceEvent records one event into the trace ring. TraceKind and
+// obs.Kind share values by construction, so the conversion is a cast;
+// the addresses are interned to ids (a map hit in steady state — no
+// allocation, no string copies, unlike the []TraceEvent slice this
+// replaced). With tracing off this is one atomic load.
 func (s *Sim) traceEvent(kind TraceKind, from, to Addr, size int) {
-	if !s.tracing {
+	if !s.obs.TraceOn() {
 		return
 	}
-	s.trace = append(s.trace, TraceEvent{At: s.now, Kind: kind, From: from, To: to, Size: size})
+	s.obsSh.Ring().Record(s.now, obs.Kind(kind), 0, size, s.intern(from), s.intern(to))
 }
 
 // Stats aggregates simulator-level packet counters.

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The allocscheck gate pins these three at 0 allocs/op: they are the
+// exact operations the rtnet shard loops and the simulator hot path
+// execute per frame, so any allocation here is an allocation per
+// packet.
+
+func BenchmarkObsCounterAdd(b *testing.B) {
+	st := New(4, 0)
+	sh := st.Shard(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sh.Add(FramesIn, 1)
+		sh.Add(BytesIn, 512)
+	}
+}
+
+func BenchmarkObsHistObserve(b *testing.B) {
+	var h Hist
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i&0xffff) * time.Microsecond)
+	}
+}
+
+func BenchmarkObsRingRecord(b *testing.B) {
+	var r Ring
+	r.arm(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Record(time.Duration(i), KindSend, uint8(i), i&0x3ff, 1, 2)
+	}
+}
+
+func BenchmarkObsRingSnapshot(b *testing.B) {
+	var r Ring
+	r.arm(1024)
+	for i := 0; i < 2048; i++ {
+		r.Record(time.Duration(i), KindSend, uint8(i), i&0x3ff, 1, 2)
+	}
+	var buf []TraceEntry
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = r.Snapshot(buf)
+	}
+	if len(buf) == 0 {
+		b.Fatal("empty snapshot")
+	}
+}

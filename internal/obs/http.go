@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// traceEntryJSON is the wire shape of one dumped ring entry.
+type traceEntryJSON struct {
+	Shard int    `json:"shard"`
+	Seq   uint64 `json:"seq"`
+	AtNs  int64  `json:"at_ns"`
+	Kind  string `json:"kind"`
+	Flow  uint8  `json:"flow"`
+	From  uint16 `json:"from"`
+	To    uint16 `json:"to"`
+	Size  int    `json:"size"`
+}
+
+// Handler serves the live-ops endpoints over st:
+//
+//	/metrics    Prometheus text exposition
+//	/stats.json full JSON snapshot
+//	/trace      ring-trace dump; ?on=1 / ?on=0 toggles recording
+//
+// extra, when non-nil, is called per /metrics scrape for process-level
+// gauges (flows served, uptime seconds, ...).
+func Handler(st *Stats, extra func() map[string]uint64) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var ex map[string]uint64
+		if extra != nil {
+			ex = extra()
+		}
+		st.WritePrometheus(w, ex)
+	})
+	mux.HandleFunc("/stats.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = st.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Query().Get("on") {
+		case "1", "true":
+			st.SetTrace(true)
+		case "0", "false":
+			st.SetTrace(false)
+		}
+		type shardTrace struct {
+			On      bool             `json:"on"`
+			Entries []traceEntryJSON `json:"entries"`
+		}
+		out := shardTrace{On: st.TraceOn(), Entries: []traceEntryJSON{}}
+		var buf []TraceEntry
+		for i := 0; i < st.NumShards(); i++ {
+			buf = st.Shard(i).Ring().Snapshot(buf)
+			for _, e := range buf {
+				out.Entries = append(out.Entries, traceEntryJSON{
+					Shard: i, Seq: e.Seq, AtNs: int64(e.At), Kind: e.Kind.String(),
+					Flow: e.Flow, From: e.From, To: e.To, Size: e.Size,
+				})
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	})
+	return mux
+}

@@ -1,0 +1,245 @@
+// Package obs is the zero-allocation observability layer: per-shard
+// cache-line-padded atomic counters, fixed-bucket log-scale latency
+// histograms and a bounded ring-buffer packet trace, designed so the
+// hot paths that feed them (the rtnet steady-state loop, the netsim
+// event loop, the ARQ engines) never allocate and never take a lock.
+//
+// The write side is plain atomic adds/stores into memory allocated once
+// at shard setup; the read side (Snapshot, the Prometheus/JSON
+// endpoints) observes the same atomics without stopping any loop, so a
+// snapshot is a consistent-enough view for monitoring: every counter is
+// individually exact and monotonic, but counters read at slightly
+// different instants may straddle a packet. See DESIGN.md §10.
+//
+// Concurrency contract: counters and histograms accept concurrent
+// writers (atomic adds) though in practice each Shard block has one
+// writing goroutine; Ring.Record accepts concurrent writers and a
+// concurrent Snapshot reader (per-entry seqlock). Everything is safe to
+// read from any goroutine at any time.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter identifies one per-shard event counter.
+type Counter uint32
+
+// The counter set. Drop reasons are split by direction: Drop* counters
+// up to DropLink classify received (or simulated) frames discarded
+// before reaching an engine; DropSend* classify staged outbound frames
+// that never made the wire. FramesOut counts frames staged for the
+// socket (or simulator link), so frames_out - drop_send_* is what was
+// actually handed to the kernel.
+const (
+	FramesIn    Counter = iota // frames accepted and routed to a flow/shard
+	BytesIn                    // wire bytes of those frames (mux header included)
+	FramesOut                  // frames staged for transmission
+	BytesOut                   // wire bytes of those frames
+	Retransmits                // ARQ retransmissions (any engine family)
+	Timeouts                   // ARQ retransmission-timer expiries
+
+	DropBadHeader   // short or complement-corrupted mux header
+	DropOversize    // received frame larger than MaxPacket
+	DropBadSource   // datagram from an address family we do not speak
+	DropUnknownFlow // valid header, but no engine claims the flow id
+	DropPeerLimit   // served flow's peer table full (spoof sweep guard)
+	DropLink        // simulated link loss/MTU drop (netsim only)
+
+	DropSendOversize // staged frame larger than MaxPacket
+	DropSendFamily   // destination family cannot ride this socket
+	DropSendError    // socket refused the write (treated as wire loss)
+
+	GSOBursts   // GSO super-datagrams sent
+	GSOSegments // frames carried inside them
+	GROBundles  // GRO-coalesced deliveries received
+	GROSegments // frames split out of them
+
+	NumCounters // count of counters; not itself a counter
+)
+
+var counterNames = [NumCounters]string{
+	FramesIn:    "frames_in",
+	BytesIn:     "bytes_in",
+	FramesOut:   "frames_out",
+	BytesOut:    "bytes_out",
+	Retransmits: "retransmits",
+	Timeouts:    "timeouts",
+
+	DropBadHeader:   "drop_bad_header",
+	DropOversize:    "drop_oversize",
+	DropBadSource:   "drop_bad_source",
+	DropUnknownFlow: "drop_unknown_flow",
+	DropPeerLimit:   "drop_peer_limit",
+	DropLink:        "drop_link",
+
+	DropSendOversize: "drop_send_oversize",
+	DropSendFamily:   "drop_send_family",
+	DropSendError:    "drop_send_error",
+
+	GSOBursts:   "gso_bursts",
+	GSOSegments: "gso_segments",
+	GROBundles:  "gro_bundles",
+	GROSegments: "gro_segments",
+}
+
+// Name returns the counter's snake_case name (the Prometheus/JSON key).
+func (c Counter) Name() string {
+	if c >= NumCounters {
+		return "unknown"
+	}
+	return counterNames[c]
+}
+
+// HistBuckets is the number of log2 histogram buckets: bucket i counts
+// observations whose nanosecond value has bit length i, i.e. durations
+// in [2^(i-1), 2^i) ns, so the buckets span 1ns to ~8.6s with the last
+// bucket absorbing everything longer.
+const HistBuckets = 34
+
+// Hist is a fixed-bucket log-scale duration histogram. Observe is one
+// atomic add per bucket plus count/sum bookkeeping — 0 allocs, no
+// locks. The log2 bucketing trades resolution for a branch-free index
+// (a single bits.Len64), which is the right trade for RTT/latency
+// distributions spanning microseconds to seconds.
+type Hist struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+	buckets [HistBuckets]atomic.Uint64
+}
+
+// Observe records one duration (negative values clamp to zero).
+func (h *Hist) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	ns := uint64(d)
+	i := bits.Len64(ns)
+	if i >= HistBuckets {
+		i = HistBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() uint64 { return h.count.Load() }
+
+// SumNs returns the total of all observations in nanoseconds.
+func (h *Hist) SumNs() uint64 { return h.sum.Load() }
+
+// Bucket returns the count of bucket i.
+func (h *Hist) Bucket(i int) uint64 { return h.buckets[i].Load() }
+
+// BucketUpperNs returns the exclusive upper bound of bucket i in
+// nanoseconds (the Prometheus `le` edge); the last bucket is unbounded.
+func BucketUpperNs(i int) uint64 {
+	if i >= HistBuckets-1 {
+		return ^uint64(0)
+	}
+	return 1 << uint(i)
+}
+
+// Shard is one shard's statistics block: counters, the RTT histogram
+// and the packet-trace ring, allocated once (inside Stats) and written
+// only with atomic operations. The trailing pad keeps adjacent shards'
+// blocks off each other's cache lines, so shard loops hammering their
+// own counters never false-share.
+type Shard struct {
+	counters [NumCounters]atomic.Uint64
+	rtt      Hist
+	ring     Ring
+	_        [64]byte
+}
+
+// Add adds n to counter c.
+func (s *Shard) Add(c Counter, n uint64) { s.counters[c].Add(n) }
+
+// Inc adds 1 to counter c.
+func (s *Shard) Inc(c Counter) { s.counters[c].Add(1) }
+
+// Get returns counter c's current value.
+func (s *Shard) Get(c Counter) uint64 { return s.counters[c].Load() }
+
+// RTT returns the shard's round-trip-latency histogram.
+func (s *Shard) RTT() *Hist { return &s.rtt }
+
+// Ring returns the shard's packet-trace ring (unarmed rings discard).
+func (s *Shard) Ring() *Ring { return &s.ring }
+
+// Stats is a set of per-shard blocks plus the shared trace toggle.
+// Create with New; the blocks live in one contiguous allocation.
+type Stats struct {
+	traceOn atomic.Bool
+	shards  []Shard
+}
+
+// New creates stats for the given shard count, arming each shard's
+// trace ring with traceSlots entries (0 leaves the rings unarmed —
+// Record discards — which is what short-lived simulators want).
+func New(shards, traceSlots int) *Stats {
+	if shards < 1 {
+		shards = 1
+	}
+	st := &Stats{shards: make([]Shard, shards)}
+	if traceSlots > 0 {
+		st.ArmTrace(traceSlots)
+	}
+	return st
+}
+
+// NumShards returns the number of shard blocks.
+func (s *Stats) NumShards() int { return len(s.shards) }
+
+// Shard returns shard i's block.
+func (s *Stats) Shard(i int) *Shard { return &s.shards[i] }
+
+// ArmTrace allocates every still-unarmed shard ring with the given slot
+// count (rounded up to a power of two). It must not race with Record:
+// call it at setup, or from the goroutine that owns the only writer
+// (the simulator does the latter in EnableTrace).
+func (s *Stats) ArmTrace(slots int) {
+	for i := range s.shards {
+		s.shards[i].ring.arm(slots)
+	}
+}
+
+// SetTrace toggles trace recording at runtime. Rings keep their
+// contents across toggles; recording resumes where it left off.
+func (s *Stats) SetTrace(on bool) { s.traceOn.Store(on) }
+
+// TraceOn reports whether trace recording is enabled (the hot-path
+// guard: one atomic load).
+func (s *Stats) TraceOn() bool { return s.traceOn.Load() }
+
+// Total sums counter c across all shards.
+func (s *Stats) Total(c Counter) uint64 {
+	var t uint64
+	for i := range s.shards {
+		t += s.shards[i].counters[c].Load()
+	}
+	return t
+}
+
+// Source is implemented by runtimes that carry a stats block —
+// netsim.Sim and rtnet's shard Loop (and their ports). Engines discover
+// their sink through it without the seam interfaces changing.
+type Source interface{ ObsShard() *Shard }
+
+var discard Shard
+
+// Of returns the stats block associated with v (a netsim.Runtime or
+// Port), or a shared discard block when v carries none — writes to the
+// discard block are safe (atomics) and simply unread, so engines can
+// count unconditionally instead of nil-checking on the hot path.
+func Of(v any) *Shard {
+	if src, ok := v.(Source); ok {
+		if sh := src.ObsShard(); sh != nil {
+			return sh
+		}
+	}
+	return &discard
+}

@@ -1,0 +1,300 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterNames(t *testing.T) {
+	seen := make(map[string]Counter)
+	for c := Counter(0); c < NumCounters; c++ {
+		name := c.Name()
+		if name == "" || name == "unknown" {
+			t.Fatalf("counter %d has no name", c)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("counters %d and %d share the name %q", prev, c, name)
+		}
+		seen[name] = c
+	}
+	if NumCounters.Name() != "unknown" {
+		t.Fatalf("NumCounters should not name a counter")
+	}
+}
+
+func TestHistBuckets(t *testing.T) {
+	var h Hist
+	cases := []struct {
+		d      time.Duration
+		bucket int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{1023, 10},
+		{1024, 11},
+		{time.Second, 30},            // 1e9 ns has bit length 30
+		{20 * time.Second, 34},       // beyond the last bound
+		{-5 * time.Millisecond, 0},   // clamps to zero
+		{1<<62 + 1<<61, HistBuckets}, // clamps to the last bucket
+	}
+	for _, c := range cases {
+		h.Observe(c.d)
+	}
+	if got := h.Count(); got != uint64(len(cases)) {
+		t.Fatalf("count = %d, want %d", got, len(cases))
+	}
+	for _, c := range cases {
+		idx := c.bucket
+		if idx >= HistBuckets {
+			idx = HistBuckets - 1
+		}
+		if h.Bucket(idx) == 0 {
+			t.Errorf("observation %v left bucket %d empty", c.d, idx)
+		}
+	}
+	// Every observation is at most its bucket's upper bound.
+	if BucketUpperNs(5) != 32 {
+		t.Fatalf("BucketUpperNs(5) = %d, want 32", BucketUpperNs(5))
+	}
+	if BucketUpperNs(HistBuckets-1) != ^uint64(0) {
+		t.Fatalf("last bucket must be unbounded")
+	}
+}
+
+func TestShardCountersAndTotals(t *testing.T) {
+	st := New(3, 0)
+	st.Shard(0).Add(FramesIn, 5)
+	st.Shard(1).Add(FramesIn, 7)
+	st.Shard(2).Inc(FramesIn)
+	st.Shard(2).Add(DropBadHeader, 2)
+	if got := st.Total(FramesIn); got != 13 {
+		t.Fatalf("Total(FramesIn) = %d, want 13", got)
+	}
+	if got := st.Total(DropBadHeader); got != 2 {
+		t.Fatalf("Total(DropBadHeader) = %d, want 2", got)
+	}
+	snap := st.Snapshot()
+	if snap.Totals["frames_in"] != 13 {
+		t.Fatalf("snapshot totals = %v", snap.Totals)
+	}
+	if snap.Shards[1].Counters["frames_in"] != 7 {
+		t.Fatalf("shard 1 counters = %v", snap.Shards[1].Counters)
+	}
+}
+
+func TestRingWrapDropsOldest(t *testing.T) {
+	var r Ring
+	// Unarmed ring discards without panicking.
+	r.Record(0, KindSend, 1, 10, 0, 0)
+	if got := r.Snapshot(nil); len(got) != 0 {
+		t.Fatalf("unarmed ring returned %d entries", len(got))
+	}
+
+	r.arm(8)
+	if r.Cap() != 8 {
+		t.Fatalf("cap = %d, want 8", r.Cap())
+	}
+	for i := 0; i < 20; i++ {
+		r.Record(time.Duration(i)*time.Microsecond, KindSend, uint8(i), 100+i, 1, 2)
+	}
+	got := r.Snapshot(nil)
+	if len(got) != 8 {
+		t.Fatalf("snapshot returned %d entries, want 8", len(got))
+	}
+	// Drop-oldest: the survivors are exactly records 12..19, oldest first.
+	for i, e := range got {
+		want := 12 + i
+		if e.Seq != uint64(want) || e.Size != 100+want || e.Flow != uint8(want) {
+			t.Fatalf("entry %d = %+v, want seq %d size %d", i, e, want, 100+want)
+		}
+		if e.At != time.Duration(want)*time.Microsecond {
+			t.Fatalf("entry %d at = %v, want %v", i, e.At, time.Duration(want)*time.Microsecond)
+		}
+		if e.From != 1 || e.To != 2 || e.Kind != KindSend {
+			t.Fatalf("entry %d = %+v, want from=1 to=2 kind=send", i, e)
+		}
+	}
+	if r.Dropped() != 12 {
+		t.Fatalf("dropped = %d, want 12", r.Dropped())
+	}
+	if r.Recorded() != 20 {
+		t.Fatalf("recorded = %d, want 20", r.Recorded())
+	}
+}
+
+func TestRingConcurrentRecordSnapshot(t *testing.T) {
+	var r Ring
+	r.arm(64)
+	const writers = 4
+	const perWriter = 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(writers + 1)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Record(time.Duration(i), KindDeliver, uint8(w), i, uint16(w), 0)
+			}
+		}(w)
+	}
+	go func() {
+		defer wg.Done()
+		var buf []TraceEntry
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			buf = r.Snapshot(buf)
+			for i := 1; i < len(buf); i++ {
+				if buf[i].Seq <= buf[i-1].Seq {
+					t.Errorf("snapshot out of order: %d then %d", buf[i-1].Seq, buf[i].Seq)
+					return
+				}
+			}
+		}
+	}()
+	// The writer goroutines finish first; then release the reader.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	<-done
+	if r.Recorded() != writers*perWriter {
+		t.Fatalf("recorded = %d, want %d", r.Recorded(), writers*perWriter)
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	e := unpack(pack(KindCorrupt, 200, 1499, 0xabc, 0xfff))
+	if e.Kind != KindCorrupt || e.Flow != 200 || e.Size != 1499 || e.From != 0xabc || e.To != 0xfff {
+		t.Fatalf("round trip lost data: %+v", e)
+	}
+	// Oversize sizes clamp instead of corrupting neighbouring fields.
+	e = unpack(pack(KindSend, 1, 1<<30, 1, 2))
+	if e.Size != 0xffffff || e.Flow != 1 {
+		t.Fatalf("size clamp failed: %+v", e)
+	}
+}
+
+func TestOfDiscardFallback(t *testing.T) {
+	sh := Of(42) // not a Source
+	if sh == nil {
+		t.Fatal("Of must never return nil")
+	}
+	sh.Inc(FramesIn) // writing to the discard shard is safe
+	if sh2 := Of("nope"); sh2 != sh {
+		t.Fatal("discard shard should be shared")
+	}
+}
+
+type fakeSource struct{ sh *Shard }
+
+func (f *fakeSource) ObsShard() *Shard { return f.sh }
+
+func TestOfSource(t *testing.T) {
+	st := New(1, 0)
+	src := &fakeSource{sh: st.Shard(0)}
+	if Of(src) != st.Shard(0) {
+		t.Fatal("Of should unwrap a Source")
+	}
+	if Of(&fakeSource{}) == nil || Of(&fakeSource{}) != Of(123) {
+		t.Fatal("nil-shard Source should fall back to discard")
+	}
+}
+
+func TestPrometheusOutput(t *testing.T) {
+	st := New(2, 8)
+	st.Shard(0).Add(FramesIn, 10)
+	st.Shard(1).Add(FramesIn, 20)
+	st.Shard(0).RTT().Observe(3 * time.Millisecond)
+	st.SetTrace(true)
+	st.Shard(0).Ring().Record(time.Millisecond, KindSend, 1, 64, 0, 0)
+
+	var buf bytes.Buffer
+	st.WritePrometheus(&buf, map[string]uint64{"flows": 3})
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE pdsl_frames_in_total counter",
+		`pdsl_frames_in_total{shard="0"} 10`,
+		`pdsl_frames_in_total{shard="1"} 20`,
+		"# TYPE pdsl_rtt_seconds histogram",
+		`pdsl_rtt_seconds_bucket{le="+Inf"} 1`,
+		"pdsl_rtt_seconds_count 1",
+		"pdsl_trace_on 1",
+		"pdsl_trace_written_total 1",
+		"pdsl_flows 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Zero counters are elided entirely.
+	if strings.Contains(out, "drop_bad_header") {
+		t.Errorf("zero counter should not be exported:\n%s", out)
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	st := New(1, 8)
+	st.Shard(0).Add(BytesOut, 512)
+	st.Shard(0).Ring().Record(5*time.Microsecond, KindDeliver, 7, 128, 1, 2)
+	h := Handler(st, func() map[string]uint64 { return map[string]uint64{"uptime_seconds": 9} })
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	if rec := get("/metrics"); !strings.Contains(rec.Body.String(), "pdsl_bytes_out_total") ||
+		!strings.Contains(rec.Body.String(), "pdsl_uptime_seconds 9") {
+		t.Fatalf("/metrics output:\n%s", rec.Body.String())
+	}
+
+	rec := get("/stats.json")
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("/stats.json not valid JSON: %v", err)
+	}
+	if snap.Totals["bytes_out"] != 512 {
+		t.Fatalf("/stats.json totals = %v", snap.Totals)
+	}
+
+	// Trace starts off; ?on=1 enables, dump returns the recorded entry.
+	if st.TraceOn() {
+		t.Fatal("trace should start disabled")
+	}
+	rec = get("/trace?on=1")
+	if !st.TraceOn() {
+		t.Fatal("?on=1 should enable tracing")
+	}
+	var tr struct {
+		On      bool `json:"on"`
+		Entries []struct {
+			Kind string `json:"kind"`
+			Size int    `json:"size"`
+			Flow uint8  `json:"flow"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &tr); err != nil {
+		t.Fatalf("/trace not valid JSON: %v", err)
+	}
+	if !tr.On || len(tr.Entries) != 1 || tr.Entries[0].Kind != "deliver" || tr.Entries[0].Size != 128 || tr.Entries[0].Flow != 7 {
+		t.Fatalf("/trace dump = %+v", tr)
+	}
+	get("/trace?on=0")
+	if st.TraceOn() {
+		t.Fatal("?on=0 should disable tracing")
+	}
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies a trace entry. The values mirror the simulator's
+// TraceKind so the two convert with a cast.
+type Kind uint8
+
+const (
+	KindSend    Kind = 1 + iota // frame handed to the link/socket
+	KindDeliver                 // frame delivered to a receiver
+	KindDrop                    // frame discarded (any drop reason)
+	KindDup                     // simulated duplicate injected
+	KindCorrupt                 // simulated corruption injected
+)
+
+var kindNames = [...]string{0: "?", KindSend: "send", KindDeliver: "deliver", KindDrop: "drop", KindDup: "dup", KindCorrupt: "corrupt"}
+
+// String returns the kind's lower-case name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "?"
+}
+
+// TraceEntry is one decoded ring slot.
+type TraceEntry struct {
+	Seq  uint64        // global sequence number (monotonic per ring)
+	At   time.Duration // runtime timestamp (ns since sim/node start)
+	Kind Kind
+	Flow uint8  // mux flow id, 0 when the layer has none
+	From uint16 // interned endpoint ids (0 = unknown); see netsim
+	To   uint16
+	Size int // frame size in bytes
+}
+
+// ringWords is the number of atomic words per slot: a sequence/publish
+// word, the timestamp, and a packed size/kind/flow/from/to word.
+const ringWords = 3
+
+// Ring is a bounded, drop-oldest packet-trace ring. Record is three
+// atomic stores plus an atomic add — no locks, no allocations — and is
+// safe against a concurrent Snapshot through a per-entry seqlock: a
+// writer first invalidates the slot's sequence word, stores the
+// payload, then publishes seq+1; the reader discards any slot whose
+// sequence word does not match the expected sequence both before and
+// after copying the payload. With concurrent writers a slot is only
+// misattributed if one writer stalls for an entire ring lap between its
+// stores, which is acceptable for a diagnostics stream.
+//
+// An unarmed ring (the zero value) discards records for the cost of one
+// branch.
+type Ring struct {
+	head  atomic.Uint64 // next sequence number to write
+	mask  uint64
+	words []atomic.Uint64 // cap slots × ringWords
+}
+
+// arm allocates the ring with at least `slots` entries (rounded up to a
+// power of two, minimum 8). Arming an already-armed ring is a no-op;
+// arm must not race with Record.
+func (r *Ring) arm(slots int) {
+	if r.words != nil || slots <= 0 {
+		return
+	}
+	n := 8
+	for n < slots {
+		n <<= 1
+	}
+	r.mask = uint64(n - 1)
+	r.words = make([]atomic.Uint64, n*ringWords)
+}
+
+// Cap returns the ring's slot count (0 when unarmed).
+func (r *Ring) Cap() int { return len(r.words) / ringWords }
+
+// Recorded returns the total number of records ever written; subtract
+// Cap for how many the drop-oldest policy has overwritten.
+func (r *Ring) Recorded() uint64 { return r.head.Load() }
+
+// Dropped returns how many entries drop-oldest has overwritten.
+func (r *Ring) Dropped() uint64 {
+	n := uint64(r.Cap())
+	if h := r.head.Load(); h > n {
+		return h - n
+	}
+	return 0
+}
+
+// Record appends one entry, overwriting the oldest once full.
+func (r *Ring) Record(at time.Duration, kind Kind, flow uint8, size int, from, to uint16) {
+	if r.words == nil {
+		return
+	}
+	seq := r.head.Add(1) - 1
+	base := (seq & r.mask) * ringWords
+	w := r.words[base : base+ringWords : base+ringWords]
+	w[0].Store(0) // invalidate while the slot is torn
+	w[1].Store(uint64(at))
+	w[2].Store(pack(kind, flow, size, from, to))
+	w[0].Store(seq + 1) // publish
+}
+
+// Snapshot appends every currently-valid entry, oldest first, to dst
+// and returns it. Entries being overwritten mid-read are skipped, not
+// torn. dst is reused to keep the cold path from re-allocating on every
+// scrape.
+func (r *Ring) Snapshot(dst []TraceEntry) []TraceEntry {
+	dst = dst[:0]
+	if r.words == nil {
+		return dst
+	}
+	head := r.head.Load()
+	n := uint64(r.Cap())
+	start := uint64(0)
+	if head > n {
+		start = head - n
+	}
+	for seq := start; seq < head; seq++ {
+		base := (seq & r.mask) * ringWords
+		w := r.words[base : base+ringWords : base+ringWords]
+		if w[0].Load() != seq+1 {
+			continue // still torn, or already lapped by a newer record
+		}
+		at := w[1].Load()
+		packed := w[2].Load()
+		if w[0].Load() != seq+1 {
+			continue // overwritten while we copied
+		}
+		e := unpack(packed)
+		e.Seq = seq
+		e.At = time.Duration(at)
+		dst = append(dst, e)
+	}
+	return dst
+}
+
+// pack squeezes kind/flow/size/from/to into one word:
+// bits 0..23 size, 24..31 kind, 32..39 flow, 40..51 from, 52..63 to.
+// Endpoint ids are interned per runtime and clamp at 12 bits — more
+// than any simulator topology or rtnet shard set in this repo.
+func pack(kind Kind, flow uint8, size int, from, to uint16) uint64 {
+	if size < 0 {
+		size = 0
+	} else if size > 0xffffff {
+		size = 0xffffff
+	}
+	const idMask = 0xfff
+	return uint64(size) |
+		uint64(kind)<<24 |
+		uint64(flow)<<32 |
+		uint64(from&idMask)<<40 |
+		uint64(to&idMask)<<52
+}
+
+func unpack(w uint64) TraceEntry {
+	const idMask = 0xfff
+	return TraceEntry{
+		Size: int(w & 0xffffff),
+		Kind: Kind(w >> 24 & 0xff),
+		Flow: uint8(w >> 32 & 0xff),
+		From: uint16(w >> 40 & idMask),
+		To:   uint16(w >> 52 & idMask),
+	}
+}

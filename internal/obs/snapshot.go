@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// HistSnapshot is one histogram's point-in-time view. Buckets holds
+// only the non-empty buckets (cumulative counts are reconstructed by
+// the Prometheus writer).
+type HistSnapshot struct {
+	Count   uint64        `json:"count"`
+	SumNs   uint64        `json:"sum_ns"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// BucketCount is one non-empty histogram bucket: everything the bucket
+// counted is at most LeNs nanoseconds.
+type BucketCount struct {
+	LeNs  uint64 `json:"le_ns"`
+	Count uint64 `json:"count"`
+}
+
+// ShardSnapshot is one shard's counters and RTT histogram. Counters
+// holds only non-zero counters, keyed by Counter.Name.
+type ShardSnapshot struct {
+	Counters map[string]uint64 `json:"counters"`
+	RTT      HistSnapshot      `json:"rtt"`
+}
+
+// Snapshot is a point-in-time view of a Stats. It is built by reading
+// the live atomics without pausing any loop, so counters captured a few
+// hundred nanoseconds apart may straddle a packet — each value is
+// individually exact and monotonic across snapshots, but cross-counter
+// identities (frames_out vs bytes_out, say) can be off by one in-flight
+// frame. That is the intended trade: monitoring never perturbs the
+// data path.
+type Snapshot struct {
+	Shards       []ShardSnapshot   `json:"shards"`
+	Totals       map[string]uint64 `json:"totals"`
+	RTT          HistSnapshot      `json:"rtt"`
+	TraceOn      bool              `json:"trace_on"`
+	TraceWritten uint64            `json:"trace_written"`
+	TraceDropped uint64            `json:"trace_dropped"`
+}
+
+func histSnapshot(h *Hist) HistSnapshot {
+	hs := HistSnapshot{Count: h.Count(), SumNs: h.SumNs()}
+	for i := 0; i < HistBuckets; i++ {
+		if n := h.Bucket(i); n > 0 {
+			hs.Buckets = append(hs.Buckets, BucketCount{LeNs: BucketUpperNs(i), Count: n})
+		}
+	}
+	return hs
+}
+
+func (hs *HistSnapshot) add(other HistSnapshot) {
+	hs.Count += other.Count
+	hs.SumNs += other.SumNs
+	merged := make(map[uint64]uint64, len(hs.Buckets)+len(other.Buckets))
+	for _, b := range hs.Buckets {
+		merged[b.LeNs] += b.Count
+	}
+	for _, b := range other.Buckets {
+		merged[b.LeNs] += b.Count
+	}
+	hs.Buckets = hs.Buckets[:0]
+	for le, n := range merged {
+		hs.Buckets = append(hs.Buckets, BucketCount{LeNs: le, Count: n})
+	}
+	sort.Slice(hs.Buckets, func(i, j int) bool { return hs.Buckets[i].LeNs < hs.Buckets[j].LeNs })
+}
+
+// Snapshot captures the current state of every shard. This is the cold
+// path — it allocates freely.
+func (s *Stats) Snapshot() *Snapshot {
+	snap := &Snapshot{
+		Shards:  make([]ShardSnapshot, len(s.shards)),
+		Totals:  make(map[string]uint64),
+		TraceOn: s.TraceOn(),
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		ss := ShardSnapshot{Counters: make(map[string]uint64)}
+		for c := Counter(0); c < NumCounters; c++ {
+			if v := sh.Get(c); v > 0 {
+				ss.Counters[c.Name()] = v
+				snap.Totals[c.Name()] += v
+			}
+		}
+		ss.RTT = histSnapshot(&sh.rtt)
+		snap.RTT.add(ss.RTT)
+		snap.Shards[i] = ss
+		snap.TraceWritten += sh.ring.Recorded()
+		snap.TraceDropped += sh.ring.Dropped()
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (sn *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sn)
+}
+
+// WritePrometheus renders the stats in Prometheus text exposition
+// format: one `pdsl_<counter>_total` series per shard (label shard="i")
+// for every non-zero counter, the aggregate RTT histogram as
+// `pdsl_rtt_seconds`, and trace-ring gauges. extra adds process-level
+// gauges (`pdsl_<name>`) the caller owns, e.g. flows served.
+func (s *Stats) WritePrometheus(w io.Writer, extra map[string]uint64) {
+	var nonzero []Counter
+	for c := Counter(0); c < NumCounters; c++ {
+		if s.Total(c) > 0 {
+			nonzero = append(nonzero, c)
+		}
+	}
+	for _, c := range nonzero {
+		fmt.Fprintf(w, "# HELP pdsl_%s_total Total %s across the process.\n", c.Name(), c.Name())
+		fmt.Fprintf(w, "# TYPE pdsl_%s_total counter\n", c.Name())
+		for i := range s.shards {
+			fmt.Fprintf(w, "pdsl_%s_total{shard=\"%d\"} %d\n", c.Name(), i, s.shards[i].Get(c))
+		}
+	}
+
+	// Aggregate RTT histogram in seconds, cumulative buckets as the
+	// exposition format requires.
+	var agg HistSnapshot
+	for i := range s.shards {
+		agg.add(histSnapshot(&s.shards[i].rtt))
+	}
+	if agg.Count > 0 {
+		fmt.Fprintf(w, "# HELP pdsl_rtt_seconds ARQ round-trip time (Karn-filtered samples).\n")
+		fmt.Fprintf(w, "# TYPE pdsl_rtt_seconds histogram\n")
+		cum := uint64(0)
+		for _, b := range agg.Buckets {
+			cum += b.Count
+			fmt.Fprintf(w, "pdsl_rtt_seconds_bucket{le=\"%g\"} %d\n", float64(b.LeNs)/1e9, cum)
+		}
+		fmt.Fprintf(w, "pdsl_rtt_seconds_bucket{le=\"+Inf\"} %d\n", agg.Count)
+		fmt.Fprintf(w, "pdsl_rtt_seconds_sum %g\n", float64(agg.SumNs)/1e9)
+		fmt.Fprintf(w, "pdsl_rtt_seconds_count %d\n", agg.Count)
+	}
+
+	var written, dropped uint64
+	for i := range s.shards {
+		written += s.shards[i].ring.Recorded()
+		dropped += s.shards[i].ring.Dropped()
+	}
+	on := 0
+	if s.TraceOn() {
+		on = 1
+	}
+	fmt.Fprintf(w, "# HELP pdsl_trace_on Whether ring-trace recording is enabled.\n")
+	fmt.Fprintf(w, "# TYPE pdsl_trace_on gauge\n")
+	fmt.Fprintf(w, "pdsl_trace_on %d\n", on)
+	fmt.Fprintf(w, "# HELP pdsl_trace_written_total Trace entries recorded (including overwritten).\n")
+	fmt.Fprintf(w, "# TYPE pdsl_trace_written_total counter\n")
+	fmt.Fprintf(w, "pdsl_trace_written_total %d\n", written)
+	fmt.Fprintf(w, "# HELP pdsl_trace_dropped_total Trace entries lost to drop-oldest.\n")
+	fmt.Fprintf(w, "# TYPE pdsl_trace_dropped_total counter\n")
+	fmt.Fprintf(w, "pdsl_trace_dropped_total %d\n", dropped)
+
+	if len(extra) > 0 {
+		names := make([]string, 0, len(extra))
+		for k := range extra {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			fmt.Fprintf(w, "# TYPE pdsl_%s gauge\n", k)
+			fmt.Fprintf(w, "pdsl_%s %d\n", k, extra[k])
+		}
+	}
+}

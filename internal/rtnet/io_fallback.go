@@ -13,6 +13,8 @@ import (
 	"errors"
 	"net/netip"
 	"syscall"
+
+	"protodsl/internal/obs"
 )
 
 // reusePortSupported: per-shard sockets sharing one port need
@@ -48,15 +50,20 @@ type burstSender struct{}
 
 func newBurstSender(batchSize int) *burstSender { return &burstSender{} }
 
-// send writes each staged packet individually on the shard's socket.
-func (s *burstSender) send(sh *Shard, out []outPkt, buf []byte) (sent, errs int) {
+// send writes each staged packet individually on the shard's socket,
+// counting undeliverable packets by reason. The explicit family
+// pre-check matters here: without it a v6 destination on a v4 socket
+// surfaces as a generic write error and the family mismatch vanishes
+// into the catch-all counter.
+func (s *burstSender) send(sh *Shard, out []outPkt, buf []byte) {
 	for i := range out {
 		p := &out[i]
+		if !sh.node.v6 && !p.to.Addr().Is4() && !p.to.Addr().Is4In6() {
+			sh.obs.Inc(obs.DropSendFamily)
+			continue
+		}
 		if _, err := sh.conn.WriteToUDPAddrPort(buf[p.off:p.end], p.to); err != nil {
-			errs++
-		} else {
-			sent++
+			sh.obs.Inc(obs.DropSendError)
 		}
 	}
-	return
 }

@@ -24,6 +24,8 @@ import (
 	"net/netip"
 	"syscall"
 	"unsafe"
+
+	"protodsl/internal/obs"
 )
 
 const (
@@ -282,10 +284,12 @@ func coalesceRun(out []outPkt, i int) int {
 
 // send transmits every staged packet on the shard's own socket,
 // coalescing GSO runs (when the socket supports UDP_SEGMENT) and
-// batching up to the burst size per sendmmsg. Packets whose destination
-// family cannot ride this socket are counted as errors; the rest are
-// delivered or retried until writable.
-func (s *burstSender) send(sh *Shard, out []outPkt, buf []byte) (sent, errs int) {
+// batching up to the burst size per sendmmsg. Undeliverable packets are
+// counted by reason into the shard's stats block (drop_send_family for
+// destinations this socket's family cannot carry, drop_send_error for
+// socket refusals); GSO coalescing is counted per successfully sent
+// super-datagram. The rest are delivered or retried until writable.
+func (s *burstSender) send(sh *Shard, out []outPkt, buf []byte) {
 	n := sh.node
 	raw := sh.raw
 	i := 0
@@ -319,8 +323,8 @@ func (s *burstSender) send(sh *Shard, out []outPkt, buf []byte) (sent, errs int)
 			staged += run
 			m++
 		}
-		if m == 0 { // out[i] unconvertible: skip it
-			errs++
+		if m == 0 { // out[i]'s destination family cannot ride this socket
+			sh.obs.Inc(obs.DropSendFamily)
 			i++
 			continue
 		}
@@ -344,23 +348,25 @@ func (s *burstSender) send(sh *Shard, out []outPkt, buf []byte) (sent, errs int)
 			}
 		})
 		if werr != nil {
-			errs += len(out) - i
+			sh.obs.Add(obs.DropSendError, uint64(len(out)-i))
 			return
 		}
 		if k < 0 {
 			// A hard per-send error (e.g. an unroutable destination):
 			// drop only the first staged message and keep flushing the
 			// rest rather than discarding the whole burst.
-			errs += s.pkts[0]
+			sh.obs.Add(obs.DropSendError, uint64(s.pkts[0]))
 			i += s.pkts[0]
 			continue
 		}
 		for j := 0; j < k; j++ {
-			sent += s.pkts[j]
+			if s.pkts[j] > 1 {
+				sh.obs.Inc(obs.GSOBursts)
+				sh.obs.Add(obs.GSOSegments, uint64(s.pkts[j]))
+			}
 			i += s.pkts[j]
 		}
 	}
-	return
 }
 
 // fromRawSockaddr converts a kernel-filled sockaddr to netip; the zero

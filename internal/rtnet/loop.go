@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"protodsl/internal/netsim"
+	"protodsl/internal/obs"
 	"protodsl/internal/timerwheel"
 )
 
@@ -27,9 +28,15 @@ type Loop struct {
 	start  time.Time
 	wheel  *timerwheel.Wheel
 	posted []func()
+	obs    *obs.Shard // the owning shard's stats block
 }
 
 var _ netsim.Runtime = (*Loop)(nil)
+
+// ObsShard exposes the owning shard's stats block (obs.Source): engines
+// handed this Loop as their Runtime count retransmits and observe RTTs
+// into it via obs.Of.
+func (l *Loop) ObsShard() *obs.Shard { return l.obs }
 
 // loopGranularity is the real-clock wheel tick (65.5µs): roughly the
 // poll quantum of a shard loop blocking on a kernel timer, and an

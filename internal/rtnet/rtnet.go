@@ -48,12 +48,18 @@ import (
 	"net/netip"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
 	"protodsl/internal/netsim"
+	"protodsl/internal/obs"
 )
+
+// traceRingSlots sizes each shard's packet-trace ring. Tracing is off
+// by default; the rings are armed at Listen so it can be toggled at
+// runtime (obs.Stats.SetTrace / the /trace endpoint) without ever
+// allocating on the data path.
+const traceRingSlots = 1024
 
 // maxPeerNames bounds the reader's source-address string cache; see
 // route.
@@ -163,8 +169,12 @@ type Node struct {
 	wg       sync.WaitGroup
 	readerWg sync.WaitGroup
 
-	drops    atomic.Uint64 // unframed, corrupted-header or oversize datagrams
-	sendErrs atomic.Uint64 // failed socket writes (dropped like the wire would)
+	// stats is the node's observability block: one padded shard of
+	// atomic counters/histograms/trace ring per worker shard, allocated
+	// once here and written lock-free from the loops. Reader-side drops
+	// are attributed to the reading socket's shard; everything else to
+	// the owning shard.
+	stats *obs.Stats
 }
 
 // listenSockets binds the node's socket group: one SO_REUSEPORT socket
@@ -244,6 +254,7 @@ func Listen(addr string, cfg Config) (*Node, error) {
 		v6:    lap.Addr().Is6() && !lap.Addr().Is4In6(),
 		cfg:   cfg,
 		done:  make(chan struct{}),
+		stats: obs.New(cfg.Shards, traceRingSlots),
 	}
 	// Segmentation offload: probe once (the sockets are identical),
 	// enable GRO everywhere it took.
@@ -275,7 +286,7 @@ func Listen(addr string, cfg Config) (*Node, error) {
 		go s.run()
 	}
 	for i := range conns {
-		go n.readLoop(conns[i], raws[i])
+		go n.readLoop(i, conns[i], raws[i])
 	}
 	// Shard inboxes close only after every reader has exited.
 	go func() {
@@ -305,15 +316,28 @@ func (n *Node) Sockets() int { return len(n.conns) }
 // coalescing are active on the node's sockets.
 func (n *Node) Offloads() (gso, gro bool) { return n.gso, n.gro }
 
+// Obs returns the node's observability block: per-shard counters, RTT
+// histograms and trace rings, readable from any goroutine at any time.
+func (n *Node) Obs() *obs.Stats { return n.stats }
+
 // Drops returns the number of datagrams discarded at the node for a
-// short or corrupted mux header or an oversize frame —
-// attacker-controlled bytes that never reach a shard. Per-flow drops
-// (unclaimed ids) are counted by each shard's Mux on top of this.
-func (n *Node) Drops() uint64 { return n.drops.Load() }
+// short or corrupted mux header, an oversize frame, or an unspeakable
+// source family — attacker-controlled bytes that never reach a shard.
+// It sums the receive-side drop-reason counters (see Obs for the
+// breakdown); per-flow drops (unclaimed ids) are counted by each
+// shard's Mux on top of this.
+func (n *Node) Drops() uint64 {
+	return n.stats.Total(obs.DropBadHeader) +
+		n.stats.Total(obs.DropOversize) +
+		n.stats.Total(obs.DropBadSource)
+}
 
 // SendErrors returns the number of staged packets the socket refused
-// (treated as wire loss: ARQ recovers them).
-func (n *Node) SendErrors() uint64 { return n.sendErrs.Load() }
+// (treated as wire loss: ARQ recovers them). It sums the send-side
+// drop-reason counters; see Obs for the breakdown.
+func (n *Node) SendErrors() uint64 {
+	return n.stats.Total(obs.DropSendError) + n.stats.Total(obs.DropSendFamily)
+}
 
 // Close shuts the node down: the sockets are closed, shard loops drain
 // and exit, pending timers are dropped. Close is idempotent.
@@ -432,7 +456,9 @@ func installAcceptor(sh *Shard, fp *netsim.FlowPort, id byte, accept AcceptFunc)
 		h, seen := engines[from]
 		if !seen {
 			if len(engines) >= maxPeers {
-				return // peer table full: spoofed-source sweeps stop here
+				// Peer table full: spoofed-source sweeps stop here.
+				sh.obs.Inc(obs.DropPeerLimit)
+				return
 			}
 			h = accept(sh.loop, fp, from, id)
 			engines[from] = h
@@ -451,9 +477,15 @@ func installAcceptor(sh *Shard, fp *netsim.FlowPort, id byte, accept AcceptFunc)
 // there is one readLoop per shard socket; any reader may receive any
 // flow's frames (the kernel steers by address hash), so each routes by
 // flow id.
-func (n *Node) readLoop(conn *net.UDPConn, raw syscall.RawConn) {
+func (n *Node) readLoop(idx int, conn *net.UDPConn, raw syscall.RawConn) {
 	defer n.wg.Done()
 	defer n.readerWg.Done()
+	// Reader-side events (malformed drops, GRO coalescing) are counted
+	// into the reading socket's own stats shard: with SO_REUSEPORT that
+	// is this reader's dedicated block, under a single shared socket it
+	// is shard 0. Frame/byte counts land on the *owning* shard when the
+	// frame is delivered.
+	rs := n.stats.Shard(idx % n.stats.NumShards())
 	names := make(map[netip.AddrPort]netsim.Addr)
 	pending := make([]*batch, len(n.shards))
 	// One byte past MaxPacket: a larger datagram the kernel would
@@ -485,16 +517,16 @@ func (n *Node) readLoop(conn *net.UDPConn, raw syscall.RawConn) {
 		if oobn > 0 {
 			seg = parseGROCmsg(oob[:oobn])
 		}
-		n.routeDatagram(pending, names, ap, scratch[:nb], seg)
+		n.routeDatagram(pending, names, rs, ap, scratch[:nb], seg)
 		for {
 			count := br.read(raw)
 			for i := 0; i < count; i++ {
 				data, from, seg := br.packet(i)
 				if !from.IsValid() {
-					n.drops.Add(1)
+					rs.Inc(obs.DropBadSource)
 					continue
 				}
-				n.routeDatagram(pending, names, from, data, seg)
+				n.routeDatagram(pending, names, rs, from, data, seg)
 			}
 			if count < br.capacity() || count == 0 {
 				break // socket drained (or burst reads unavailable)
@@ -515,27 +547,34 @@ func (n *Node) closed() bool {
 
 // routeDatagram feeds one received datagram to route, splitting
 // GRO-coalesced bundles (seg > 0) back into their wire frames first.
-func (n *Node) routeDatagram(pending []*batch, names map[netip.AddrPort]netsim.Addr, ap netip.AddrPort, data []byte, seg int) {
+func (n *Node) routeDatagram(pending []*batch, names map[netip.AddrPort]netsim.Addr, rs *obs.Shard, ap netip.AddrPort, data []byte, seg int) {
 	if seg <= 0 || len(data) <= seg {
-		n.route(pending, names, ap, data)
+		n.route(pending, names, rs, ap, data)
 		return
 	}
+	rs.Inc(obs.GROBundles)
 	for off := 0; off < len(data); off += seg {
 		end := off + seg
 		if end > len(data) {
 			end = len(data)
 		}
-		n.route(pending, names, ap, data[off:end])
+		rs.Inc(obs.GROSegments)
+		n.route(pending, names, rs, ap, data[off:end])
 	}
 }
 
 // route validates the mux header and appends the frame to the owning
 // shard's pending batch, handing the batch over once full. Oversize
 // frames (possible once GRO widens the receive buffers past MaxPacket)
-// are dropped here like any other malformed input.
-func (n *Node) route(pending []*batch, names map[netip.AddrPort]netsim.Addr, ap netip.AddrPort, data []byte) {
-	if len(data) < 2 || data[1] != ^data[0] || len(data) > n.cfg.MaxPacket {
-		n.drops.Add(1)
+// are dropped here like any other malformed input, each under its own
+// drop-reason counter.
+func (n *Node) route(pending []*batch, names map[netip.AddrPort]netsim.Addr, rs *obs.Shard, ap netip.AddrPort, data []byte) {
+	if len(data) < 2 || data[1] != ^data[0] {
+		rs.Inc(obs.DropBadHeader)
+		return
+	}
+	if len(data) > n.cfg.MaxPacket {
+		rs.Inc(obs.DropOversize)
 		return
 	}
 	si := int(data[0]) % len(n.shards)
@@ -591,6 +630,7 @@ type Shard struct {
 	node *Node
 	idx  int
 	loop *Loop
+	obs  *obs.Shard   // this shard's stats block (same index in node.stats)
 	conn *net.UDPConn // the shard's send socket
 	raw  syscall.RawConn
 	in   chan *batch
@@ -611,6 +651,7 @@ func newShard(n *Node, idx int) *Shard {
 		node:   n,
 		idx:    idx,
 		loop:   newLoop(n.start),
+		obs:    n.stats.Shard(idx),
 		conn:   n.conns[idx%len(n.conns)],
 		raw:    n.raws[idx%len(n.raws)],
 		in:     make(chan *batch, 4),
@@ -620,6 +661,7 @@ func newShard(n *Node, idx int) *Shard {
 		sender: newBurstSender(n.cfg.Batch),
 		peers:  make(map[netsim.Addr]netip.AddrPort),
 	}
+	s.loop.obs = s.obs
 	s.port = &shardPort{shard: s}
 	s.mux = netsim.NewMux(s.port)
 	return s
@@ -710,10 +752,18 @@ func (s *Shard) run() {
 	}
 }
 
-// deliver feeds one batch of frames to the shard's mux and recycles it.
+// deliver feeds one batch of frames to the shard's mux and recycles it,
+// counting every frame against this shard (the owning loop is the
+// single writer of its frames_in/bytes_in, so the adds never contend).
 func (s *Shard) deliver(b *batch) {
+	trace := s.node.stats.TraceOn()
 	for i := range b.pkts {
 		p := &b.pkts[i]
+		s.obs.Inc(obs.FramesIn)
+		s.obs.Add(obs.BytesIn, uint64(len(p.data)))
+		if trace {
+			s.obs.Ring().Record(s.loop.Now(), obs.KindDeliver, p.data[0], len(p.data), 0, 0)
+		}
 		if h := s.port.handler; h != nil {
 			h(p.from, p.data)
 		}
@@ -726,16 +776,13 @@ func (s *Shard) deliver(b *batch) {
 
 // flush writes every staged packet in one burst on the shard's own
 // socket (sendmmsg + GSO coalescing where available). Socket refusals
-// are dropped like wire loss and counted.
+// are dropped like wire loss; the sender counts them by reason
+// (drop_send_error / drop_send_family) along with GSO coalescing stats.
 func (s *Shard) flush() {
 	if len(s.out) == 0 {
 		return
 	}
-	sent, errs := s.sender.send(s, s.out, s.outBuf)
-	_ = sent
-	if errs > 0 {
-		s.node.sendErrs.Add(uint64(errs))
-	}
+	s.sender.send(s, s.out, s.outBuf)
 	s.out = s.out[:0]
 	s.outBuf = s.outBuf[:0]
 }
@@ -772,11 +819,20 @@ func (p *shardPort) Addr() netsim.Addr { return p.shard.node.addr }
 func (p *shardPort) Send(to netsim.Addr, data []byte) error {
 	s := p.shard
 	if len(data) > s.node.cfg.MaxPacket {
+		// Counted, not just returned: engines historically ignore Send
+		// errors (the simulator's Send cannot fail this way), so without
+		// the counter an oversize frame vanished without a trace.
+		s.obs.Inc(obs.DropSendOversize)
 		return fmt.Errorf("rtnet: packet %d bytes exceeds MaxPacket %d", len(data), s.node.cfg.MaxPacket)
 	}
 	ap, err := s.resolve(to)
 	if err != nil {
 		return err
+	}
+	s.obs.Inc(obs.FramesOut)
+	s.obs.Add(obs.BytesOut, uint64(len(data)))
+	if s.node.stats.TraceOn() && len(data) > 0 {
+		s.obs.Ring().Record(s.loop.Now(), obs.KindSend, data[0], len(data), 0, 0)
 	}
 	off := len(s.outBuf)
 	s.outBuf = append(s.outBuf, data...)
@@ -786,3 +842,7 @@ func (p *shardPort) Send(to netsim.Addr, data []byte) error {
 
 // SetHandler installs the receive callback (the shard's mux dispatch).
 func (p *shardPort) SetHandler(fn func(from netsim.Addr, data []byte)) { p.handler = fn }
+
+// ObsShard exposes the shard's stats block through the port (obs.Source),
+// so the Mux wrapping it counts its drops into the right shard.
+func (p *shardPort) ObsShard() *obs.Shard { return p.shard.obs }

@@ -12,6 +12,7 @@ import (
 	"protodsl/internal/arq"
 	"protodsl/internal/harness"
 	"protodsl/internal/netsim"
+	"protodsl/internal/obs"
 )
 
 // flowPayloads builds distinct per-flow payloads so cross-flow mixups
@@ -295,6 +296,19 @@ func TestMuxFramingHostileBytes(t *testing.T) {
 
 	waitFor(t, 5*time.Second, func() bool { return server.Drops() >= uint64(badHeader) })
 
+	// The aggregate hides the story; the per-reason counters must not.
+	// Every hostile datagram above fails the header check — none are
+	// oversize and none came from an unspeakable source family.
+	if got := server.Obs().Total(obs.DropBadHeader); got < uint64(badHeader) {
+		t.Errorf("drop_bad_header = %d, want >= %d", got, badHeader)
+	}
+	if got := server.Obs().Total(obs.DropOversize); got != 0 {
+		t.Errorf("drop_oversize = %d, want 0 (nothing oversize was sent)", got)
+	}
+	if got := server.Obs().Total(obs.DropBadSource); got != 0 {
+		t.Errorf("drop_bad_source = %d, want 0", got)
+	}
+
 	// The node must still carry a real transfer afterwards.
 	client, err := Listen("127.0.0.1:0", Config{Shards: 2})
 	if err != nil {
@@ -375,6 +389,12 @@ func TestOversizeDatagramDropped(t *testing.T) {
 	if _, err := attacker.Write(big); err != nil {
 		t.Fatal(err)
 	}
+	// The read buffer is MaxPacket+1 (or the GRO maximum), so the frame
+	// arrives longer than MaxPacket and must be counted as an oversize
+	// drop — not silently swallowed (the pre-obs behaviour).
+	waitFor(t, 5*time.Second, func() bool {
+		return server.Obs().Total(obs.DropOversize) >= 1
+	})
 	select {
 	case data := <-delivered:
 		if len(data) > 512 {
@@ -382,6 +402,54 @@ func TestOversizeDatagramDropped(t *testing.T) {
 		}
 		// Truncated delivery is fine: real engines reject it by checksum.
 	case <-time.After(500 * time.Millisecond):
+	}
+}
+
+// TestSendSideDropsCounted: frames the node refuses to put on the wire
+// historically vanished without a trace (engines ignore Send errors, as
+// the simulator's Send cannot fail this way). Each refusal must now
+// land in its own drop-reason counter and surface through SendErrors.
+func TestSendSideDropsCounted(t *testing.T) {
+	node, err := Listen("127.0.0.1:0", Config{Shards: 1, MaxPacket: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	f, err := node.Flow(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Oversize: rejected at staging, synchronously.
+	sendErr := make(chan error, 1)
+	if err := f.Do(func(rt netsim.Runtime, port netsim.Port) {
+		sendErr <- port.Send(node.Addr(), make([]byte, 1024))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-sendErr; err == nil {
+		t.Error("oversize send returned nil error")
+	}
+	if got := node.Obs().Total(obs.DropSendOversize); got != 1 {
+		t.Errorf("drop_send_oversize = %d, want 1", got)
+	}
+
+	// Family mismatch: a v6 destination parses and stages fine on a v4
+	// socket; the kernel-facing sender refuses it at flush time, where
+	// only the counter can tell the story.
+	if err := f.Do(func(rt netsim.Runtime, port netsim.Port) {
+		sendErr <- port.Send(netsim.Addr("[::1]:9"), []byte("x"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-sendErr; err != nil {
+		t.Fatalf("staging a v6 destination failed early: %v", err)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		return node.Obs().Total(obs.DropSendFamily) >= 1
+	})
+	if node.SendErrors() == 0 {
+		t.Error("SendErrors() = 0 after a family-mismatch drop")
 	}
 }
 

@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"runtime"
+	"strconv"
 )
 
 // Result and Report mirror cmd/benchjson's file layout (the subset the
@@ -33,6 +35,7 @@ type Result struct {
 
 type Report struct {
 	CPU        string   `json:"cpu"`
+	NumCPU     int      `json:"num_cpu"`
 	Benchmarks []Result `json:"benchmarks"`
 }
 
@@ -45,11 +48,28 @@ type diffLine struct {
 	regress  bool
 	missing  bool
 	newBench bool
+	skip     bool // shard count exceeds this machine's cores
+}
+
+// shardCase extracts N from a `/shards=N` sub-benchmark name; 0 when the
+// benchmark is not shard-parameterised.
+var shardCaseRe = regexp.MustCompile(`/shards=(\d+)`)
+
+func shardCase(name string) int {
+	m := shardCaseRe.FindStringSubmatch(name)
+	if m == nil {
+		return 0
+	}
+	n, _ := strconv.Atoi(m[1])
+	return n
 }
 
 // diff compares old against new under the given regexp filter and
-// regression threshold (percent).
-func diff(old, fresh *Report, match *regexp.Regexp, maxRegress float64) []diffLine {
+// regression threshold (percent). Shard-scaling cases whose shard count
+// exceeds cores are marked skip: on a machine with fewer cores than
+// shards, the loops time-slice one another and the measurement says
+// nothing about scaling, in either direction.
+func diff(old, fresh *Report, match *regexp.Regexp, maxRegress float64, cores int) []diffLine {
 	newByName := make(map[string]Result, len(fresh.Benchmarks))
 	for _, r := range fresh.Benchmarks {
 		newByName[r.Name] = r
@@ -70,12 +90,14 @@ func diff(old, fresh *Report, match *regexp.Regexp, maxRegress float64) []diffLi
 		if o.NsPerOp > 0 {
 			pct = (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
 		}
+		skip := cores > 0 && shardCase(o.Name) > cores
 		lines = append(lines, diffLine{
 			name:    o.Name,
 			oldNs:   o.NsPerOp,
 			newNs:   n.NsPerOp,
 			pct:     pct,
-			regress: pct > maxRegress,
+			regress: !skip && pct > maxRegress,
+			skip:    skip,
 		})
 	}
 	for _, n := range fresh.Benchmarks {
@@ -140,8 +162,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdiff: committed numbers are from %q, this run is %q — cross-machine ns/op diffs are advisory, only missing benchmarks fail\n",
 			old.CPU, fresh.CPU)
 	}
+	// Shard-scaling comparisons need at least as many cores as shards to
+	// mean anything. Prefer the core count recorded by the fresh run (it
+	// ran the benchmarks); fall back to this process's view for files
+	// benchjson wrote before it recorded num_cpu.
+	cores := fresh.NumCPU
+	if cores == 0 {
+		cores = runtime.NumCPU()
+	}
 
-	lines := diff(old, fresh, match, *maxRegress)
+	lines := diff(old, fresh, match, *maxRegress, cores)
 	if len(lines) == 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: -match %q guarded no benchmarks\n", *matchFlag)
 		os.Exit(1) // a guard that matches nothing gates nothing
@@ -154,6 +184,9 @@ func main() {
 			bad++
 		case l.newBench:
 			fmt.Printf("NEW      %-55s %10.1f ns/op (no committed baseline yet)\n", l.name, l.newNs)
+		case l.skip:
+			fmt.Printf("SKIP     %-55s %10.1f -> %10.1f ns/op (unmeasurable on %d vCPU: shard count exceeds cores)\n",
+				l.name, l.oldNs, l.newNs, cores)
 		case l.regress && sameCPU:
 			fmt.Printf("REGRESS  %-55s %10.1f -> %10.1f ns/op (%+.1f%% > %.0f%%)\n", l.name, l.oldNs, l.newNs, l.pct, *maxRegress)
 			bad++

@@ -29,7 +29,7 @@ func TestDiffClassification(t *testing.T) {
 		Result{Name: "BenchmarkB", NsPerOp: 140},  // +40%: regression
 		Result{Name: "BenchmarkNew", NsPerOp: 10}, // new: allowed
 	)
-	lines := diff(old, fresh, regexp.MustCompile("."), 25)
+	lines := diff(old, fresh, regexp.MustCompile("."), 25, 8)
 
 	if l := find(t, lines, "BenchmarkA"); l.regress || l.missing || l.newBench {
 		t.Errorf("A misclassified: %+v", l)
@@ -48,7 +48,7 @@ func TestDiffClassification(t *testing.T) {
 func TestDiffImprovementNeverFails(t *testing.T) {
 	old := rep(Result{Name: "BenchmarkFast", NsPerOp: 100})
 	fresh := rep(Result{Name: "BenchmarkFast", NsPerOp: 10})
-	lines := diff(old, fresh, regexp.MustCompile("."), 25)
+	lines := diff(old, fresh, regexp.MustCompile("."), 25, 8)
 	if l := find(t, lines, "BenchmarkFast"); l.regress {
 		t.Errorf("a 10x improvement flagged as regression: %+v", l)
 	}
@@ -58,9 +58,32 @@ func TestDiffThresholdBoundary(t *testing.T) {
 	old := rep(Result{Name: "BenchmarkEdge", NsPerOp: 100})
 	// Exactly +25% is tolerated; the guard fires strictly past it.
 	fresh := rep(Result{Name: "BenchmarkEdge", NsPerOp: 125})
-	lines := diff(old, fresh, regexp.MustCompile("."), 25)
+	lines := diff(old, fresh, regexp.MustCompile("."), 25, 8)
 	if l := find(t, lines, "BenchmarkEdge"); l.regress {
 		t.Errorf("+25.0%% flagged despite 25%% threshold: %+v", l)
+	}
+}
+
+func TestDiffShardScalingSkippedOnSmallMachine(t *testing.T) {
+	old := rep(
+		Result{Name: "BenchmarkRTNetReusePort/shards=1", NsPerOp: 100},
+		Result{Name: "BenchmarkRTNetReusePort/shards=4", NsPerOp: 100},
+	)
+	fresh := rep(
+		Result{Name: "BenchmarkRTNetReusePort/shards=1", NsPerOp: 300}, // real regression
+		Result{Name: "BenchmarkRTNetReusePort/shards=4", NsPerOp: 900}, // 4 loops on 1 core: noise
+	)
+	lines := diff(old, fresh, regexp.MustCompile("."), 25, 1)
+	if l := find(t, lines, "BenchmarkRTNetReusePort/shards=1"); !l.regress || l.skip {
+		t.Errorf("shards=1 fits on 1 vCPU, regression must still fire: %+v", l)
+	}
+	if l := find(t, lines, "BenchmarkRTNetReusePort/shards=4"); l.regress || !l.skip {
+		t.Errorf("shards=4 on 1 vCPU is unmeasurable, want skip not regress: %+v", l)
+	}
+	// With enough cores the same numbers regress normally.
+	lines = diff(old, fresh, regexp.MustCompile("."), 25, 8)
+	if l := find(t, lines, "BenchmarkRTNetReusePort/shards=4"); !l.regress || l.skip {
+		t.Errorf("shards=4 on 8 vCPU is measurable, want regress: %+v", l)
 	}
 }
 
@@ -73,7 +96,7 @@ func TestDiffMatchFilter(t *testing.T) {
 		Result{Name: "BenchmarkHot", NsPerOp: 100},
 		Result{Name: "BenchmarkCold", NsPerOp: 900},
 	)
-	lines := diff(old, fresh, regexp.MustCompile("Hot"), 25)
+	lines := diff(old, fresh, regexp.MustCompile("Hot"), 25, 8)
 	if len(lines) != 1 || lines[0].name != "BenchmarkHot" {
 		t.Fatalf("filter leaked: %+v", lines)
 	}

@@ -1,0 +1,79 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"protodsl/internal/expr"
+)
+
+// FuzzProgramDecode throws arbitrary bytes at the slot-compiled decoder
+// for the paper's ARQ packet layout and checks three properties:
+//
+//  1. DecodeInto never panics, whatever the input.
+//  2. The slot program and the map-based compatibility codec agree on
+//     accept/reject (the fuzz twin of the differential tests in
+//     internal/dsl).
+//  3. Any accepted frame re-encodes to exactly the input bytes — the
+//     layout has no redundant representations, so decode∘encode must be
+//     the identity on valid frames.
+//
+// Seed corpus: testdata/fuzz/FuzzProgramDecode (hostile frames — short,
+// truncated-length, bad-checksum, trailing-bytes).
+func FuzzProgramDecode(f *testing.F) {
+	l := arqPacket(f)
+	prog := l.Program()
+
+	// A valid frame, plus hostile mutations of it.
+	valid, err := l.Encode(map[string]expr.Value{
+		"seq":     expr.U8(7),
+		"payload": expr.Bytes([]byte("hello")),
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add(valid[:3])                     // truncated header
+	f.Add(append(bytes.Clone(valid), 0)) // trailing byte
+	bad := bytes.Clone(valid)
+	bad[1] ^= 0xff // checksum mismatch
+	f.Add(bad)
+	short := bytes.Clone(valid)
+	short[3] = 200 // length field promises more payload than present
+	f.Add(short)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame := prog.NewFrame()
+		// Both decoders briefly zero/restore checksum bytes in place, so
+		// each gets its own copy.
+		progErr := prog.DecodeInto(frame, bytes.Clone(data))
+		mapVals, mapErr := l.Decode(bytes.Clone(data))
+
+		if (progErr == nil) != (mapErr == nil) {
+			t.Fatalf("decoders disagree on %x: program=%v map=%v", data, progErr, mapErr)
+		}
+		if progErr != nil {
+			return
+		}
+		for _, name := range []string{"seq", "paylen"} {
+			slot, _ := prog.Slot(name)
+			if got, want := frame.Get(slot).AsUint(), mapVals[name].AsUint(); got != want {
+				t.Fatalf("%s: program=%d map=%d", name, got, want)
+			}
+		}
+		slot, _ := prog.Slot("payload")
+		if got, want := frame.Get(slot).RawBytes(), mapVals["payload"].RawBytes(); !bytes.Equal(got, want) {
+			t.Fatalf("payload: program=%x map=%x", got, want)
+		}
+
+		reenc, err := prog.AppendEncode(nil, frame)
+		if err != nil {
+			t.Fatalf("re-encode of accepted frame failed: %v", err)
+		}
+		if !bytes.Equal(reenc, data) {
+			t.Fatalf("decode/encode not identity: in=%x out=%x", data, reenc)
+		}
+	})
+}
