@@ -54,15 +54,17 @@ bench-json:
 bench-diff:
 	$(GO) run ./cmd/benchjson -benchtime 2s -out .bench_fresh.json
 	$(GO) run ./internal/tools/benchdiff -old BENCH_hotpath.json -new .bench_fresh.json -max-regress 25 \
-		-match '^Benchmark(CompiledVsTreeWalk|AblationCodecPath|AblationChecksums|RTNetLoopback|Sum8|Inet16|TimerChurn|AggregateInto|ObsCounterAdd|ObsHistObserve|ObsRingRecord)'
+		-match '^Benchmark(CompiledVsTreeWalk|AblationCodecPath|AblationInterpVsCodegen|AblationChecksums|RTNetLoopback|Sum8|Inet16|TimerChurn|AggregateInto|ObsCounterAdd|ObsHistObserve|ObsRingRecord)'
 
-# Allocation gate: the slot codec, the rtnet steady-state loops, the
-# timing wheel's churn path, the harness metrics merge and the obs
-# write paths (counter add, histogram observe, ring-trace record) must
-# report 0 allocs/op. Regressions fail here, not in the narrative.
+# Allocation gate: the slot codec, the AOT-generated codec hot paths
+# (AppendEncode / DecodeInto) and flat machine dispatch, the rtnet
+# steady-state loops, the timing wheel's churn path, the harness
+# metrics merge and the obs write paths (counter add, histogram
+# observe, ring-trace record) must report 0 allocs/op. Regressions
+# fail here, not in the narrative.
 allocscheck:
-	$(GO) run ./cmd/benchjson -bench 'AblationCodecPath/slot|RTNetLoopback|TimerChurn/wheel|AggregateInto|ObsCounterAdd|ObsHistObserve|ObsRingRecord' \
-		-benchtime 30000x -require-zero 'slot|RTNetLoopback|TimerChurn/wheel|AggregateInto|ObsCounterAdd|ObsHistObserve|ObsRingRecord' -out /dev/null
+	$(GO) run ./cmd/benchjson -bench 'AblationCodecPath/slot|AblationCodecPath/generated-append-encode|AblationCodecPath/generated-decode-into|AblationInterpVsCodegen/flat-machine|RTNetLoopback|TimerChurn/wheel|AggregateInto|ObsCounterAdd|ObsHistObserve|ObsRingRecord' \
+		-benchtime 30000x -require-zero 'slot|generated-append-encode|generated-decode-into|flat-machine|RTNetLoopback|TimerChurn/wheel|AggregateInto|ObsCounterAdd|ObsHistObserve|ObsRingRecord' -out /dev/null
 
 # Fuzz smoke: ~30s of native fuzzing per target against the committed
 # hostile corpora (testdata/fuzz). Minimization is capped — on small

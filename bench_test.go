@@ -520,6 +520,25 @@ func BenchmarkAblationInterpVsCodegen(b *testing.B) {
 			}
 		}
 	})
+	// The flat machine strips the witness/codec layer from the loop:
+	// this is the raw dispatch cost — table load, indirect call, staged
+	// output — the shape the endpoint drivers run.
+	b.Run("flat-machine", func(b *testing.B) {
+		m := gen.NewSenderMachine()
+		data := []byte{1, 2, 3}
+		var ack gen.Ack
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.SEND(data); err != nil {
+				b.Fatal(err)
+			}
+			ack.Seq = m.Vars.Seq
+			if _, err := m.OK(&ack); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkAblationCodecPath: the layout-interpreting wire codec against
@@ -581,6 +600,19 @@ func BenchmarkAblationCodecPath(b *testing.B) {
 			buf = out[:0]
 		}
 	})
+	b.Run("generated-append-encode", func(b *testing.B) {
+		p := gen.Packet{Seq: 1, Payload: payload}
+		var buf []byte
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := gen.AppendEncodePacket(buf[:0], &p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf = out[:0]
+		}
+	})
 	b.Run("layout-decode", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := layout.Decode(enc); err != nil {
@@ -612,6 +644,16 @@ func BenchmarkAblationCodecPath(b *testing.B) {
 	b.Run("generated-decode", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := gen.DecodePacket(enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("generated-decode-into", func(b *testing.B) {
+		var p gen.Packet
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := gen.DecodePacketInto(&p, enc); err != nil {
 				b.Fatal(err)
 			}
 		}

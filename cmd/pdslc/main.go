@@ -5,13 +5,19 @@
 // Usage:
 //
 //	pdslc check <file.pdsl>            statically check the protocol
-//	pdslc gen -pkg NAME <file.pdsl>    emit generated Go to stdout
+//	pdslc gen -pkg NAME <file.pdsl>    emit generated code (default -emit go)
 //	pdslc diagram <file.pdsl>          render RFC-style ASCII diagrams
 //	pdslc dot <file.pdsl>              render machines as Graphviz digraphs
 //	pdslc tests <file.pdsl>            derive behavioural test suites
 //
+// `gen` selects a backend with -emit (currently only "go", the AOT
+// source backend over the compiled wire/fsm programs) and writes to
+// stdout or, with -o FILE, atomically to a file — the form used by the
+// //go:generate directives in the committed gen packages.
+//
 // Pass "-" as the file to read from stdin; `pdslc <cmd> -builtin-arq`
-// uses the embedded §3.4 ARQ protocol.
+// uses the embedded §3.4 ARQ protocol (`gen` also accepts
+// -builtin-ipv4 for the embedded IPv4 header).
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"protodsl/internal/codegen"
 	"protodsl/internal/dsl"
@@ -149,17 +156,40 @@ func printReport(out io.Writer, r *fsm.Report) {
 	}
 }
 
+// genBackends lists the supported -emit backends. Each entry maps the
+// flag value to the generator; an unknown value is reported with the
+// full list so callers learn what exists.
+var genBackends = []string{"go"}
+
 func cmdGen(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
 	pkg := fs.String("pkg", "gen", "generated package name")
+	emit := fs.String("emit", "go", "output backend (supported: go)")
+	outFile := fs.String("o", "", "write output to file instead of stdout")
 	runtimeImport := fs.String("runtime", "", "genrt import path override")
 	builtin := fs.Bool("builtin-arq", false, "generate from the embedded ARQ protocol")
+	builtinIPv4 := fs.Bool("builtin-ipv4", false, "generate from the embedded IPv4 header protocol")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	src, err := loadSource(fs, builtin)
-	if err != nil {
-		return err
+	known := false
+	for _, b := range genBackends {
+		if *emit == b {
+			known = true
+		}
+	}
+	if !known {
+		return fmt.Errorf("unknown -emit backend %q (supported: %s)", *emit, strings.Join(genBackends, ", "))
+	}
+	var src string
+	var err error
+	if *builtinIPv4 {
+		src = dsl.IPv4Source
+	} else {
+		src, err = loadSource(fs, builtin)
+		if err != nil {
+			return err
+		}
 	}
 	proto, _, err := dsl.Compile(src)
 	if err != nil {
@@ -171,6 +201,9 @@ func cmdGen(args []string, out io.Writer) error {
 	})
 	if err != nil {
 		return err
+	}
+	if *outFile != "" {
+		return os.WriteFile(*outFile, code, 0o644)
 	}
 	_, err = out.Write(code)
 	return err

@@ -70,6 +70,39 @@ func TestGenEmitsGo(t *testing.T) {
 	}
 }
 
+func TestGenUnknownBackend(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"gen", "-emit", "rust", "-builtin-arq"}, &out)
+	if err == nil {
+		t.Fatal("unknown -emit backend accepted")
+	}
+	// The error (which main prints before exiting non-zero) must name the
+	// rejected backend and list the supported ones.
+	for _, want := range []string{`"rust"`, "supported: go"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestGenToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.go")
+	var out bytes.Buffer
+	if err := run([]string{"gen", "-emit", "go", "-pkg", "gen", "-builtin-ipv4", "-o", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("stdout not empty with -o: %q", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "func EncodeIPv4Header") {
+		t.Errorf("generated file missing IPv4 codec:\n%.200s", data)
+	}
+}
+
 func TestDiagram(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"diagram", "-builtin-arq"}, &out); err != nil {

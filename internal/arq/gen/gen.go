@@ -1,0 +1,3 @@
+//go:generate go run protodsl/cmd/pdslc gen -emit go -pkg gen -builtin-arq -o arq_gen.go
+
+package gen

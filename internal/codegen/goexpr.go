@@ -14,9 +14,17 @@ type varBinding struct {
 	code string
 	typ  expr.Type
 	// checkedMsg is true when the variable is a Checked witness wrapper
-	// (message-typed event parameters); field access goes through
-	// .Value().
+	// (message-typed event parameters in the typed state API); field
+	// access goes through .Value().
 	checkedMsg bool
+}
+
+// fieldScope resolves bare identifiers as fields of one message — the
+// environment wire expressions (computed fields, length expressions)
+// are checked in.
+type fieldScope struct {
+	msg  *wire.Message
+	base string // Go expression for the message value, e.g. "m"
 }
 
 // goTranslator compiles expr ASTs to Go source. It mirrors the typing
@@ -26,6 +34,7 @@ type varBinding struct {
 type goTranslator struct {
 	messages map[string]*wire.Message
 	vars     map[string]varBinding
+	scope    *fieldScope
 }
 
 func goUintType(bits int) string {
@@ -65,6 +74,11 @@ func castTo(code string, from, to expr.Type) string {
 	return goUintType(to.Bits) + "(" + code + ")"
 }
 
+// hexMask formats the low-bits mask used to truncate sub-carrier values.
+func hexMask(bits int) string {
+	return fmt.Sprintf("%#x", uint64(1)<<bits-1)
+}
+
 // translate returns Go source computing e, with its expr type.
 func (g *goTranslator) translate(e expr.Expr) (string, expr.Type, error) {
 	switch n := e.(type) {
@@ -80,11 +94,15 @@ func (g *goTranslator) translate(e expr.Expr) (string, expr.Type, error) {
 			return "", expr.Type{}, fmt.Errorf("codegen: unsupported literal kind %s", n.Val.Kind())
 		}
 	case *expr.Ident:
-		b, ok := g.vars[n.Name]
-		if !ok {
-			return "", expr.Type{}, fmt.Errorf("codegen: unbound variable %q", n.Name)
+		if b, ok := g.vars[n.Name]; ok {
+			return b.code, b.typ, nil
 		}
-		return b.code, b.typ, nil
+		if g.scope != nil {
+			if f, ok := g.scope.msg.Field(n.Name); ok {
+				return g.msgFieldCode(g.scope.msg, g.scope.base, f)
+			}
+		}
+		return "", expr.Type{}, fmt.Errorf("codegen: unbound variable %q", n.Name)
 	case *expr.FieldAccess:
 		return g.translateField(n)
 	case *expr.Unary:
@@ -122,7 +140,37 @@ func (g *goTranslator) translateField(n *expr.FieldAccess) (string, expr.Type, e
 	if b.checkedMsg {
 		base += ".Value()"
 	}
-	return base + "." + goName(n.Name), f.Type(), nil
+	return g.msgFieldCode(msg, base, f)
+}
+
+// msgFieldCode emits the Go expression reading field f of a message whose
+// Go struct value is base. Plain fields read the struct member; automatic
+// length fields are recomputed from the payload they describe; computed
+// fields inline their defining expression (truncated to the wire width,
+// like the interpreter's WithBits). Checksum fields have no struct-side
+// value and are refused.
+func (g *goTranslator) msgFieldCode(msg *wire.Message, base string, f *wire.Field) (string, expr.Type, error) {
+	switch {
+	case f.Compute != nil && f.Compute.Kind == wire.ComputeChecksum:
+		return "", expr.Type{}, fmt.Errorf(
+			"codegen: checksum field %s.%s cannot be referenced from generated code", msg.Name, f.Name)
+	case f.Compute != nil && f.Compute.Kind == wire.ComputeExpr:
+		inner := &goTranslator{messages: g.messages, scope: &fieldScope{msg: msg, base: base}}
+		code, t, err := inner.translate(f.Compute.Expr)
+		if err != nil {
+			return "", expr.Type{}, err
+		}
+		code = castTo(code, t, f.Type())
+		if f.Bits != normBits(f.Bits) {
+			code = "(" + code + " & " + hexMask(f.Bits) + ")"
+		}
+		return code, f.Type(), nil
+	case isAutoLength(msg, f):
+		payload := lenFieldPayload(msg, f.Name)
+		return goUintType(f.Bits) + "(len(" + base + "." + goName(payload) + "))", f.Type(), nil
+	default:
+		return base + "." + goName(f.Name), f.Type(), nil
+	}
 }
 
 func (g *goTranslator) translateUnary(n *expr.Unary) (string, expr.Type, error) {

@@ -1,73 +1,6 @@
 package genrt
 
-import (
-	"errors"
-	"testing"
-	"testing/quick"
-)
-
-func TestBitWriterReaderRoundTrip(t *testing.T) {
-	var w BitWriter
-	w.WriteBits(0x4, 4)
-	w.WriteBits(0x5, 4)
-	w.WriteBits(0x1234, 16)
-	w.WriteBytes([]byte{0xAA, 0xBB})
-	buf := w.Bytes()
-	if len(buf) != 5 || buf[0] != 0x45 {
-		t.Fatalf("buf = %x", buf)
-	}
-	r := NewBitReader(buf)
-	if v, err := r.ReadBits(4); err != nil || v != 0x4 {
-		t.Errorf("first nibble %x %v", v, err)
-	}
-	if v, err := r.ReadBits(4); err != nil || v != 0x5 {
-		t.Errorf("second nibble %x %v", v, err)
-	}
-	if v, err := r.ReadBits(16); err != nil || v != 0x1234 {
-		t.Errorf("u16 %x %v", v, err)
-	}
-	bs, err := r.ReadBytes(2)
-	if err != nil || bs[0] != 0xAA || bs[1] != 0xBB {
-		t.Errorf("bytes %x %v", bs, err)
-	}
-	if !r.Done() || r.Remaining() != 0 {
-		t.Error("reader not done")
-	}
-}
-
-func TestReaderErrors(t *testing.T) {
-	r := NewBitReader([]byte{0xFF})
-	if _, err := r.ReadBits(9); !errors.Is(err, ErrShortBuffer) {
-		t.Errorf("overread err = %v", err)
-	}
-	if _, err := r.ReadBytes(2); !errors.Is(err, ErrShortBuffer) {
-		t.Errorf("byte overread err = %v", err)
-	}
-	if _, err := r.ReadBytes(-1); !errors.Is(err, ErrLengthMismatch) {
-		t.Errorf("negative read err = %v", err)
-	}
-	// Unaligned byte read.
-	r2 := NewBitReader([]byte{0xFF, 0xFF})
-	if _, err := r2.ReadBits(3); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := r2.ReadBytes(1); !errors.Is(err, ErrShortBuffer) {
-		t.Errorf("unaligned read err = %v", err)
-	}
-}
-
-func TestReadBytesCopies(t *testing.T) {
-	src := []byte{1, 2, 3}
-	r := NewBitReader(src)
-	out, err := r.ReadBytes(3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	out[0] = 99
-	if src[0] != 1 {
-		t.Error("ReadBytes aliased the input")
-	}
-}
+import "testing"
 
 func TestChecksums(t *testing.T) {
 	if got := Sum8([]byte{250, 10}); got != 4 {
@@ -81,46 +14,13 @@ func TestChecksums(t *testing.T) {
 	}
 }
 
-func TestPatchAndZero(t *testing.T) {
-	buf := []byte{0, 0, 0, 0}
-	PatchUint(buf, 1, 2, 0xBEEF)
-	if buf[1] != 0xBE || buf[2] != 0xEF {
-		t.Errorf("PatchUint: %x", buf)
+func TestStepOutcome(t *testing.T) {
+	for _, o := range []StepOutcome{StepRejected, StepIgnored, StepNone} {
+		if o.Fired() {
+			t.Errorf("sentinel %d reported Fired", o)
+		}
 	}
-	ZeroRange(buf, 1, 2)
-	if buf[1] != 0 || buf[2] != 0 {
-		t.Errorf("ZeroRange: %x", buf)
-	}
-}
-
-// Property: WriteBits/ReadBits round-trips arbitrary (value, width) runs.
-func TestQuickBitsRoundTrip(t *testing.T) {
-	f := func(vals []uint16, widthSeed uint8) bool {
-		if len(vals) > 32 {
-			vals = vals[:32]
-		}
-		widths := make([]int, len(vals))
-		var w BitWriter
-		total := 0
-		for i, v := range vals {
-			widths[i] = int(widthSeed%16) + 1 // 1..16 bits
-			widthSeed = widthSeed*31 + 7
-			w.WriteBits(uint64(v)&((1<<widths[i])-1), widths[i])
-			total += widths[i]
-		}
-		if pad := (8 - total%8) % 8; pad > 0 {
-			w.WriteBits(0, pad)
-		}
-		r := NewBitReader(w.Bytes())
-		for i, v := range vals {
-			got, err := r.ReadBits(widths[i])
-			if err != nil || got != uint64(v)&((1<<widths[i])-1) {
-				return false
-			}
-		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
-		t.Error(err)
+	if !StepOutcome(0).Fired() || !StepOutcome(11).Fired() {
+		t.Error("transition index not reported Fired")
 	}
 }

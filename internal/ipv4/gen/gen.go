@@ -1,0 +1,3 @@
+//go:generate go run protodsl/cmd/pdslc gen -emit go -pkg gen -builtin-ipv4 -o ipv4_gen.go
+
+package gen
