@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test race bench benchfull bench-json bench-diff allocscheck fuzz-smoke lint fmt vet fmtcheck docscheck clean
+.PHONY: all build test race verify verify-full bench benchfull bench-json bench-diff allocscheck fuzz-smoke lint fmt vet fmtcheck docscheck clean
 
-all: build test lint docscheck
+all: build test lint docscheck verify
 
 build:
 	$(GO) build ./...
@@ -11,13 +11,27 @@ test:
 	$(GO) test ./...
 
 # The packages with cross-goroutine surface: the sharded experiment
-# harness, the simulator substrate it fans out over, and the real-UDP
-# runtime (whose loopback E2E runs 64 concurrent flows). One engine per
-# goroutine is the contract; -race pins it, including through
-# BenchmarkE11MultiFlow.
+# harness, the simulator substrate it fans out over, the real-UDP
+# runtime (whose loopback E2E runs 64 concurrent flows), and the
+# parallel model checker. One engine per goroutine is the contract;
+# -race pins it, including through BenchmarkE11MultiFlow. -shuffle=on
+# surfaces test-order dependencies while we're paying for the rerun.
 race:
-	$(GO) test -race ./internal/harness/ ./internal/netsim/ ./internal/arq/ ./internal/rtnet/
+	$(GO) test -race -shuffle=on ./internal/harness/ ./internal/netsim/ ./internal/arq/ ./internal/rtnet/ ./internal/verify/
 	$(GO) test -run '^$$' -bench BenchmarkE11MultiFlow -benchtime 1x -race .
+
+# Model-checking gate: exhaustively verify every machine spec in
+# examples/specs/ (closed over its full stimulus domain) plus the
+# built-in stop-and-wait / Go-Back-N / selective-repeat models against
+# their expected verdicts — clean configurations must stay clean,
+# seeded bugs must keep being found. `verify-full` adds the flagship
+# 700k-state GBN configuration (~30s on one vCPU) that the sequential
+# checker cannot finish in comparable time; CI runs the full set.
+verify:
+	$(GO) run ./cmd/protoverify
+
+verify-full:
+	$(GO) run ./cmd/protoverify -full
 
 # Documentation references must resolve: every `DESIGN.md §N` citation
 # in Go sources names a real section of DESIGN.md.
@@ -54,7 +68,7 @@ bench-json:
 bench-diff:
 	$(GO) run ./cmd/benchjson -benchtime 2s -out .bench_fresh.json
 	$(GO) run ./internal/tools/benchdiff -old BENCH_hotpath.json -new .bench_fresh.json -max-regress 25 \
-		-match '^Benchmark(CompiledVsTreeWalk|AblationCodecPath|AblationInterpVsCodegen|AblationChecksums|RTNetLoopback|Sum8|Inet16|TimerChurn|AggregateInto|ObsCounterAdd|ObsHistObserve|ObsRingRecord)'
+		-match '^Benchmark(CompiledVsTreeWalk|AblationCodecPath|AblationInterpVsCodegen|AblationChecksums|RTNetLoopback|Sum8|Inet16|TimerChurn|AggregateInto|ObsCounterAdd|ObsHistObserve|ObsRingRecord|VerifyStates)'
 
 # Allocation gate: the slot codec, the AOT-generated codec hot paths
 # (AppendEncode / DecodeInto) and flat machine dispatch, the rtnet
@@ -73,6 +87,7 @@ allocscheck:
 fuzz-smoke:
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzProgramDecode -fuzztime 30s -fuzzminimizetime 10x
 	$(GO) test ./internal/dsl/ -run '^$$' -fuzz FuzzParse -fuzztime 30s -fuzzminimizetime 10x
+	$(GO) test ./internal/verify/ -run '^$$' -fuzz FuzzStateCanon -fuzztime 30s -fuzzminimizetime 10x
 
 lint: vet fmtcheck
 

@@ -26,15 +26,19 @@ type experiment struct {
 
 type ctx struct {
 	repoRoot string
+	// full enables the expensive long-tail rows (E4's flagship model-
+	// checking configuration) that are too slow for the test harness.
+	full bool
 }
 
 func main() {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	repo := fs.String("repo", ".", "repository root (for source-analysis experiments)")
+	full := fs.Bool("full", false, "include expensive rows (E4 flagship config; minutes on one vCPU)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
-	if err := run(&ctx{repoRoot: *repo}, fs.Args(), os.Stdout); err != nil {
+	if err := run(&ctx{repoRoot: *repo, full: *full}, fs.Args(), os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}

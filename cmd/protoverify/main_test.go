@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var specDir = filepath.Join("..", "..", "examples", "specs")
+
+// TestGatePasses runs the real gate (fast set) against the committed
+// specs: every target must match its expected verdict.
+func TestGatePasses(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run(&buf, specDir, false, 2, 1<<21); code != 0 {
+		t.Fatalf("gate failed:\n%s", buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"spec:arq.pdsl/Sender",
+		"spec:arq.pdsl/Receiver",
+		"broken-ack-guard",
+		"seeded bug: n == W",
+		"unsafe under reordering",
+		"all targets match their expected verdicts",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gate output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestGateFailsWithoutSpecs pins the fail-closed direction: an empty
+// spec directory is a gate failure, not a silent pass.
+func TestGateFailsWithoutSpecs(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run(&buf, t.TempDir(), false, 1, 1<<21); code != 1 {
+		t.Fatalf("gate with no specs returned %d, want 1:\n%s", code, buf.String())
+	}
+}
+
+// TestGateFailsOnTruncation pins the honesty rule: a truncated search
+// proves nothing, so a too-small state bound must fail the gate rather
+// than report clean targets.
+func TestGateFailsOnTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run(&buf, specDir, false, 1, 100); code != 1 {
+		t.Fatalf("truncated gate returned %d, want 1:\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "truncated") {
+		t.Errorf("gate output does not mention truncation:\n%s", buf.String())
+	}
+}

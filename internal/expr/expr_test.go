@@ -318,7 +318,7 @@ func TestInet16KnownVector(t *testing.T) {
 func TestValueHashKeyInjective(t *testing.T) {
 	vals := []Value{
 		Bool(true), Bool(false),
-		U8(0), U8(1), U16(1), // U8(1) and U16(1) hash equal: same numeric value — acceptable for state spaces where widths are fixed per var
+		U8(0), U8(1), U16(1), // widths are part of the key: u8(1) and u16(1) wrap differently
 		Bytes([]byte{1}), Bytes([]byte{1, 0}),
 		Str("a"), Str("b"),
 		Msg("M", map[string]Value{"a": U8(1)}),
@@ -329,10 +329,7 @@ func TestValueHashKeyInjective(t *testing.T) {
 	for _, v := range vals {
 		k := v.HashKey()
 		if prev, dup := seen[k]; dup {
-			// Only the documented width-collision is permitted.
-			if !(prev.Kind() == KindUint && v.Kind() == KindUint && prev.AsUint() == v.AsUint()) {
-				t.Errorf("HashKey collision: %s vs %s (key %q)", prev, v, k)
-			}
+			t.Errorf("HashKey collision: %s vs %s (key %q)", prev, v, k)
 			continue
 		}
 		seen[k] = v

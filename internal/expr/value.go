@@ -269,7 +269,9 @@ func (v Value) String() string {
 
 // HashKey returns a deterministic string usable as a map key for state
 // hashing (used by the model checker). It is injective for the value
-// domain used by protocol specs.
+// domain used by protocol specs. Unsigned keys include the bit width:
+// width decides where arithmetic wraps, so a u8 and a u16 holding the
+// same number are behaviourally distinct states and must not be merged.
 func (v Value) HashKey() string {
 	switch v.kind {
 	case KindBool:
@@ -278,7 +280,7 @@ func (v Value) HashKey() string {
 		}
 		return "b0"
 	case KindUint:
-		return "u" + strconv.FormatUint(v.u, 16)
+		return "u" + strconv.FormatUint(v.u, 16) + "w" + strconv.Itoa(v.bits)
 	case KindBytes:
 		return "y" + string(v.bs)
 	case KindString:

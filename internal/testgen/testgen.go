@@ -19,6 +19,7 @@ import (
 
 	"protodsl/internal/expr"
 	"protodsl/internal/fsm"
+	"protodsl/internal/genrt"
 	"protodsl/internal/wire"
 )
 
@@ -253,6 +254,82 @@ func Run(spec *fsm.Spec, suite *Suite) error {
 		}
 	}
 	return nil
+}
+
+// FlatMachine adapts an AOT-generated flat machine (internal/arq/gen
+// style) to suite replay: the adapter dispatches an event name plus expr
+// argument values to the machine's typed per-event methods and reports
+// the genrt outcome. Implementations live next to the generated code,
+// where the event signatures are known.
+type FlatMachine interface {
+	// Reset returns the machine to its initial state and variables.
+	Reset()
+	// StateName names the current state (matches the spec's state names).
+	StateName() string
+	// Deliver dispatches one event by name. The error reports argument
+	// conversion or evaluation failures, not rejection/ignoring — those
+	// are outcomes.
+	Deliver(event string, args map[string]expr.Value) (genrt.StepOutcome, error)
+	// TransitionName names a fired outcome (outcome.Fired() only).
+	TransitionName(genrt.StepOutcome) string
+}
+
+// RunFlat replays the suite against a generated flat machine, verifying
+// the same expectations as Run: the generated dispatch tables must agree
+// with the interpreted spec on every fired transition, rejection and
+// ignore — the behavioural twin of the codegen differential tests.
+func RunFlat(suite *Suite, flat FlatMachine) error {
+	for _, c := range suite.Cases {
+		flat.Reset()
+		for i, s := range c.Setup {
+			out, err := flat.Deliver(s.Event, s.Args)
+			if err != nil {
+				return fmt.Errorf("case %s: setup step %d: %w", c.Name, i, err)
+			}
+			if !out.Fired() {
+				return fmt.Errorf("case %s: setup step %d (%s) did not fire (outcome %d)", c.Name, i, s.Event, out)
+			}
+		}
+		if flat.StateName() != c.ExpectFrom {
+			return fmt.Errorf("case %s: setup ended in %s, want %s", c.Name, flat.StateName(), c.ExpectFrom)
+		}
+		out, err := flat.Deliver(c.Trigger.Event, c.Trigger.Args)
+		if err != nil {
+			return fmt.Errorf("case %s: trigger: %w", c.Name, err)
+		}
+		switch c.Kind {
+		case KindFire:
+			if !out.Fired() {
+				return fmt.Errorf("case %s: expected transition %q to fire, outcome %d", c.Name, c.ExpectTransition, out)
+			}
+			if got := flat.TransitionName(out); got != c.ExpectTransition {
+				return fmt.Errorf("case %s: fired %q, want %q", c.Name, got, c.ExpectTransition)
+			}
+			if flat.StateName() != c.ExpectTo {
+				return fmt.Errorf("case %s: ended in %s, want %s", c.Name, flat.StateName(), c.ExpectTo)
+			}
+		case KindReject:
+			if out != genrt.StepRejected {
+				return fmt.Errorf("case %s: expected rejection, outcome %d", c.Name, out)
+			}
+		case KindIgnore:
+			if out != genrt.StepIgnored {
+				return fmt.Errorf("case %s: expected ignore, outcome %d", c.Name, out)
+			}
+		}
+	}
+	return nil
+}
+
+// EnvArgs exposes the generator's guard-aware argument domain for one
+// event against a fresh machine — the verification gate uses it to build
+// closed-system stimulus domains for arbitrary specs.
+func EnvArgs(spec *fsm.Spec, ev *fsm.Event) ([]map[string]expr.Value, error) {
+	m, err := fsm.NewMachine(spec)
+	if err != nil {
+		return nil, err
+	}
+	return argCandidates(spec, ev, m), nil
 }
 
 func clonePath(p []Step) []Step {

@@ -51,9 +51,11 @@ type diffLine struct {
 	skip     bool // shard count exceeds this machine's cores
 }
 
-// shardCase extracts N from a `/shards=N` sub-benchmark name; 0 when the
-// benchmark is not shard-parameterised.
-var shardCaseRe = regexp.MustCompile(`/shards=(\d+)`)
+// shardCase extracts N from a `/shards=N` or `/workers=N` sub-benchmark
+// name; 0 when the benchmark is not parallelism-parameterised. Worker
+// scaling has the same caveat as shard scaling: with fewer cores than
+// workers the goroutines time-slice one another.
+var shardCaseRe = regexp.MustCompile(`/(?:shards|workers)=(\d+)`)
 
 func shardCase(name string) int {
 	m := shardCaseRe.FindStringSubmatch(name)

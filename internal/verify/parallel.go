@@ -1,0 +1,373 @@
+package verify
+
+// The parallel explicit-state search (DESIGN.md §12).
+//
+// Explore runs a level-synchronised BFS: every worker drains the current
+// depth's frontier (its own first, then stealing from the others via a
+// shared atomic cursor per frontier), appending discovered states to a
+// private next-level list; a barrier separates levels. Level synchrony is
+// what makes results deterministic: a state is always first inserted at
+// its minimal BFS depth, so violation depths and counter-example trace
+// lengths are identical for any worker count — only which equal-length
+// parent chain gets recorded can vary.
+//
+// Workers never share mutable state except the visited table (internally
+// striped) and the frontier cursors. A worker owns one set of machines
+// compiled once per spec and rehydrates them per expansion from the
+// canonical state encoding — no machine clones, no string keys.
+
+import (
+	"bytes"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"protodsl/internal/expr"
+	"protodsl/internal/fsm"
+)
+
+// levelFrontier is one worker's slice of the current BFS level with a
+// shared claim cursor: own-pop and steal are the same atomic increment.
+type levelFrontier struct {
+	refs []ref
+	head atomic.Int64
+}
+
+type pexplorer struct {
+	sys       *System
+	opts      Options
+	progs     []*fsm.Program
+	tbl       *table
+	workers   []*pworker
+	frontiers []levelFrontier
+}
+
+// pviol is a violation before trace reconstruction: anchored at a table
+// ref instead of carrying the trace.
+type pviol struct {
+	kind, name, msg string
+	state           ref
+	depth           int32
+	extra           Move
+	hasExtra        bool
+}
+
+type pworker struct {
+	id int
+	e  *pexplorer
+
+	ms          []*fsm.Machine
+	baseQ       [][]expr.Value // decoded queues of the node being expanded
+	q           [][]expr.Value // per-move working copy of the queue headers
+	moves       []Move
+	deliverArgs []map[string]expr.Value
+	encBuf      []byte // current node's encoding
+	succBuf     []byte // successor encoding scratch
+	next        []ref  // next-level frontier (worker-private)
+
+	transitions uint64
+	dupHits     uint64
+	overruns    []uint64
+	viols       []pviol
+	err         error
+
+	onOverrun func(route int, dropped expr.Value)
+	curRef    ref
+	curDepth  int32
+	curMove   Move
+}
+
+func newPWorker(e *pexplorer, id int) *pworker {
+	w := &pworker{
+		id:          id,
+		e:           e,
+		ms:          newMachines(e.progs),
+		baseQ:       make([][]expr.Value, len(e.sys.Routes)),
+		q:           make([][]expr.Value, len(e.sys.Routes)),
+		overruns:    make([]uint64, len(e.sys.Routes)),
+		deliverArgs: deliverArgsFor(e.sys),
+	}
+	w.onOverrun = func(route int, dropped expr.Value) {
+		w.overruns[route]++
+		if inv := w.e.opts.OverrunInvariant; inv != nil {
+			if err := inv(route, dropped); err != nil {
+				w.viols = append(w.viols, pviol{
+					kind: ViolationOverrun, name: "channel-overrun", msg: err.Error(),
+					state: w.curRef, depth: w.curDepth, extra: w.curMove, hasExtra: true,
+				})
+			}
+		}
+	}
+	return w
+}
+
+// Explore runs the parallel breadth-first search over the system's
+// product state space. Results — states, transitions, violations, trace
+// lengths, overrun counts — are deterministic and identical for every
+// Workers value; see Options for the truncation and stop-early caveats.
+func Explore(sys *System, opts Options) (*Result, error) {
+	progs, err := compileSystem(sys)
+	if err != nil {
+		return nil, err
+	}
+	if opts.MaxStates <= 0 {
+		opts.MaxStates = 1 << 20
+	}
+	nw := opts.Workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	if nw > 64 {
+		nw = 64
+	}
+	start := time.Now()
+
+	e := &pexplorer{
+		sys: sys, opts: opts, progs: progs,
+		tbl:       newTable(opts.MaxStates),
+		frontiers: make([]levelFrontier, nw),
+	}
+	e.workers = make([]*pworker, nw)
+	for i := range e.workers {
+		e.workers[i] = newPWorker(e, i)
+	}
+
+	w0 := e.workers[0]
+	rootEnc := encodeGlobal(sys, w0.ms, w0.baseQ, nil)
+	rootRef, _, full := e.tbl.insert(fingerprint(rootEnc), rootEnc, refNil, -1, 0)
+	if !full {
+		w0.checkInvariants(rootRef, 0, w0.baseQ)
+		e.frontiers[0].refs = []ref{rootRef}
+	}
+
+	depth := int32(0)
+	maxDepth := 0
+	frontierPeak := 0
+	for {
+		total := 0
+		for i := range e.frontiers {
+			e.frontiers[i].head.Store(0)
+			total += len(e.frontiers[i].refs)
+		}
+		if total == 0 {
+			break
+		}
+		if total > frontierPeak {
+			frontierPeak = total
+		}
+		maxDepth = int(depth)
+
+		var wg sync.WaitGroup
+		for _, w := range e.workers {
+			wg.Add(1)
+			go func(w *pworker) {
+				defer wg.Done()
+				w.drain(depth)
+			}(w)
+		}
+		wg.Wait()
+		for _, w := range e.workers {
+			if w.err != nil {
+				return nil, w.err
+			}
+		}
+
+		for i, w := range e.workers {
+			e.frontiers[i].refs = w.next
+			w.next = nil
+		}
+		depth++
+		if opts.StopAtFirstViolation && e.anyViols() {
+			break
+		}
+	}
+
+	res := &Result{
+		States:    int(e.tbl.count.Load()),
+		Truncated: e.tbl.truncated.Load(),
+		Overruns:  make([]uint64, len(sys.Routes)),
+	}
+	for _, w := range e.workers {
+		res.Transitions += int(w.transitions)
+		res.Stats.DupHits += int(w.dupHits)
+		for ri, c := range w.overruns {
+			res.Overruns[ri] += c
+		}
+	}
+	var pviols []pviol
+	for _, w := range e.workers {
+		pviols = append(pviols, w.viols...)
+	}
+	if len(pviols) > 0 {
+		vs := make([]Violation, len(pviols))
+		anchors := make([][]byte, len(pviols))
+		for i, pv := range pviols {
+			moves := e.movesTo(pv.state)
+			if pv.hasExtra {
+				moves = append(moves, pv.extra)
+			}
+			vs[i] = Violation{
+				Kind: pv.kind, Name: pv.name, Msg: pv.msg,
+				Moves: moves, Trace: describeMoves(moves), Depth: int(pv.depth),
+			}
+			anchors[i], _ = e.tbl.node(pv.state, nil)
+		}
+		sortViolations(vs, anchors)
+		res.Violations = vs
+	}
+	res.Stats.Workers = nw
+	res.Stats.Depth = maxDepth
+	res.Stats.FrontierPeak = frontierPeak
+	res.Stats.ArenaBytes = e.tbl.arenaBytes()
+	res.Stats.Elapsed = time.Since(start)
+	if secs := res.Stats.Elapsed.Seconds(); secs > 0 {
+		res.Stats.StatesPerSec = float64(res.States) / secs
+	}
+	return res, nil
+}
+
+func (e *pexplorer) anyViols() bool {
+	for _, w := range e.workers {
+		if len(w.viols) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// drain claims states from the level's frontiers — own list first, then
+// the other workers' — until every frontier is exhausted.
+func (w *pworker) drain(depth int32) {
+	n := len(w.e.frontiers)
+	for w.err == nil {
+		claimed := false
+		for i := 0; i < n; i++ {
+			f := &w.e.frontiers[(w.id+i)%n]
+			idx := f.head.Add(1) - 1
+			if idx < int64(len(f.refs)) {
+				w.expand(f.refs[idx], depth)
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			return
+		}
+	}
+}
+
+// expand applies every enabled move of one state, inserting unseen
+// successors into the table and the worker's next-level frontier.
+func (w *pworker) expand(r ref, depth int32) {
+	w.encBuf, _ = w.e.tbl.node(r, w.encBuf)
+	if err := decodeGlobal(w.e.sys, w.ms, w.baseQ, w.encBuf); err != nil {
+		w.err = err
+		return
+	}
+	w.moves = enabledMoves(w.e.sys, w.ms, w.baseQ, w.moves)
+	w.curRef, w.curDepth = r, depth
+	productive := false
+	machinesDirty := false
+	for mi := range w.moves {
+		mv := w.moves[mi]
+		if machinesDirty {
+			if _, err := restoreMachines(w.ms, w.encBuf); err != nil {
+				w.err = err
+				return
+			}
+			machinesDirty = false
+		}
+		copy(w.q, w.baseQ)
+		w.curMove = mv
+		ar, err := applyMove(w.e.sys, w.ms, w.q, mv, w.deliverArgs, w.onOverrun)
+		if err != nil {
+			w.viols = append(w.viols, pviol{
+				kind: ViolationStep, name: mv.String(), msg: err.Error(),
+				state: r, depth: depth, extra: mv, hasExtra: true,
+			})
+			continue
+		}
+		w.transitions++
+		if ar.envNoop {
+			continue
+		}
+		machinesDirty = ar.fired
+		w.succBuf = encodeGlobal(w.e.sys, w.ms, w.q, w.succBuf[:0])
+		if bytes.Equal(w.succBuf, w.encBuf) {
+			continue // fired but changed nothing
+		}
+		productive = true
+		nr, isNew, full := w.e.tbl.insert(fingerprint(w.succBuf), w.succBuf, r, int32(mi), depth+1)
+		if full {
+			continue // table already marked truncated
+		}
+		if !isNew {
+			w.dupHits++
+			continue
+		}
+		w.next = append(w.next, nr)
+		// The machines and w.q hold exactly the successor state here.
+		w.checkInvariants(nr, depth+1, w.q)
+	}
+	if w.e.opts.CheckDeadlock && !productive {
+		if machinesDirty {
+			if _, err := restoreMachines(w.ms, w.encBuf); err != nil {
+				w.err = err
+				return
+			}
+		}
+		if !allFinal(w.ms) {
+			w.viols = append(w.viols, pviol{
+				kind: ViolationDeadlock, name: "deadlock",
+				msg:   "no state-changing moves and not all machines final",
+				state: r, depth: depth,
+			})
+		}
+	}
+}
+
+func (w *pworker) checkInvariants(r ref, depth int32, queues [][]expr.Value) {
+	if len(w.e.opts.Invariants) == 0 {
+		return
+	}
+	snap := snapshotFrom(w.ms, queues)
+	for _, inv := range w.e.opts.Invariants {
+		if err := inv.Fn(snap); err != nil {
+			w.viols = append(w.viols, pviol{
+				kind: ViolationInvariant, name: inv.Name, msg: err.Error(),
+				state: r, depth: depth,
+			})
+		}
+	}
+}
+
+// movesTo reconstructs the move sequence from the initial state to r by
+// walking parent refs, re-deriving each parent's move list and selecting
+// the recorded move index. Runs single-threaded after the search, on
+// worker 0's machines.
+func (e *pexplorer) movesTo(r ref) []Move {
+	var chain []ref
+	for cur := r; cur != refNil; {
+		chain = append(chain, cur)
+		cur = e.tbl.metaOf(cur).parent
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	w := e.workers[0]
+	moves := make([]Move, 0, len(chain)-1)
+	for i := 0; i+1 < len(chain); i++ {
+		w.encBuf, _ = e.tbl.node(chain[i], w.encBuf)
+		if err := decodeGlobal(e.sys, w.ms, w.baseQ, w.encBuf); err != nil {
+			return moves // unreachable: the table only holds valid encodings
+		}
+		w.moves = enabledMoves(e.sys, w.ms, w.baseQ, w.moves)
+		mid := e.tbl.metaOf(chain[i+1]).moveID
+		if int(mid) >= len(w.moves) {
+			return moves // unreachable: moveID indexes the parent's move list
+		}
+		moves = append(moves, w.moves[mid])
+	}
+	return moves
+}

@@ -1,0 +1,169 @@
+package verify
+
+// Sharded visited table (DESIGN.md §12). States are identified by their
+// canonical byte encoding; the table deduplicates them under striped
+// locks with open addressing:
+//
+//   - fingerprint high bits pick one of 256 shards, each with its own
+//     mutex — concurrent inserts rarely contend;
+//   - within a shard an open-addressed index maps fingerprints to an
+//     append-only meta array (fingerprint, arena offset, parent ref,
+//     move index, depth) and an append-only byte arena holding the
+//     encodings — one big allocation per shard instead of one per state;
+//   - a ref (shard<<32 | meta index) names a state stably across index
+//     rehashes, so parent links survive growth.
+//
+// Lookups compare full encodings on fingerprint match, so a 64-bit
+// collision costs a probe, never a wrong dedup. Reads copy under the
+// shard lock: concurrent appends may grow the meta and arena slices.
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+)
+
+const tableShards = 256
+
+// ref names a state in the table: shard index in the high 32 bits, meta
+// index in the low 32.
+type ref uint64
+
+// refNil marks the root's parent.
+const refNil = ref(^uint64(0))
+
+func packRef(shard uint64, metaIdx int) ref {
+	return ref(shard<<32 | uint64(uint32(metaIdx)))
+}
+
+func (r ref) shard() uint64 { return uint64(r) >> 32 }
+func (r ref) metaIdx() int  { return int(uint32(r)) }
+
+// nodeMeta is the per-state record: identity plus the parent link the
+// trace reconstruction walks.
+type nodeMeta struct {
+	fp     uint64
+	parent ref
+	off    uint32 // encoding start in the shard arena
+	elen   uint32 // encoding length
+	moveID int32  // index into the parent's enabledMoves list (-1 for root)
+	depth  int32
+}
+
+type tableShard struct {
+	mu    sync.Mutex
+	idx   []uint32 // open-addressed: metaIdx+1, 0 = empty
+	mask  uint64
+	meta  []nodeMeta
+	arena []byte
+}
+
+// table is the concurrent visited set. max bounds the total state count
+// across shards (the bounded-memory mode); once reached, inserts report
+// full and the table is marked truncated.
+type table struct {
+	max       int64
+	count     atomic.Int64
+	truncated atomic.Bool
+	shards    [tableShards]tableShard
+}
+
+func newTable(max int) *table {
+	t := &table{max: int64(max)}
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.idx = make([]uint32, 512)
+		s.mask = 511
+	}
+	return t
+}
+
+// insert adds the encoding if unseen. It returns the state's ref,
+// whether this call inserted it, and whether the global bound rejected
+// it (full implies not inserted and an invalid ref).
+func (t *table) insert(fp uint64, enc []byte, parent ref, moveID int32, depth int32) (r ref, isNew bool, full bool) {
+	shard := fp >> 56
+	s := &t.shards[shard]
+	s.mu.Lock()
+	i := fp & s.mask
+	for {
+		slot := s.idx[i]
+		if slot == 0 {
+			break
+		}
+		m := &s.meta[slot-1]
+		if m.fp == fp && bytes.Equal(s.arena[m.off:m.off+m.elen], enc) {
+			r = packRef(shard, int(slot-1))
+			s.mu.Unlock()
+			return r, false, false
+		}
+		i = (i + 1) & s.mask
+	}
+	if t.count.Add(1) > t.max {
+		t.count.Add(-1)
+		t.truncated.Store(true)
+		s.mu.Unlock()
+		return refNil, false, true
+	}
+	off := len(s.arena)
+	s.arena = append(s.arena, enc...)
+	s.meta = append(s.meta, nodeMeta{
+		fp: fp, parent: parent, off: uint32(off), elen: uint32(len(enc)),
+		moveID: moveID, depth: depth,
+	})
+	s.idx[i] = uint32(len(s.meta))
+	if uint64(len(s.meta))*4 >= uint64(len(s.idx))*3 {
+		s.grow()
+	}
+	r = packRef(shard, len(s.meta)-1)
+	s.mu.Unlock()
+	return r, true, false
+}
+
+// grow doubles the shard's index and reinserts every meta entry. Refs
+// are meta indexes, so they are unaffected.
+func (s *tableShard) grow() {
+	idx := make([]uint32, len(s.idx)*2)
+	mask := uint64(len(idx) - 1)
+	for j := range s.meta {
+		i := s.meta[j].fp & mask
+		for idx[i] != 0 {
+			i = (i + 1) & mask
+		}
+		idx[i] = uint32(j + 1)
+	}
+	s.idx = idx
+	s.mask = mask
+}
+
+// node copies the state's encoding into buf[:0] and returns it with the
+// meta record.
+func (t *table) node(r ref, buf []byte) ([]byte, nodeMeta) {
+	s := &t.shards[r.shard()]
+	s.mu.Lock()
+	m := s.meta[r.metaIdx()]
+	buf = append(buf[:0], s.arena[m.off:m.off+m.elen]...)
+	s.mu.Unlock()
+	return buf, m
+}
+
+// metaOf returns the meta record alone.
+func (t *table) metaOf(r ref) nodeMeta {
+	s := &t.shards[r.shard()]
+	s.mu.Lock()
+	m := s.meta[r.metaIdx()]
+	s.mu.Unlock()
+	return m
+}
+
+// arenaBytes sums the pooled encoding bytes across shards.
+func (t *table) arenaBytes() int {
+	total := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		total += len(s.arena)
+		s.mu.Unlock()
+	}
+	return total
+}

@@ -1,0 +1,275 @@
+package verify
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"protodsl/internal/expr"
+	"protodsl/internal/fsm"
+)
+
+// TestTraceReplayInvariantViolations proves counter-example traces are
+// evidence, not decoration: replaying a violation's move sequence from
+// the initial state must land in a state where the invariant fails.
+func TestTraceReplayInvariantViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		sys  func() (*System, error)
+		inv  Invariant
+	}{
+		{"arq-broken-guard", func() (*System, error) {
+			return BuildARQ(ARQOptions{SeqSpace: 4, Capacity: 2, BrokenAckGuard: true})
+		}, StopAndWaitInvariant(4)},
+		{"gbn-undersized-seqspace", func() (*System, error) {
+			return BuildGBN(GBNOptions{SeqSpace: 3, Window: 3, Total: 4, Capacity: 2, Lossy: true})
+		}, GBNInvariant(3)},
+		{"sr-undersized-seqspace", func() (*System, error) {
+			return BuildSR(SROptions{SeqSpace: 3, Total: 3, Capacity: 2, Lossy: true})
+		}, SRInvariant(3)},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			sys, err := tc.sys()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 4} {
+				res, err := Explore(sys, Options{
+					MaxStates:  1 << 20,
+					Invariants: []Invariant{tc.inv},
+					Workers:    workers,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(res.Violations) == 0 {
+					t.Fatal("seeded bug produced no violations")
+				}
+				checked := 0
+				for _, v := range res.Violations {
+					if v.Kind != ViolationInvariant {
+						continue
+					}
+					if len(v.Moves) != v.Depth {
+						t.Errorf("workers=%d: trace length %d != depth %d", workers, len(v.Moves), v.Depth)
+					}
+					snap, _, err := Replay(sys, v.Moves)
+					if err != nil {
+						t.Fatalf("workers=%d: trace does not replay: %v", workers, err)
+					}
+					if ierr := tc.inv.Fn(snap); ierr == nil {
+						t.Errorf("workers=%d: replayed trace %v does not violate %s", workers, v.Trace, tc.inv.Name)
+					} else if ierr.Error() != v.Msg {
+						t.Errorf("workers=%d: replayed violation %q, reported %q", workers, ierr, v.Msg)
+					}
+					checked++
+					if checked >= 25 {
+						break // the full violation set is covered by the differential test
+					}
+				}
+				if checked == 0 {
+					t.Fatal("no invariant violations to replay")
+				}
+			}
+		})
+	}
+}
+
+// divByZeroSystem steps into a division by zero on the first stimulus:
+// the machine's x starts at 0 and the TICK assign evaluates 1 % x.
+func divByZeroSystem() *System {
+	spec := &fsm.Spec{
+		Name:   "Crash",
+		Vars:   []fsm.Var{{Name: "x", Type: expr.TU8}},
+		States: []fsm.State{{Name: "Run", Init: true}, {Name: "Done", Final: true}},
+		Events: []fsm.Event{{Name: "TICK"}, {Name: "STOP"}},
+		Transitions: []fsm.Transition{
+			{Name: "tick", From: "Run", Event: "TICK", To: "Run",
+				Assigns: []fsm.Assign{{Var: "x", Expr: expr.MustParse("1 % x")}}},
+			{Name: "stop", From: "Run", Event: "STOP", To: "Done"},
+		},
+		Messages: modelMessages(),
+	}
+	return &System{
+		Specs: []*fsm.Spec{spec},
+		Env:   []EnvEvent{{Machine: 0, Event: "TICK"}, {Machine: 0, Event: "STOP"}},
+	}
+}
+
+// TestTraceReplayStepError pins step-error violations: the trace's final
+// move is the one that faults, so replaying all but the last move
+// succeeds and replaying the full trace reports the fault.
+func TestTraceReplayStepError(t *testing.T) {
+	sys := divByZeroSystem()
+	for _, workers := range []int{1, 4} {
+		res, err := Explore(sys, Options{MaxStates: 100, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var step *Violation
+		for i := range res.Violations {
+			if res.Violations[i].Kind == ViolationStep {
+				step = &res.Violations[i]
+				break
+			}
+		}
+		if step == nil {
+			t.Fatalf("workers=%d: no step violation; got %v", workers, res.Violations)
+		}
+		if !strings.Contains(step.Msg, "division by zero") {
+			t.Errorf("workers=%d: step violation msg = %q", workers, step.Msg)
+		}
+		if len(step.Moves) == 0 {
+			t.Fatal("step violation has no trace")
+		}
+		if _, _, err := Replay(sys, step.Moves[:len(step.Moves)-1]); err != nil {
+			t.Errorf("workers=%d: trace prefix does not replay: %v", workers, err)
+		}
+		if _, _, err := Replay(sys, step.Moves); err == nil {
+			t.Errorf("workers=%d: replaying the faulting move did not fault", workers)
+		} else if !strings.Contains(err.Error(), "division by zero") {
+			t.Errorf("workers=%d: replay error = %v", workers, err)
+		}
+	}
+}
+
+// TestTraceReplayDeadlock replays a deadlock trace and then proves the
+// reported state is genuinely stuck: every enabled move either bounces
+// off the machines or leaves the global state unchanged.
+func TestTraceReplayDeadlock(t *testing.T) {
+	sys := handshakeDeadlock()
+	res, err := Explore(sys, Options{MaxStates: 10000, CheckDeadlock: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dl *Violation
+	for i := range res.Violations {
+		if res.Violations[i].Kind == ViolationDeadlock {
+			dl = &res.Violations[i]
+			break
+		}
+	}
+	if dl == nil {
+		t.Fatal("no deadlock violation")
+	}
+	snap, _, err := Replay(sys, dl.Moves)
+	if err != nil {
+		t.Fatalf("deadlock trace does not replay: %v", err)
+	}
+	if snap.States[0] != "Waiting" {
+		t.Errorf("machine A deadlocked in %q, want Waiting", snap.States[0])
+	}
+
+	// Rebuild the deadlocked configuration and exhaust its moves.
+	progs, err := compileSystem(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := newMachines(progs)
+	queues := make([][]expr.Value, len(sys.Routes))
+	deliverArgs := deliverArgsFor(sys)
+	for _, mv := range dl.Moves {
+		if _, err := applyMove(sys, ms, queues, mv, deliverArgs, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := encodeGlobal(sys, ms, queues, nil)
+	for _, mv := range enabledMoves(sys, ms, queues, nil) {
+		msCopy := make([]*fsm.Machine, len(ms))
+		for i, m := range ms {
+			msCopy[i] = m.Clone()
+		}
+		qCopy := make([][]expr.Value, len(queues))
+		copy(qCopy, queues)
+		ar, err := applyMove(sys, msCopy, qCopy, mv, deliverArgs, nil)
+		if err != nil {
+			continue
+		}
+		if ar.envNoop {
+			continue
+		}
+		if after := encodeGlobal(sys, msCopy, qCopy, nil); !bytes.Equal(before, after) {
+			t.Errorf("deadlock state has productive move %s", mv.String())
+		}
+	}
+}
+
+// TestOverrunRegression is the bugfix sweep's regression test: channel
+// overruns — a send into a full route silently dropping the oldest
+// message — were previously invisible. They must now be counted, be
+// identical across engines and worker counts, and be promotable to
+// violations via the OverrunInvariant hook with a replayable trace.
+func TestOverrunRegression(t *testing.T) {
+	// Stop-and-wait with capacity 1: a retransmission into the full data
+	// route overruns it.
+	sys, err := BuildARQ(ARQOptions{SeqSpace: 4, Capacity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := ExploreSequential(sys, Options{MaxStates: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Overruns[0] == 0 {
+		t.Fatal("capacity-1 stop-and-wait produced no data-route overruns")
+	}
+	for _, workers := range []int{1, 2, 4} {
+		par, err := Explore(sys, Options{MaxStates: 1 << 20, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ri := range seq.Overruns {
+			if par.Overruns[ri] != seq.Overruns[ri] {
+				t.Errorf("workers=%d: route %d overruns = %d, want %d",
+					workers, ri, par.Overruns[ri], seq.Overruns[ri])
+			}
+		}
+	}
+
+	// Promote overruns on the data route to violations.
+	overrunInv := func(route int, dropped expr.Value) error {
+		if route == 0 {
+			return errDataOverrun
+		}
+		return nil
+	}
+	res, err := Explore(sys, Options{
+		MaxStates:        1 << 20,
+		OverrunInvariant: overrunInv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, v := range res.Violations {
+		if v.Kind != ViolationOverrun {
+			t.Errorf("unexpected violation kind %q", v.Kind)
+			continue
+		}
+		if v.Msg != errDataOverrun.Error() {
+			t.Errorf("overrun msg = %q", v.Msg)
+		}
+		if len(v.Moves) == 0 {
+			t.Fatal("overrun violation has no trace")
+		}
+		_, overruns, err := Replay(sys, v.Moves)
+		if err != nil {
+			t.Fatalf("overrun trace does not replay: %v", err)
+		}
+		if overruns[0] == 0 {
+			t.Errorf("replayed overrun trace %v drops nothing on route 0", v.Trace)
+		}
+		found++
+		if found >= 10 {
+			break
+		}
+	}
+	if found == 0 {
+		t.Fatal("OverrunInvariant produced no violations")
+	}
+}
+
+var errDataOverrun = errors.New("data route must never overrun")

@@ -1,0 +1,390 @@
+package verify
+
+// Sliding-window ARQ models: Go-Back-N and Selective Repeat. These are
+// the configurations the sequential checker could not drive far — the
+// window multiplies the in-flight state and the reordering channel
+// variants multiply the interleavings — and the reason the parallel
+// engine exists (DESIGN.md §12).
+//
+// Both models bound the session: the sender transmits at most Total
+// distinct packets, and the receiver counts accepted packets. The
+// integrity half of each invariant — "the receiver has not accepted more
+// packets than the sender sent" — is what catches sequence-number
+// aliasing: when the sequence space is too small (GBN needs
+// SeqSpace >= Window+1, SR with window 2 needs SeqSpace >= 4), a
+// retransmitted old packet is indistinguishable from a new one and the
+// receiver double-counts it. Those undersized configurations are kept as
+// seeded bugs the verification gate must catch.
+
+import (
+	"fmt"
+
+	"protodsl/internal/expr"
+	"protodsl/internal/fsm"
+)
+
+// GBNOptions parameterises the Go-Back-N model.
+type GBNOptions struct {
+	// SeqSpace is the sequence-number modulus (2..64). Correct GBN needs
+	// SeqSpace >= Window+1; SeqSpace == Window is the classic bug.
+	SeqSpace int
+	// Window is the sender window (1..8, <= SeqSpace).
+	Window int
+	// Total bounds the session: distinct packets sent (1..200).
+	Total int
+	// Capacity bounds each channel.
+	Capacity int
+	// Lossy adds drop moves; Reorder makes both channels reordering.
+	Lossy   bool
+	Reorder bool
+}
+
+// BuildGBN assembles the Go-Back-N sender/receiver system: sender index
+// 0 (vars base, outst, snd), receiver index 1 (vars expected, got),
+// data route 0 and ack route 1.
+func BuildGBN(opts GBNOptions) (*System, error) {
+	if err := windowedValidate(opts.SeqSpace, opts.Total, opts.Capacity); err != nil {
+		return nil, err
+	}
+	if opts.Window < 1 || opts.Window > 8 || opts.Window > opts.SeqSpace {
+		return nil, fmt.Errorf("verify: GBN window must be 1..8 and <= SeqSpace, got %d", opts.Window)
+	}
+	n, w, total := opts.SeqSpace, opts.Window, opts.Total
+
+	sender := &fsm.Spec{
+		Name: fmt.Sprintf("GBNSender%dw%d", n, w),
+		Vars: []fsm.Var{
+			{Name: "base", Type: expr.TU8},
+			{Name: "outst", Type: expr.TU8},
+			{Name: "snd", Type: expr.TU8},
+		},
+		States: []fsm.State{
+			{Name: "Ready", Init: true},
+			{Name: "Done", Final: true},
+		},
+		Events: []fsm.Event{
+			{Name: "SEND"},
+			{Name: "ACK", Params: []fsm.Param{{Name: "a", Type: expr.TMsg("AckM")}}},
+			{Name: "TIMEOUT"},
+			{Name: "FINISH"},
+		},
+		Transitions: []fsm.Transition{
+			{Name: "send", From: "Ready", Event: "SEND", To: "Ready",
+				Guard: expr.MustParse(fmt.Sprintf("outst < %d && snd < %d", w, total)),
+				Assigns: []fsm.Assign{
+					{Var: "outst", Expr: expr.MustParse("outst + 1")},
+					{Var: "snd", Expr: expr.MustParse("snd + 1")},
+				},
+				Outputs: []fsm.Output{{Message: "Pkt", Fields: map[string]expr.Expr{
+					"seq": expr.MustParse(fmt.Sprintf("(base + outst) %% %d", n)),
+				}}}},
+			// Cumulative ack: a.seq acknowledges everything up to and
+			// including it. In-window test and slide distance are both
+			// computed mod n against the pre-state base.
+			{Name: "ack", From: "Ready", Event: "ACK", To: "Ready",
+				Guard: expr.MustParse(fmt.Sprintf("((a.seq + %d - base) %% %d) < outst", n, n)),
+				Assigns: []fsm.Assign{
+					{Var: "base", Expr: expr.MustParse(fmt.Sprintf("(a.seq + 1) %% %d", n))},
+					{Var: "outst", Expr: expr.MustParse(fmt.Sprintf("outst - (((a.seq + %d - base) %% %d) + 1)", n, n))},
+				}},
+			{Name: "finish", From: "Ready", Event: "FINISH", To: "Done",
+				Guard: expr.MustParse("outst == 0")},
+		},
+		Messages: modelMessages(),
+	}
+	// Go-back-N retransmission: a timeout resends the entire window.
+	// Output lists are static per transition, so one transition per
+	// possible outstanding count carries exactly that many packets.
+	for k := 1; k <= w; k++ {
+		tr := fsm.Transition{
+			Name: fmt.Sprintf("rexmit%d", k), From: "Ready", Event: "TIMEOUT", To: "Ready",
+			Guard: expr.MustParse(fmt.Sprintf("outst == %d", k)),
+		}
+		for i := 0; i < k; i++ {
+			tr.Outputs = append(tr.Outputs, fsm.Output{Message: "Pkt", Fields: map[string]expr.Expr{
+				"seq": expr.MustParse(fmt.Sprintf("(base + %d) %% %d", i, n)),
+			}})
+		}
+		sender.Transitions = append(sender.Transitions, tr)
+	}
+
+	receiver := &fsm.Spec{
+		Name: fmt.Sprintf("GBNReceiver%d", n),
+		Vars: []fsm.Var{
+			{Name: "expected", Type: expr.TU8},
+			{Name: "got", Type: expr.TU8},
+		},
+		// Like the stop-and-wait model receiver, Recv declares no final
+		// state (a liveness warning, not an error): the receiver serves
+		// forever. GBN/SR configurations are checked without CheckDeadlock.
+		States: []fsm.State{{Name: "Recv", Init: true}},
+		Events: []fsm.Event{
+			{Name: "RECV", Params: []fsm.Param{{Name: "p", Type: expr.TMsg("Pkt")}}},
+		},
+		Transitions: []fsm.Transition{
+			{Name: "accept", From: "Recv", Event: "RECV", To: "Recv",
+				Guard: expr.MustParse("p.seq == expected"),
+				Assigns: []fsm.Assign{
+					{Var: "expected", Expr: expr.MustParse(fmt.Sprintf("(expected + 1) %% %d", n))},
+					{Var: "got", Expr: expr.MustParse("got + 1")},
+				},
+				Outputs: []fsm.Output{{Message: "AckM", Fields: map[string]expr.Expr{
+					"seq": expr.MustParse("p.seq"),
+				}}}},
+			// Out-of-order packet: re-ack the last in-order sequence
+			// number (cumulative), which is expected-1 mod n.
+			{Name: "reack", From: "Recv", Event: "RECV", To: "Recv",
+				Guard: expr.MustParse("p.seq != expected"),
+				Outputs: []fsm.Output{{Message: "AckM", Fields: map[string]expr.Expr{
+					"seq": expr.MustParse(fmt.Sprintf("(expected + %d - 1) %% %d", n, n)),
+				}}}},
+		},
+		Messages: modelMessages(),
+	}
+
+	return &System{
+		Specs: []*fsm.Spec{sender, receiver},
+		Routes: []Route{
+			{From: 0, Message: "Pkt", To: 1, Event: "RECV", Param: "p",
+				Capacity: opts.Capacity, Lossy: opts.Lossy, Reorder: opts.Reorder},
+			{From: 1, Message: "AckM", To: 0, Event: "ACK", Param: "a",
+				Capacity: opts.Capacity, Lossy: opts.Lossy, Reorder: opts.Reorder},
+		},
+		Env: []EnvEvent{
+			{Machine: 0, Event: "SEND"},
+			{Machine: 0, Event: "TIMEOUT"},
+			{Machine: 0, Event: "FINISH"},
+		},
+	}, nil
+}
+
+// GBNInvariant is the Go-Back-N safety property: the receiver stays
+// inside the sender's window and never accepts more packets than were
+// sent.
+func GBNInvariant(seqSpace int) Invariant {
+	n := uint64(seqSpace)
+	return Invariant{
+		Name: "gbn-window",
+		Fn: func(s *Snapshot) error {
+			base := s.Vars[0]["base"].AsUint()
+			outst := s.Vars[0]["outst"].AsUint()
+			snd := s.Vars[0]["snd"].AsUint()
+			expected := s.Vars[1]["expected"].AsUint()
+			got := s.Vars[1]["got"].AsUint()
+			if diff := (expected + n - base) % n; diff > outst {
+				return fmt.Errorf("receiver expected %d is %d past sender base %d (outstanding %d)",
+					expected, diff, base, outst)
+			}
+			if got > snd {
+				return fmt.Errorf("receiver accepted %d packets, sender sent only %d", got, snd)
+			}
+			return nil
+		},
+	}
+}
+
+// SROptions parameterises the Selective Repeat model (window fixed at 2).
+type SROptions struct {
+	// SeqSpace is the sequence-number modulus (2..64). Correct SR with
+	// window 2 needs SeqSpace >= 4 (2×window); SeqSpace == 3 is the
+	// classic bug.
+	SeqSpace int
+	// Total bounds the session: distinct packets sent (1..200).
+	Total int
+	// Capacity bounds each channel.
+	Capacity int
+	// Lossy adds drop moves; Reorder makes both channels reordering.
+	Lossy   bool
+	Reorder bool
+}
+
+// BuildSR assembles the Selective Repeat system with a window of 2:
+// sender index 0 (vars base, outst, a1, snd), receiver index 1 (vars
+// expected, buf, got). Each outstanding packet has its own timeout
+// stimulus (TIMEOUT0 for base, TIMEOUT1 for base+1) — retransmissions
+// are selective, not go-back.
+func BuildSR(opts SROptions) (*System, error) {
+	if err := windowedValidate(opts.SeqSpace, opts.Total, opts.Capacity); err != nil {
+		return nil, err
+	}
+	n, total := opts.SeqSpace, opts.Total
+
+	sender := &fsm.Spec{
+		Name: fmt.Sprintf("SRSender%d", n),
+		Vars: []fsm.Var{
+			{Name: "base", Type: expr.TU8},
+			{Name: "outst", Type: expr.TU8},
+			{Name: "a1", Type: expr.TU8}, // base+1 already acked (only while outst == 2)
+			{Name: "snd", Type: expr.TU8},
+		},
+		States: []fsm.State{
+			{Name: "Ready", Init: true},
+			{Name: "Done", Final: true},
+		},
+		Events: []fsm.Event{
+			{Name: "SEND"},
+			{Name: "ACK", Params: []fsm.Param{{Name: "a", Type: expr.TMsg("AckM")}}},
+			{Name: "TIMEOUT0"},
+			{Name: "TIMEOUT1"},
+			{Name: "FINISH"},
+		},
+		Transitions: []fsm.Transition{
+			{Name: "send", From: "Ready", Event: "SEND", To: "Ready",
+				Guard: expr.MustParse(fmt.Sprintf("outst < 2 && snd < %d", total)),
+				Assigns: []fsm.Assign{
+					{Var: "outst", Expr: expr.MustParse("outst + 1")},
+					{Var: "snd", Expr: expr.MustParse("snd + 1")},
+				},
+				Outputs: []fsm.Output{{Message: "Pkt", Fields: map[string]expr.Expr{
+					"seq": expr.MustParse(fmt.Sprintf("(base + outst) %% %d", n)),
+				}}}},
+			// Ack for base when base+1 is already acked: slide over both.
+			{Name: "ack_slide2", From: "Ready", Event: "ACK", To: "Ready",
+				Guard: expr.MustParse("a.seq == base && outst == 2 && a1 == 1"),
+				Assigns: []fsm.Assign{
+					{Var: "base", Expr: expr.MustParse(fmt.Sprintf("(base + 2) %% %d", n))},
+					{Var: "outst", Expr: expr.MustParse("0")},
+					{Var: "a1", Expr: expr.MustParse("0")},
+				}},
+			// Ack for base alone: slide one; a following outstanding
+			// packet (if any) becomes the new base.
+			{Name: "ack_slide1", From: "Ready", Event: "ACK", To: "Ready",
+				Guard: expr.MustParse("a.seq == base && outst >= 1 && a1 == 0"),
+				Assigns: []fsm.Assign{
+					{Var: "base", Expr: expr.MustParse(fmt.Sprintf("(base + 1) %% %d", n))},
+					{Var: "outst", Expr: expr.MustParse("outst - 1")},
+				}},
+			// Ack for the second outstanding packet: mark it, keep base.
+			{Name: "ack_second", From: "Ready", Event: "ACK", To: "Ready",
+				Guard: expr.MustParse(fmt.Sprintf("a.seq == ((base + 1) %% %d) && outst == 2 && a1 == 0", n)),
+				Assigns: []fsm.Assign{
+					{Var: "a1", Expr: expr.MustParse("1")},
+				}},
+			{Name: "rexmit0", From: "Ready", Event: "TIMEOUT0", To: "Ready",
+				Guard: expr.MustParse("outst >= 1"),
+				Outputs: []fsm.Output{{Message: "Pkt", Fields: map[string]expr.Expr{
+					"seq": expr.MustParse("base"),
+				}}}},
+			{Name: "rexmit1", From: "Ready", Event: "TIMEOUT1", To: "Ready",
+				Guard: expr.MustParse("outst == 2 && a1 == 0"),
+				Outputs: []fsm.Output{{Message: "Pkt", Fields: map[string]expr.Expr{
+					"seq": expr.MustParse(fmt.Sprintf("(base + 1) %% %d", n)),
+				}}}},
+			{Name: "finish", From: "Ready", Event: "FINISH", To: "Done",
+				Guard: expr.MustParse("outst == 0")},
+		},
+		Messages: modelMessages(),
+	}
+
+	receiver := &fsm.Spec{
+		Name: fmt.Sprintf("SRReceiver%d", n),
+		Vars: []fsm.Var{
+			{Name: "expected", Type: expr.TU8},
+			{Name: "buf", Type: expr.TU8}, // expected+1 buffered out of order
+			{Name: "got", Type: expr.TU8},
+		},
+		// No final state, matching the other model receivers; see the GBN
+		// receiver comment.
+		States: []fsm.State{{Name: "Recv", Init: true}},
+		Events: []fsm.Event{
+			{Name: "RECV", Params: []fsm.Param{{Name: "p", Type: expr.TMsg("Pkt")}}},
+		},
+		Transitions: []fsm.Transition{
+			{Name: "inorder", From: "Recv", Event: "RECV", To: "Recv",
+				Guard: expr.MustParse("p.seq == expected && buf == 0"),
+				Assigns: []fsm.Assign{
+					{Var: "expected", Expr: expr.MustParse(fmt.Sprintf("(expected + 1) %% %d", n))},
+					{Var: "got", Expr: expr.MustParse("got + 1")},
+				},
+				Outputs: []fsm.Output{{Message: "AckM", Fields: map[string]expr.Expr{
+					"seq": expr.MustParse("p.seq"),
+				}}}},
+			// In-order arrival with the next packet buffered: deliver both.
+			{Name: "inorder_flush", From: "Recv", Event: "RECV", To: "Recv",
+				Guard: expr.MustParse("p.seq == expected && buf == 1"),
+				Assigns: []fsm.Assign{
+					{Var: "expected", Expr: expr.MustParse(fmt.Sprintf("(expected + 2) %% %d", n))},
+					{Var: "buf", Expr: expr.MustParse("0")},
+					{Var: "got", Expr: expr.MustParse("got + 2")},
+				},
+				Outputs: []fsm.Output{{Message: "AckM", Fields: map[string]expr.Expr{
+					"seq": expr.MustParse("p.seq"),
+				}}}},
+			{Name: "buffer", From: "Recv", Event: "RECV", To: "Recv",
+				Guard: expr.MustParse(fmt.Sprintf("p.seq == ((expected + 1) %% %d) && buf == 0", n)),
+				Assigns: []fsm.Assign{
+					{Var: "buf", Expr: expr.MustParse("1")},
+				},
+				Outputs: []fsm.Output{{Message: "AckM", Fields: map[string]expr.Expr{
+					"seq": expr.MustParse("p.seq"),
+				}}}},
+			{Name: "buffer_dup", From: "Recv", Event: "RECV", To: "Recv",
+				Guard: expr.MustParse(fmt.Sprintf("p.seq == ((expected + 1) %% %d) && buf == 1", n)),
+				Outputs: []fsm.Output{{Message: "AckM", Fields: map[string]expr.Expr{
+					"seq": expr.MustParse("p.seq"),
+				}}}},
+			// Below the receive window: an already-delivered packet whose
+			// ack was lost — re-ack it.
+			{Name: "old_dup", From: "Recv", Event: "RECV", To: "Recv",
+				Guard: expr.MustParse(fmt.Sprintf("((p.seq + %d - expected) %% %d) >= 2", n, n)),
+				Outputs: []fsm.Output{{Message: "AckM", Fields: map[string]expr.Expr{
+					"seq": expr.MustParse("p.seq"),
+				}}}},
+		},
+		Messages: modelMessages(),
+	}
+
+	return &System{
+		Specs: []*fsm.Spec{sender, receiver},
+		Routes: []Route{
+			{From: 0, Message: "Pkt", To: 1, Event: "RECV", Param: "p",
+				Capacity: opts.Capacity, Lossy: opts.Lossy, Reorder: opts.Reorder},
+			{From: 1, Message: "AckM", To: 0, Event: "ACK", Param: "a",
+				Capacity: opts.Capacity, Lossy: opts.Lossy, Reorder: opts.Reorder},
+		},
+		Env: []EnvEvent{
+			{Machine: 0, Event: "SEND"},
+			{Machine: 0, Event: "TIMEOUT0"},
+			{Machine: 0, Event: "TIMEOUT1"},
+			{Machine: 0, Event: "FINISH"},
+		},
+	}, nil
+}
+
+// SRInvariant is the Selective Repeat safety property: the receiver
+// stays within 2 of the sender's base, and delivered+buffered packets
+// never exceed the packets actually sent.
+func SRInvariant(seqSpace int) Invariant {
+	n := uint64(seqSpace)
+	return Invariant{
+		Name: "sr-window",
+		Fn: func(s *Snapshot) error {
+			base := s.Vars[0]["base"].AsUint()
+			snd := s.Vars[0]["snd"].AsUint()
+			expected := s.Vars[1]["expected"].AsUint()
+			buf := s.Vars[1]["buf"].AsUint()
+			got := s.Vars[1]["got"].AsUint()
+			if diff := (expected + n - base) % n; diff > 2 {
+				return fmt.Errorf("receiver expected %d is %d past sender base %d", expected, diff, base)
+			}
+			if got+buf > snd {
+				return fmt.Errorf("receiver holds %d packets (%d delivered, %d buffered), sender sent only %d",
+					got+buf, got, buf, snd)
+			}
+			return nil
+		},
+	}
+}
+
+func windowedValidate(seqSpace, total, capacity int) error {
+	if seqSpace < 2 || seqSpace > 64 {
+		return fmt.Errorf("verify: SeqSpace must be 2..64, got %d", seqSpace)
+	}
+	if total < 1 || total > 200 {
+		return fmt.Errorf("verify: Total must be 1..200, got %d", total)
+	}
+	if capacity < 1 {
+		return fmt.Errorf("verify: Capacity must be >= 1, got %d", capacity)
+	}
+	return nil
+}
