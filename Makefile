@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race verify verify-full bench benchfull bench-json bench-diff allocscheck fuzz-smoke lint fmt vet fmtcheck docscheck clean
+.PHONY: all build test race chaos verify verify-full bench benchfull bench-json bench-diff allocscheck fuzz-smoke lint fmt vet fmtcheck docscheck clean
 
 all: build test lint docscheck verify
 
@@ -19,6 +19,15 @@ test:
 race:
 	$(GO) test -race -shuffle=on ./internal/harness/ ./internal/netsim/ ./internal/arq/ ./internal/rtnet/ ./internal/verify/
 	$(GO) test -run '^$$' -bench BenchmarkE11MultiFlow -benchtime 1x -race .
+
+# Seeded chaos soak (DESIGN.md §13): 64 loopback flows under
+# Gilbert-Elliott burst loss, a partition that heals, a jitter ramp and
+# a mid-run server crash/restart, under the race detector. Asserts
+# every graceful-degradation counter (drop_fault, rto_backoffs, sheds,
+# panics_recovered, flows_expired) moved and that crash-straddling
+# transfers terminate. Deterministic schedule, seed 42.
+chaos:
+	$(GO) test -race -run TestChaosSoak -count=1 -v ./internal/rtnet/
 
 # Model-checking gate: exhaustively verify every machine spec in
 # examples/specs/ (closed over its full stimulus domain) plus the
@@ -68,7 +77,7 @@ bench-json:
 bench-diff:
 	$(GO) run ./cmd/benchjson -benchtime 2s -out .bench_fresh.json
 	$(GO) run ./internal/tools/benchdiff -old BENCH_hotpath.json -new .bench_fresh.json -max-regress 25 \
-		-match '^Benchmark(CompiledVsTreeWalk|AblationCodecPath|AblationInterpVsCodegen|AblationChecksums|RTNetLoopback|Sum8|Inet16|TimerChurn|AggregateInto|ObsCounterAdd|ObsHistObserve|ObsRingRecord|VerifyStates)'
+		-match '^Benchmark(CompiledVsTreeWalk|AblationCodecPath|AblationInterpVsCodegen|AblationChecksums|RTNetLoopback|Sum8|Inet16|TimerChurn|AggregateInto|ObsCounterAdd|ObsHistObserve|ObsRingRecord|ObsGaugeSet|VerifyStates)'
 
 # Allocation gate: the slot codec, the AOT-generated codec hot paths
 # (AppendEncode / DecodeInto) and flat machine dispatch, the rtnet
@@ -77,8 +86,8 @@ bench-diff:
 # observe, ring-trace record) must report 0 allocs/op. Regressions
 # fail here, not in the narrative.
 allocscheck:
-	$(GO) run ./cmd/benchjson -bench 'AblationCodecPath/slot|AblationCodecPath/generated-append-encode|AblationCodecPath/generated-decode-into|AblationInterpVsCodegen/flat-machine|RTNetLoopback|TimerChurn/wheel|AggregateInto|ObsCounterAdd|ObsHistObserve|ObsRingRecord' \
-		-benchtime 30000x -require-zero 'slot|generated-append-encode|generated-decode-into|flat-machine|RTNetLoopback|TimerChurn/wheel|AggregateInto|ObsCounterAdd|ObsHistObserve|ObsRingRecord' -out /dev/null
+	$(GO) run ./cmd/benchjson -bench 'AblationCodecPath/slot|AblationCodecPath/generated-append-encode|AblationCodecPath/generated-decode-into|AblationInterpVsCodegen/flat-machine|RTNetLoopback|TimerChurn/wheel|AggregateInto|ObsCounterAdd|ObsHistObserve|ObsRingRecord|ObsGaugeSet' \
+		-benchtime 30000x -require-zero 'slot|generated-append-encode|generated-decode-into|flat-machine|RTNetLoopback|TimerChurn/wheel|AggregateInto|ObsCounterAdd|ObsHistObserve|ObsRingRecord|ObsGaugeSet' -out /dev/null
 
 # Fuzz smoke: ~30s of native fuzzing per target against the committed
 # hostile corpora (testdata/fuzz). Minimization is capped — on small

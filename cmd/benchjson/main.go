@@ -95,7 +95,7 @@ func parseBench(out string) (results []Result, cpu string) {
 
 func main() {
 	out := flag.String("out", "BENCH_hotpath.json", "output file ('-' for stdout)")
-	bench := flag.String("bench", "AblationCodecPath|AblationInterpVsCodegen|CompiledVsTreeWalk|RTNetLoopback|RTNetReusePort|AblationChecksums|Sum8|Inet16|TimerChurn|AggregateInto|ObsCounterAdd|ObsHistObserve|ObsRingRecord|VerifyStates",
+	bench := flag.String("bench", "AblationCodecPath|AblationInterpVsCodegen|CompiledVsTreeWalk|RTNetLoopback|RTNetReusePort|AblationChecksums|Sum8|Inet16|TimerChurn|AggregateInto|ObsCounterAdd|ObsHistObserve|ObsRingRecord|ObsGaugeSet|VerifyStates",
 		"benchmark regexp passed to go test -bench")
 	benchtime := flag.String("benchtime", "", "go test -benchtime (e.g. 2s, 30000x); empty for default")
 	pkgsFlag := flag.String("pkg", ".,./internal/rtnet,./internal/checksum,./internal/timerwheel,./internal/harness,./internal/obs,./internal/verify", "comma-separated packages to benchmark")

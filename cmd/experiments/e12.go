@@ -1,0 +1,83 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"protodsl/internal/faults"
+	"protodsl/internal/harness"
+	"protodsl/internal/metrics"
+	"protodsl/internal/netsim"
+)
+
+// runE12 quantifies the adaptive-RTO claim of DESIGN.md §13: under
+// Gilbert-Elliott bursty loss — the misbehaviour uniform i.i.d. loss
+// cannot model — an RFC 6298 estimator beats any honest fixed RTO on
+// goodput, because a fixed timeout must be provisioned for the unknown
+// worst-case RTT (here 50ms against a ~4ms path) and then pays that
+// full overestimate on every burst, while the estimator converges to
+// the measured RTT and recovers from each burst in milliseconds. On a
+// clean channel the two are nearly identical: adaptation costs nothing
+// when there is nothing to adapt to.
+func runE12(_ *ctx, out io.Writer) error {
+	const shards = 4
+	// The chaos channel: bursts arrive every ~20 packets and eat ~90% of
+	// a mean 5-packet run — long enough to defeat a window in one bite.
+	sch := &faults.Schedule{
+		Seed:    12,
+		Gilbert: &faults.GilbertElliott{PGoodBad: 0.05, PBadGood: 0.2, LossBad: 0.9},
+	}
+	base := harness.MultiFlowConfig{
+		Flows:           8,
+		PayloadsPerFlow: 40,
+		PayloadSize:     128,
+		Window:          8,
+		RTO:             50 * time.Millisecond, // the honest guess for an unknown path
+		MaxRTO:          200 * time.Millisecond,
+		MaxRetries:      300,
+		Bottleneck:      netsim.LinkParams{Delay: 2 * time.Millisecond},
+		Seed:            12,
+	}
+	tb := metrics.NewTable(
+		fmt.Sprintf("E12: adaptive vs fixed RTO under Gilbert-Elliott bursty loss (%d shards x %d flows)",
+			shards, base.Flows),
+		"variant", "rto", "channel", "ok", "goodput/flow B/s", "retrans", "mean dur")
+	for _, variant := range []harness.Variant{harness.VariantGBN, harness.VariantSR} {
+		for _, chaos := range []bool{false, true} {
+			for _, adaptive := range []bool{false, true} {
+				cfg := base
+				cfg.Variant = variant
+				cfg.Adaptive = adaptive
+				channel := "clean"
+				if chaos {
+					cfg.Faults = sch
+					channel = "bursty"
+				}
+				mode := "fixed 50ms"
+				if adaptive {
+					mode = "adaptive"
+				}
+				rep, err := harness.Run(cfg, shards, 0)
+				if err != nil {
+					return err
+				}
+				tb.AddRow(variant.String(), mode, channel,
+					fmt.Sprintf("%d/%d", rep.OKFlows, rep.Flows),
+					rep.Goodput.Mean(),
+					rep.Retransmits,
+					fmt.Sprintf("%.1fms", rep.Duration.Mean()*1000))
+			}
+		}
+	}
+	fmt.Fprintln(out, tb)
+	fmt.Fprintln(out, "Reading: on the clean channel adaptive and fixed finish together (no")
+	fmt.Fprintln(out, "timeouts fire, so the estimator is pure bookkeeping). Under bursty loss")
+	fmt.Fprintln(out, "the fixed sender sits out its full 50ms overestimate after every burst,")
+	fmt.Fprintln(out, "while the estimator has converged to the ~4ms path RTT and retries as")
+	fmt.Fprintln(out, "soon as the burst plausibly ended — several times the goodput from the")
+	fmt.Fprintln(out, "same wire. Karn's rule keeps retransmission ambiguity out of the")
+	fmt.Fprintln(out, "estimate; exponential backoff still bounds the pressure either sender")
+	fmt.Fprintln(out, "puts on a dead path. See DESIGN.md §13.")
+	return nil
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments            run all of E1..E11
+//	experiments            run all of E1..E12
 //	experiments e3 e5      run a subset
 //	experiments -repo DIR  repository root for source-reading experiments (E2)
 package main
@@ -57,6 +57,7 @@ func run(c *ctx, selected []string, out io.Writer) error {
 		{"e9", "§2.3 claim: automatic behavioural test construction", runE9},
 		{"e10", "§4.2 claim: exact checking vs DFA approximation", runE10},
 		{"e11", "scale-out: multi-flow contention over a shared bottleneck", runE11},
+		{"e12", "robustness: adaptive RTO vs fixed under bursty loss", runE12},
 	}
 	want := map[string]bool{}
 	for _, s := range selected {

@@ -30,6 +30,7 @@ func TestAllExperimentsRun(t *testing.T) {
 		"E9: automatically constructed behavioural tests",
 		"E10a: seeded spec defects",
 		"E10b: path-insensitive DFA",
+		"E12: adaptive vs fixed RTO",
 		"FALSE POSITIVE", // the DFA approximation gap must be visible
 	} {
 		if !strings.Contains(s, want) {

@@ -45,6 +45,7 @@ func run(args []string, out io.Writer) error {
 		stats    = fs.Duration("stats", 5*time.Second, "stats print interval (0 = silent)")
 		httpAddr = fs.String("http", "", "serve /metrics, /stats.json and /trace on this TCP address (empty = off)")
 		duration = fs.Duration("duration", 0, "serve for this long then exit (0 = until interrupted)")
+		drainTO  = fs.Duration("drain-timeout", 0, "on shutdown, lame-duck and wait up to this long for in-flight flows to finish (0 = close immediately)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -129,18 +130,32 @@ func run(args []string, out io.Writer) error {
 		defer tk.Stop()
 		tick = tk.C
 	}
+	// drain lame-ducks the node before the deferred Close: established
+	// flows finish, new peers see loss (drop_draining). A failed drain is
+	// reported but not fatal — Close still reclaims everything.
+	drain := func(reason string) {
+		fmt.Fprintf(out, "protoserve: %s; flows=%d frames=%d payload_bytes=%d\n",
+			reason, flows.Load(), frames.Load(), bytes.Load())
+		if *drainTO <= 0 {
+			return
+		}
+		fmt.Fprintf(out, "protoserve: draining (up to %s)...\n", *drainTO)
+		if err := node.Drain(*drainTO); err != nil {
+			fmt.Fprintf(out, "protoserve: drain: %v (closing anyway)\n", err)
+			return
+		}
+		fmt.Fprintln(out, "protoserve: drained; closing")
+	}
 	for {
 		select {
 		case <-tick:
 			fmt.Fprintf(out, "protoserve: flows=%d frames=%d payload_bytes=%d header_drops=%d send_errs=%d\n",
 				flows.Load(), frames.Load(), bytes.Load(), node.Drops(), node.SendErrors())
 		case <-interrupt:
-			fmt.Fprintf(out, "protoserve: interrupted; flows=%d frames=%d payload_bytes=%d\n",
-				flows.Load(), frames.Load(), bytes.Load())
+			drain("interrupted")
 			return nil
 		case <-expire:
-			fmt.Fprintf(out, "protoserve: done; flows=%d frames=%d payload_bytes=%d\n",
-				flows.Load(), frames.Load(), bytes.Load())
+			drain("done")
 			return nil
 		}
 	}

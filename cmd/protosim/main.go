@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"protodsl/internal/arq"
+	"protodsl/internal/faults"
 	"protodsl/internal/harness"
 	"protodsl/internal/netsim"
 	"protodsl/internal/rtnet"
@@ -36,26 +37,38 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("protosim", flag.ContinueOnError)
 	var (
-		nPayloads = fs.Int("payloads", 50, "number of payloads to transfer")
-		size      = fs.Int("size", 128, "payload size in bytes")
-		loss      = fs.Float64("loss", 0.1, "packet loss probability")
-		dup       = fs.Float64("dup", 0, "duplication probability")
-		corrupt   = fs.Float64("corrupt", 0, "bit-corruption probability")
-		reorder   = fs.Float64("reorder", 0, "reordering probability")
-		delay     = fs.Duration("delay", 2*time.Millisecond, "one-way link delay")
-		jitter    = fs.Duration("jitter", 0, "delay jitter")
-		rto       = fs.Duration("rto", 25*time.Millisecond, "retransmission timeout")
-		retries   = fs.Int("retries", 50, "max retries per packet/window")
-		window    = fs.Int("window", 1, "sender window (1 = stop-and-wait, >1 = go-back-N)")
-		seed      = fs.Int64("seed", 1, "simulation seed")
-		connect   = fs.String("connect", "", "run over real UDP against a protoserve at this host:port")
-		flows     = fs.Int("flows", 64, "concurrent flows in -connect mode (1..256)")
-		variant   = fs.String("variant", "gbn", "ARQ variant in -connect mode: gbn or sr")
-		shards    = fs.Int("shards", 0, "client worker loops in -connect mode (0 = min(GOMAXPROCS, 4))")
-		dumpStats = fs.Bool("stats", false, "dump the observability snapshot (counters, RTT histogram) as JSON after the transfer")
+		nPayloads  = fs.Int("payloads", 50, "number of payloads to transfer")
+		size       = fs.Int("size", 128, "payload size in bytes")
+		loss       = fs.Float64("loss", 0.1, "packet loss probability")
+		dup        = fs.Float64("dup", 0, "duplication probability")
+		corrupt    = fs.Float64("corrupt", 0, "bit-corruption probability")
+		reorder    = fs.Float64("reorder", 0, "reordering probability")
+		delay      = fs.Duration("delay", 2*time.Millisecond, "one-way link delay")
+		jitter     = fs.Duration("jitter", 0, "delay jitter")
+		rto        = fs.Duration("rto", 25*time.Millisecond, "retransmission timeout (initial value with -adaptive)")
+		adaptive   = fs.Bool("adaptive", false, "RFC-6298 adaptive RTO with exponential backoff (window > 1 only)")
+		retries    = fs.Int("retries", 50, "max retries per packet/window")
+		window     = fs.Int("window", 1, "sender window (1 = stop-and-wait, >1 = go-back-N)")
+		seed       = fs.Int64("seed", 1, "simulation seed")
+		connect    = fs.String("connect", "", "run over real UDP against a protoserve at this host:port")
+		flows      = fs.Int("flows", 64, "concurrent flows in -connect mode (1..256)")
+		variant    = fs.String("variant", "gbn", "ARQ variant in -connect mode: gbn or sr")
+		shards     = fs.Int("shards", 0, "client worker loops in -connect mode (0 = min(GOMAXPROCS, 4))")
+		dumpStats  = fs.Bool("stats", false, "dump the observability snapshot (counters, RTT histogram) as JSON after the transfer")
+		faultsPath = fs.String("faults", "", "JSON fault schedule (see DESIGN.md §13); layered over the sim link, or over the client node in -connect mode")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var sch *faults.Schedule
+	if *faultsPath != "" {
+		var err error
+		if sch, err = faults.Load(*faultsPath); err != nil {
+			return err
+		}
+	}
+	if *adaptive && *connect == "" && *window <= 1 {
+		return fmt.Errorf("-adaptive needs -window > 1: stop-and-wait has a single fixed timer (see DESIGN.md §13)")
 	}
 	if *connect != "" {
 		// Impairments are a property of the simulated link; the real
@@ -77,7 +90,8 @@ func run(args []string, out io.Writer) error {
 		return runClient(out, clientConfig{
 			server: *connect, flows: *flows, variant: *variant, shards: *shards,
 			payloads: *nPayloads, size: *size, window: *window,
-			rto: *rto, retries: *retries, stats: *dumpStats,
+			rto: *rto, adaptive: *adaptive, retries: *retries, stats: *dumpStats,
+			faults: sch,
 		})
 	}
 
@@ -97,7 +111,8 @@ func run(args []string, out io.Writer) error {
 
 	if *window > 1 {
 		res, err := arq.RunTransferGBN(arq.GBNConfig{
-			Link: link, RTO: *rto, MaxRetries: *retries, Window: *window, Seed: *seed,
+			Link: link, RTO: *rto, Adaptive: *adaptive, MaxRetries: *retries,
+			Window: *window, Seed: *seed, Faults: sch,
 		}, payloads)
 		if err != nil {
 			return err
@@ -113,7 +128,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	res, err := arq.RunTransfer(arq.Config{
-		Link: link, RTO: *rto, MaxRetries: *retries, Seed: *seed,
+		Link: link, RTO: *rto, MaxRetries: *retries, Seed: *seed, Faults: sch,
 	}, payloads)
 	if err != nil {
 		return err
@@ -145,8 +160,10 @@ type clientConfig struct {
 	size     int
 	window   int
 	rto      time.Duration
+	adaptive bool
 	retries  int
 	stats    bool
+	faults   *faults.Schedule
 }
 
 // runClient drives cfg.flows concurrent ARQ senders over one UDP socket
@@ -163,7 +180,7 @@ func runClient(out io.Writer, cfg clientConfig) error {
 	if cfg.window < 1 {
 		cfg.window = 32
 	}
-	node, err := rtnet.Listen("0.0.0.0:0", rtnet.Config{Shards: cfg.shards})
+	node, err := rtnet.Listen("0.0.0.0:0", rtnet.Config{Shards: cfg.shards, Faults: cfg.faults})
 	if err != nil {
 		return err
 	}
@@ -172,7 +189,7 @@ func runClient(out io.Writer, cfg clientConfig) error {
 	if err != nil {
 		return err
 	}
-	fcfg := arq.FlowConfig{Window: cfg.window, RTO: cfg.rto, MaxRetries: cfg.retries}
+	fcfg := arq.FlowConfig{Window: cfg.window, RTO: cfg.rto, MaxRetries: cfg.retries, Adaptive: cfg.adaptive}
 
 	type flowRun struct {
 		gbn  *arq.GBNSender

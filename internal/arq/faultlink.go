@@ -1,0 +1,30 @@
+package arq
+
+import (
+	"protodsl/internal/faults"
+	"protodsl/internal/netsim"
+)
+
+// connectWithFaults wires a<->b with the given link parameters, layering
+// one private fault-injector instance per direction (ids 0 and 1) when
+// sch is non-nil. A nil schedule takes the plain symmetric Connect path,
+// so faults-off runs stay byte-identical to the pinned golden traces.
+func connectWithFaults(sim *netsim.Sim, a, b *netsim.Endpoint, link netsim.LinkParams, sch *faults.Schedule) error {
+	if sch == nil {
+		sim.Connect(a, b, link)
+		return nil
+	}
+	fwd, rev := link, link
+	fi, err := sch.Instance(0)
+	if err != nil {
+		return err
+	}
+	ri, err := sch.Instance(1)
+	if err != nil {
+		return err
+	}
+	fwd.Faults, rev.Faults = fi, ri
+	sim.ConnectDirectional(a, b, fwd)
+	sim.ConnectDirectional(b, a, rev)
+	return nil
+}

@@ -1,0 +1,221 @@
+package arq
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+	"time"
+
+	"protodsl/internal/faults"
+	"protodsl/internal/netsim"
+	"protodsl/internal/obs"
+)
+
+// These tests exercise the fault-injection substrate end to end through
+// the simulator and the ARQ engines: seeded replay (same schedule +
+// same seed ⇒ byte-identical traces), estimator behaviour across a
+// partition heal, Karn suppression under retransmission ambiguity, and
+// the headline DESIGN.md §13 claim — adaptive RTO beats a conservative
+// fixed RTO on bursty-loss goodput. Faults-off byte-identity is pinned
+// separately and more strongly by TestGoldenTraces: those hashes were
+// recorded before this substrate existed.
+
+// runFaultedGBN runs one GBN transfer over a link carrying the given
+// fault schedule (fresh injectors per direction) and returns the
+// virtual duration and the FNV-64a hash of the full trace.
+func runFaultedGBN(t *testing.T, sch *faults.Schedule, cfg FlowConfig, seed int64, n int) (time.Duration, uint64) {
+	t.Helper()
+	sim := netsim.New(seed)
+	sim.EnableTrace()
+	sEP, err := sim.NewEndpoint("sender")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rEP, err := sim.NewEndpoint("receiver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd := netsim.LinkParams{Delay: 2 * time.Millisecond}
+	rev := fwd
+	if sch != nil {
+		// One injector per direction: injectors are single-owner, and the
+		// id split keeps their streams independent but reproducible.
+		fwd.Faults = sch.MustInstance(0)
+		rev.Faults = sch.MustInstance(1)
+	}
+	sim.ConnectDirectional(sEP, rEP, fwd)
+	sim.ConnectDirectional(rEP, sEP, rev)
+
+	payloads := make([][]byte, n)
+	for i := range payloads {
+		p := make([]byte, 64)
+		for j := range p {
+			p[j] = byte(i + j)
+		}
+		payloads[i] = p
+	}
+	fl, err := StartGBN(sim, sEP, rEP, cfg, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunUntilIdle(500000); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.Err(); err != nil {
+		t.Fatal(err)
+	}
+	res := fl.Result()
+	if !res.OK {
+		t.Fatal("transfer failed under faults")
+	}
+	if len(res.Delivered) != n {
+		t.Fatalf("delivered %d payloads, want %d", len(res.Delivered), n)
+	}
+	h := fnv.New64a()
+	for _, ev := range sim.Trace() {
+		fmt.Fprintln(h, ev.String())
+	}
+	return res.Duration, h.Sum64()
+}
+
+func TestFaultedRunReplaysByteIdentical(t *testing.T) {
+	// The chain is aggressive (bad state entered every ~5 packets) so
+	// that a reseeded schedule is guaranteed to shuffle the drop pattern
+	// within this short transfer.
+	sch := &faults.Schedule{
+		Seed:    11,
+		Gilbert: &faults.GilbertElliott{PGoodBad: 0.2, PBadGood: 0.3, LossBad: 1},
+		Events: []faults.Event{
+			{Kind: faults.Partition, From: 40 * time.Millisecond, Until: 90 * time.Millisecond},
+			{Kind: faults.JitterRamp, From: 120 * time.Millisecond, Until: 200 * time.Millisecond, Extra: 3 * time.Millisecond},
+		},
+	}
+	cfg := FlowConfig{Window: 8, RTO: 20 * time.Millisecond, MaxRetries: 100}
+	d1, h1 := runFaultedGBN(t, sch, cfg, 1, 30)
+	d2, h2 := runFaultedGBN(t, sch, cfg, 1, 30)
+	if d1 != d2 || h1 != h2 {
+		t.Fatalf("same schedule+seed diverged: dur %s vs %s, trace %016x vs %016x", d1, d2, h1, h2)
+	}
+	// A different schedule seed reshuffles the injected faults and must
+	// produce a different packet history.
+	reseeded := *sch
+	reseeded.Seed = 12
+	_, h3 := runFaultedGBN(t, &reseeded, cfg, 1, 30)
+	if h3 == h1 {
+		t.Fatal("reseeded schedule replayed the original trace: injector not consuming its own PRNG")
+	}
+	// And the faulted run must differ from the clean run on the same sim
+	// seed (sanity that the injector did anything at all).
+	_, clean := runFaultedGBN(t, nil, cfg, 1, 30)
+	if clean == h1 {
+		t.Fatal("faulted trace identical to clean trace")
+	}
+}
+
+func TestAdaptiveRTOBacksOffAndResetsAcrossPartitionHeal(t *testing.T) {
+	sch := &faults.Schedule{
+		Events: []faults.Event{
+			{Kind: faults.Partition, From: 20 * time.Millisecond, Until: 320 * time.Millisecond},
+		},
+	}
+	sim := netsim.New(0)
+	sEP, _ := sim.NewEndpoint("sender")
+	rEP, _ := sim.NewEndpoint("receiver")
+	fwd := netsim.LinkParams{Delay: 2 * time.Millisecond, Faults: sch.MustInstance(0)}
+	rev := netsim.LinkParams{Delay: 2 * time.Millisecond, Faults: sch.MustInstance(1)}
+	sim.ConnectDirectional(sEP, rEP, fwd)
+	sim.ConnectDirectional(rEP, sEP, rev)
+
+	payloads := make([][]byte, 40)
+	for i := range payloads {
+		payloads[i] = []byte{byte(i)}
+	}
+	cfg := FlowConfig{Window: 4, RTO: 20 * time.Millisecond, MaxRetries: 100, Adaptive: true}
+	fl, err := StartGBN(sim, sEP, rEP, cfg, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunUntilIdle(500000); err != nil {
+		t.Fatal(err)
+	}
+	if !fl.Done() || !fl.Result().OK {
+		t.Fatal("transfer did not survive the partition")
+	}
+	sh := sim.ObsShard()
+	// The 300ms partition forces repeated timeouts: with backoff the
+	// armed RTO climbs 20→40→80→160ms, so at least three backoffs fire.
+	if got := sh.Get(obs.RTOBackoffs); got < 3 {
+		t.Fatalf("rto_backoffs = %d across a 300ms partition, want >= 3", got)
+	}
+	// After the heal, fresh samples (RTT ≈ 4ms) reset and re-converge the
+	// estimator: the final published RTO must be far below both the
+	// backed-off value (≥160ms) and the initial 20ms guess.
+	if got := sh.Gauge(obs.GaugeRTO); got <= 0 || got > int64(15*time.Millisecond) {
+		t.Fatalf("final rto_current_ns = %d, want converged below 15ms", got)
+	}
+	if sh.RTT().Count() == 0 {
+		t.Fatal("no RTT samples after heal: estimator starved")
+	}
+}
+
+func TestKarnSuppressionUnderRetransmissionAmbiguity(t *testing.T) {
+	// RTT (60ms) is three times the initial RTO (20ms), so every single
+	// packet is retransmitted before its first ack returns. Karn's rule
+	// must suppress every sample — an implementation that sampled
+	// retransmitted packets would feed the estimator ambiguous
+	// (ack-minus-which-send?) measurements. Observable: zero RTT samples,
+	// and the RTO gauge still at the initial base after the transfer.
+	sim := netsim.New(0)
+	sEP, _ := sim.NewEndpoint("sender")
+	rEP, _ := sim.NewEndpoint("receiver")
+	sim.Connect(sEP, rEP, netsim.LinkParams{Delay: 30 * time.Millisecond})
+
+	payloads := make([][]byte, 20)
+	for i := range payloads {
+		payloads[i] = []byte{byte(i)}
+	}
+	cfg := FlowConfig{Window: 4, RTO: 20 * time.Millisecond, MaxRetries: 100, Adaptive: true}
+	fl, err := StartGBN(sim, sEP, rEP, cfg, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunUntilIdle(500000); err != nil {
+		t.Fatal(err)
+	}
+	if !fl.Done() || !fl.Result().OK {
+		t.Fatal("transfer did not finish")
+	}
+	sh := sim.ObsShard()
+	if got := sh.RTT().Count(); got != 0 {
+		t.Fatalf("%d RTT samples taken from retransmitted packets: Karn's rule broken", got)
+	}
+	if got := sh.Gauge(obs.GaugeRTO); got != int64(20*time.Millisecond) {
+		t.Fatalf("rto_current_ns = %d after a sample-starved run, want the initial 20ms", got)
+	}
+	if fl.Result().Retransmits == 0 {
+		t.Fatal("scenario produced no retransmissions: test premise broken")
+	}
+}
+
+func TestAdaptiveBeatsFixedUnderBurstyLoss(t *testing.T) {
+	// The DESIGN.md §13 experiment in miniature: a conservative 50ms
+	// fixed RTO (the honest a-priori guess when the ~4ms RTT is unknown)
+	// against the adaptive estimator starting from the same 50ms, both
+	// over the same Gilbert-Elliott bursty-loss channel. The estimator
+	// converges to ≈RTT and recovers from each burst in milliseconds
+	// instead of sitting out 50ms per loss, so it must finish faster.
+	sch := &faults.Schedule{
+		Seed:    5,
+		Gilbert: &faults.GilbertElliott{PGoodBad: 0.05, PBadGood: 0.2, LossBad: 0.9},
+	}
+	fixed := FlowConfig{Window: 8, RTO: 50 * time.Millisecond, MaxRetries: 200}
+	adaptive := fixed
+	adaptive.Adaptive = true
+	durFixed, _ := runFaultedGBN(t, sch, fixed, 3, 60)
+	durAdaptive, _ := runFaultedGBN(t, sch, adaptive, 3, 60)
+	if durAdaptive >= durFixed {
+		t.Fatalf("adaptive (%s) not faster than fixed (%s) under bursty loss", durAdaptive, durFixed)
+	}
+	t.Logf("bursty loss, 60×64B: fixed RTO 50ms took %s, adaptive took %s (%.1f%% of fixed)",
+		durFixed, durAdaptive, 100*float64(durAdaptive)/float64(durFixed))
+}

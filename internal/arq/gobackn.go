@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"protodsl/internal/faults"
 	"protodsl/internal/netsim"
 	"protodsl/internal/obs"
 )
@@ -35,10 +36,14 @@ type sendMeta struct {
 type GBNConfig struct {
 	Link        netsim.LinkParams
 	RTO         time.Duration
-	MaxRetries  int // retransmission rounds per window before giving up
-	Window      int // sender window size (1 = stop-and-wait behaviour)
+	Adaptive    bool // RFC-6298 adaptive RTO (see FlowConfig.Adaptive)
+	MaxRetries  int  // retransmission rounds per window before giving up
+	Window      int  // sender window size (1 = stop-and-wait behaviour)
 	Seed        int64
 	EventBudget int
+	// Faults, if non-nil, layers the fault schedule over the link, one
+	// private injector per direction (instance ids 0 and 1).
+	Faults *faults.Schedule
 }
 
 // FlowConfig parameterises one windowed ARQ flow attached to existing
@@ -53,6 +58,17 @@ type FlowConfig struct {
 	// MaxRetries bounds retransmission rounds (go-back-N) or per-packet
 	// retransmissions (selective repeat). Zero selects 10.
 	MaxRetries int
+	// Adaptive enables the RFC-6298 timeout estimator (internal/arq/rto.go,
+	// DESIGN.md §13): SRTT/RTTVAR from the Karn-filtered RTT samples,
+	// exponential backoff on timeout, reset on forward progress. RTO then
+	// serves only as the initial timeout until the first sample. Off, the
+	// configured RTO is a fixed timer — the original engine behaviour,
+	// which the golden traces pin.
+	Adaptive bool
+	// MinRTO and MaxRTO clamp the adaptive timeout (zero selects 5ms and
+	// 10s). Ignored in fixed mode.
+	MinRTO time.Duration
+	MaxRTO time.Duration
 }
 
 func (c *FlowConfig) applyDefaults() error {
@@ -67,6 +83,17 @@ func (c *FlowConfig) applyDefaults() error {
 	}
 	if c.Window < 1 || c.Window > 127 {
 		return fmt.Errorf("arq: window %d outside 1..127 (8-bit sequence space)", c.Window)
+	}
+	if c.Adaptive {
+		if c.MinRTO == 0 {
+			c.MinRTO = defaultMinRTO
+		}
+		if c.MaxRTO == 0 {
+			c.MaxRTO = defaultMaxRTO
+		}
+		if c.MinRTO <= 0 || c.MaxRTO < c.MinRTO {
+			return fmt.Errorf("arq: adaptive rto bounds [%s, %s] invalid", c.MinRTO, c.MaxRTO)
+		}
 	}
 	return nil
 }
@@ -108,7 +135,7 @@ type gbnSender struct {
 	window   int
 
 	timer      netsim.Timer
-	rto        time.Duration
+	rto        rtoState
 	maxRetries int
 	retries    int
 
@@ -190,7 +217,7 @@ func (s *gbnSender) armTimer() {
 		s.timer.Cancel()
 	}
 	if s.base < len(s.payloads) {
-		s.timer = s.rt.After(s.rto, s.onTimeout)
+		s.timer = s.rt.After(s.rto.current(), s.onTimeout)
 	}
 }
 
@@ -212,11 +239,16 @@ func (s *gbnSender) onDatagram(_ netsim.Addr, data []byte) {
 			now := s.rt.Now()
 			for j := s.base; j <= i; j++ {
 				if m := &s.meta[j%s.window]; !m.retx {
-					s.obs.RTT().Observe(now - m.at)
+					rtt := now - m.at
+					s.obs.RTT().Observe(rtt)
+					s.rto.sample(rtt)
 				}
 			}
 			s.base = i + 1
 			s.retries = 0
+			// Forward progress clears backoff even when every covered
+			// packet was a Karn-suppressed retransmission.
+			s.rto.progress()
 			s.pump()
 			return
 		}
@@ -234,6 +266,7 @@ func (s *gbnSender) onTimeout() {
 		s.finish(false)
 		return
 	}
+	s.rto.backoff()
 	// Go back N: retransmit the whole window.
 	for i := s.base; i < s.next; i++ {
 		if err := s.transmit(i, true); err != nil {
@@ -368,12 +401,13 @@ func AttachGBNSender(rt netsim.Runtime, port netsim.Port, peer netsim.Addr, cfg 
 	if err != nil {
 		return nil, err
 	}
+	sh := obs.Of(rt)
 	send := &gbnSender{
 		rt: rt, ep: port, peer: peer, codec: codec,
 		payloads: payloads, window: cfg.Window,
-		rto: cfg.RTO, maxRetries: cfg.MaxRetries,
+		rto: newRTOState(&cfg, sh), maxRetries: cfg.MaxRetries,
 		notify: onDone,
-		obs:    obs.Of(rt),
+		obs:    sh,
 		meta:   make([]sendMeta, cfg.Window),
 	}
 	port.SetHandler(send.onDatagram)
@@ -437,7 +471,7 @@ func (r *GBNReceiver) Err() error {
 
 // RunTransferGBN runs a go-back-N transfer. Window 0 selects 8.
 func RunTransferGBN(cfg GBNConfig, payloads [][]byte) (*GBNResult, error) {
-	fcfg := FlowConfig{Window: cfg.Window, RTO: cfg.RTO, MaxRetries: cfg.MaxRetries}
+	fcfg := FlowConfig{Window: cfg.Window, RTO: cfg.RTO, MaxRetries: cfg.MaxRetries, Adaptive: cfg.Adaptive}
 	if err := fcfg.applyDefaults(); err != nil {
 		return nil, err
 	}
@@ -453,7 +487,9 @@ func RunTransferGBN(cfg GBNConfig, payloads [][]byte) (*GBNResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	sim.Connect(sEP, rEP, cfg.Link)
+	if err := connectWithFaults(sim, sEP, rEP, cfg.Link, cfg.Faults); err != nil {
+		return nil, err
+	}
 
 	flow, err := StartGBN(sim, sEP, rEP, fcfg, payloads)
 	if err != nil {

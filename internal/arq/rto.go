@@ -1,0 +1,158 @@
+package arq
+
+import (
+	"time"
+
+	"protodsl/internal/obs"
+)
+
+// This file implements the adaptive retransmission timeout shared by
+// both window engines (DESIGN.md §13). The estimator is RFC 6298
+// restated in the engines' vocabulary:
+//
+//	first sample:  SRTT = R,              RTTVAR = R/2
+//	after:         RTTVAR = ¾·RTTVAR + ¼·|SRTT − R|
+//	               SRTT   = ⅞·SRTT   + ⅛·R
+//	base RTO:      clamp(SRTT + max(G, 4·RTTVAR), MinRTO, MaxRTO)
+//	on timeout:    armed RTO = base << shift, shift capped
+//	on progress:   shift = 0 (reset-on-ack)
+//
+// Samples are the engines' existing Karn-filtered RTT observations —
+// never a retransmitted packet — so retransmission ambiguity cannot
+// poison the estimate; exponential backoff covers the window where
+// Karn's rule starves the estimator of samples. The code is identical
+// on the virtual-time and real-clock paths because it only ever sees
+// time.Duration deltas from the Runtime seam.
+//
+// In fixed mode (FlowConfig.Adaptive false) every method is a no-op and
+// current() returns the configured RTO, so both engines run the same
+// call sites in both modes and fixed-mode event sequences stay
+// byte-identical to the pre-estimator engines — the golden-trace pins
+// depend on that.
+
+const (
+	// rtoGranularity is RFC 6298's clock granularity G, the variance
+	// floor in base = SRTT + max(G, 4·RTTVAR): an RTT stream with no
+	// measured variance still gets headroom above SRTT.
+	rtoGranularity = time.Millisecond
+
+	// rtoMaxShift caps exponential backoff at 2^6 = 64× base. MaxRTO
+	// usually binds first; the shift cap keeps the doubling arithmetic
+	// overflow-free regardless of configuration.
+	rtoMaxShift = 6
+
+	// Default clamp bounds when FlowConfig leaves them zero. The floor
+	// guards against a transient sub-millisecond RTT estimate arming a
+	// degenerate timer; the ceiling keeps a backed-off flow probing a
+	// healed path within seconds, not minutes.
+	defaultMinRTO = 5 * time.Millisecond
+	defaultMaxRTO = 10 * time.Second
+)
+
+func clampDur(d, lo, hi time.Duration) time.Duration {
+	if d < lo {
+		return lo
+	}
+	if d > hi {
+		return hi
+	}
+	return d
+}
+
+// rtoState is one sender's timeout estimator. Value-embedded in the
+// sender structs; single-goroutine like everything else in an engine.
+type rtoState struct {
+	adaptive bool
+	fixed    time.Duration // fixed-mode RTO; also the adaptive initial RTO
+	min, max time.Duration
+
+	srtt    time.Duration
+	rttvar  time.Duration
+	sampled bool          // first sample seen (SRTT/RTTVAR valid)
+	base    time.Duration // computed RTO before backoff
+	shift   uint          // exponential backoff exponent
+
+	obs *obs.Shard
+}
+
+// newRTOState builds the estimator from an applyDefaults'd config.
+// Until the first sample the adaptive base is the configured RTO
+// (clamped), mirroring RFC 6298's conservative initial timeout.
+func newRTOState(cfg *FlowConfig, sh *obs.Shard) rtoState {
+	st := rtoState{
+		adaptive: cfg.Adaptive, fixed: cfg.RTO,
+		min: cfg.MinRTO, max: cfg.MaxRTO,
+		obs: sh,
+	}
+	if st.adaptive {
+		st.base = clampDur(cfg.RTO, st.min, st.max)
+		st.publish()
+	}
+	return st
+}
+
+// current returns the RTO to arm right now, backoff included.
+func (r *rtoState) current() time.Duration {
+	if !r.adaptive {
+		return r.fixed
+	}
+	return clampDur(r.base<<r.shift, r.min, r.max)
+}
+
+// sample feeds one Karn-valid RTT measurement: recompute SRTT/RTTVAR
+// and the base RTO, and clear any backoff (a sample implies an ack).
+func (r *rtoState) sample(rtt time.Duration) {
+	if !r.adaptive {
+		return
+	}
+	if rtt < 0 {
+		rtt = 0
+	}
+	if !r.sampled {
+		r.srtt, r.rttvar, r.sampled = rtt, rtt/2, true
+	} else {
+		dev := r.srtt - rtt
+		if dev < 0 {
+			dev = -dev
+		}
+		r.rttvar = (3*r.rttvar + dev) / 4
+		r.srtt = (7*r.srtt + rtt) / 8
+	}
+	vv := 4 * r.rttvar
+	if vv < rtoGranularity {
+		vv = rtoGranularity
+	}
+	r.base = clampDur(r.srtt+vv, r.min, r.max)
+	r.shift = 0
+	r.publish()
+}
+
+// progress clears backoff on any forward-progress ack — including acks
+// for retransmitted packets, which Karn's rule bars from sampling but
+// which still prove the path is passing traffic again.
+func (r *rtoState) progress() {
+	if !r.adaptive || r.shift == 0 {
+		return
+	}
+	r.shift = 0
+	r.publish()
+}
+
+// backoff doubles the armed RTO after a retransmission timeout (capped
+// by rtoMaxShift and MaxRTO) and counts the event.
+func (r *rtoState) backoff() {
+	if !r.adaptive {
+		return
+	}
+	if r.shift < rtoMaxShift {
+		r.shift++
+	}
+	r.obs.Inc(obs.RTOBackoffs)
+	r.publish()
+}
+
+// publish surfaces the armed RTO through the shard gauge (one atomic
+// store; the last engine to rearm wins on a shared shard).
+func (r *rtoState) publish() {
+	r.obs.SetGauge(obs.GaugeRTO, int64(r.current()))
+}

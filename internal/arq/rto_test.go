@@ -1,0 +1,174 @@
+package arq
+
+import (
+	"testing"
+	"time"
+
+	"protodsl/internal/obs"
+)
+
+func adaptiveCfg(t *testing.T, mutate func(*FlowConfig)) FlowConfig {
+	t.Helper()
+	cfg := FlowConfig{Adaptive: true}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	if err := cfg.applyDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestRTOFixedModeIsInert(t *testing.T) {
+	cfg := FlowConfig{RTO: 20 * time.Millisecond}
+	if err := cfg.applyDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	st := obs.New(1, 0)
+	r := newRTOState(&cfg, st.Shard(0))
+	r.sample(time.Millisecond)
+	r.backoff()
+	r.backoff()
+	r.progress()
+	if got := r.current(); got != 20*time.Millisecond {
+		t.Fatalf("fixed mode current = %s, want the configured 20ms", got)
+	}
+	if st.Total(obs.RTOBackoffs) != 0 {
+		t.Fatal("fixed mode counted a backoff")
+	}
+	if st.Shard(0).Gauge(obs.GaugeRTO) != 0 {
+		t.Fatal("fixed mode published the RTO gauge")
+	}
+}
+
+func TestRTOFirstSampleSeedsEstimator(t *testing.T) {
+	cfg := adaptiveCfg(t, nil)
+	r := newRTOState(&cfg, obs.Of(nil))
+	if got := r.current(); got != cfg.RTO {
+		t.Fatalf("pre-sample current = %s, want initial RTO %s", got, cfg.RTO)
+	}
+	// RFC 6298 first sample: SRTT = R, RTTVAR = R/2, so
+	// base = R + 4·(R/2) = 3R (variance term above the 1ms floor).
+	r.sample(10 * time.Millisecond)
+	if got := r.current(); got != 30*time.Millisecond {
+		t.Fatalf("after first 10ms sample current = %s, want 30ms", got)
+	}
+}
+
+func TestRTOConvergesOnSteadyRTT(t *testing.T) {
+	cfg := adaptiveCfg(t, nil)
+	r := newRTOState(&cfg, obs.Of(nil))
+	const rtt = 10 * time.Millisecond
+	for i := 0; i < 100; i++ {
+		r.sample(rtt)
+	}
+	// RTTVAR decays geometrically on constant samples, so the variance
+	// term bottoms out at the granularity floor: current → RTT + G.
+	want := rtt + rtoGranularity
+	if got := r.current(); got < rtt || got > want+2*time.Millisecond {
+		t.Fatalf("steady 10ms RTT converged to %s, want ≈ %s", got, want)
+	}
+}
+
+func TestRTOBackoffDoublesAndCaps(t *testing.T) {
+	st := obs.New(1, 0)
+	cfg := adaptiveCfg(t, func(c *FlowConfig) { c.MaxRTO = time.Hour })
+	r := newRTOState(&cfg, st.Shard(0))
+	r.sample(10 * time.Millisecond) // base = 30ms
+	base := r.current()
+	for i := 1; i <= rtoMaxShift; i++ {
+		r.backoff()
+		if got, want := r.current(), base<<uint(i); got != want {
+			t.Fatalf("after %d backoffs current = %s, want %s", i, got, want)
+		}
+	}
+	// Past the shift cap the armed RTO stops growing (but is still counted).
+	capped := r.current()
+	r.backoff()
+	r.backoff()
+	if got := r.current(); got != capped {
+		t.Fatalf("backoff past the cap grew the RTO: %s, want %s", got, capped)
+	}
+	if got := st.Total(obs.RTOBackoffs); got != rtoMaxShift+2 {
+		t.Fatalf("RTOBackoffs = %d, want %d (every backoff counted)", got, rtoMaxShift+2)
+	}
+	// MaxRTO binds before the shift cap when configured tighter.
+	tight := adaptiveCfg(t, func(c *FlowConfig) { c.MaxRTO = 50 * time.Millisecond })
+	r2 := newRTOState(&tight, obs.Of(nil))
+	r2.sample(10 * time.Millisecond)
+	for i := 0; i < 10; i++ {
+		r2.backoff()
+	}
+	if got := r2.current(); got != 50*time.Millisecond {
+		t.Fatalf("backoff exceeded MaxRTO: %s", got)
+	}
+}
+
+func TestRTOResetOnAck(t *testing.T) {
+	cfg := adaptiveCfg(t, nil)
+	r := newRTOState(&cfg, obs.Of(nil))
+	r.sample(10 * time.Millisecond)
+	base := r.current()
+	r.backoff()
+	r.backoff()
+	if r.current() != base<<2 {
+		t.Fatalf("two backoffs: current = %s, want %s", r.current(), base<<2)
+	}
+	// Progress without a valid sample (Karn-suppressed retransmit ack):
+	// backoff clears, estimator state survives.
+	r.progress()
+	if got := r.current(); got != base {
+		t.Fatalf("progress did not reset backoff: %s, want %s", got, base)
+	}
+	// A valid sample also clears backoff and re-estimates.
+	r.backoff()
+	r.sample(10 * time.Millisecond)
+	if got := r.current(); got >= base<<1 {
+		t.Fatalf("sample did not reset backoff: %s", got)
+	}
+}
+
+func TestRTOClampBounds(t *testing.T) {
+	cfg := adaptiveCfg(t, func(c *FlowConfig) {
+		c.MinRTO = 20 * time.Millisecond
+		c.MaxRTO = 100 * time.Millisecond
+	})
+	r := newRTOState(&cfg, obs.Of(nil))
+	r.sample(time.Millisecond) // base would be ~4ms unclamped
+	if got := r.current(); got != 20*time.Millisecond {
+		t.Fatalf("MinRTO floor: current = %s, want 20ms", got)
+	}
+	r.sample(time.Second) // base would be seconds unclamped
+	if got := r.current(); got != 100*time.Millisecond {
+		t.Fatalf("MaxRTO ceiling: current = %s, want 100ms", got)
+	}
+	// Negative samples clamp to zero instead of corrupting the filter.
+	r.sample(-time.Second)
+	if got := r.current(); got < 20*time.Millisecond || got > 100*time.Millisecond {
+		t.Fatalf("negative sample escaped the clamp: %s", got)
+	}
+}
+
+func TestRTOInvalidBoundsRejected(t *testing.T) {
+	cfg := FlowConfig{Adaptive: true, MinRTO: time.Second, MaxRTO: time.Millisecond}
+	if err := cfg.applyDefaults(); err == nil {
+		t.Fatal("inverted MinRTO/MaxRTO accepted")
+	}
+}
+
+func TestRTOPublishesGauge(t *testing.T) {
+	st := obs.New(1, 0)
+	cfg := adaptiveCfg(t, nil)
+	r := newRTOState(&cfg, st.Shard(0))
+	if got := st.Shard(0).Gauge(obs.GaugeRTO); got != int64(cfg.RTO) {
+		t.Fatalf("initial gauge = %d, want %d", got, int64(cfg.RTO))
+	}
+	r.sample(10 * time.Millisecond)
+	if got := st.Shard(0).Gauge(obs.GaugeRTO); got != int64(30*time.Millisecond) {
+		t.Fatalf("post-sample gauge = %d, want 30ms", got)
+	}
+	r.backoff()
+	if got := st.Shard(0).Gauge(obs.GaugeRTO); got != int64(60*time.Millisecond) {
+		t.Fatalf("post-backoff gauge = %d, want 60ms", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"protodsl/internal/faults"
 	"protodsl/internal/netsim"
 	"protodsl/internal/obs"
 )
@@ -23,10 +24,14 @@ import (
 type SRConfig struct {
 	Link        netsim.LinkParams
 	RTO         time.Duration
-	MaxRetries  int // per-packet retransmissions before giving up
+	Adaptive    bool // RFC-6298 adaptive RTO (see FlowConfig.Adaptive)
+	MaxRetries  int  // per-packet retransmissions before giving up
 	Window      int
 	Seed        int64
 	EventBudget int
+	// Faults, if non-nil, layers the fault schedule over the link, one
+	// private injector per direction (instance ids 0 and 1).
+	Faults *faults.Schedule
 }
 
 // SRResult reports a selective-repeat transfer.
@@ -71,7 +76,7 @@ type srSender struct {
 	next     int // next payload index to send
 	window   int
 
-	rto        time.Duration
+	rto        rtoState
 	maxRetries int
 	obs        *obs.Shard // runtime's stats block (discard when it has none)
 
@@ -146,7 +151,7 @@ func (s *srSender) transmit(idx int, isRetrans bool) error {
 	if t := s.state[idx].timer; t != nil {
 		t.Cancel()
 	}
-	s.state[idx].timer = s.rt.After(s.rto, func() { s.onTimeout(idx) })
+	s.state[idx].timer = s.rt.After(s.rto.current(), func() { s.onTimeout(idx) })
 	return nil
 }
 
@@ -169,8 +174,13 @@ func (s *srSender) onDatagram(_ netsim.Addr, data []byte) {
 		// Karn's rule: only a never-retransmitted packet yields a valid
 		// RTT sample (retries counts retransmissions of this packet).
 		if s.state[i].retries == 0 {
-			s.obs.RTT().Observe(s.rt.Now() - s.state[i].sentAt)
+			rtt := s.rt.Now() - s.state[i].sentAt
+			s.obs.RTT().Observe(rtt)
+			s.rto.sample(rtt)
 		}
+		// Any newly-acked packet is forward progress: clear backoff even
+		// when Karn's rule suppressed the sample.
+		s.rto.progress()
 		if t := s.state[i].timer; t != nil {
 			t.Cancel()
 			s.state[i].timer = nil
@@ -193,6 +203,7 @@ func (s *srSender) onTimeout(idx int) {
 		s.finish(false)
 		return
 	}
+	s.rto.backoff()
 	if err := s.transmit(idx, true); err != nil {
 		s.fail(err)
 	}
@@ -336,12 +347,13 @@ func AttachSRSender(rt netsim.Runtime, port netsim.Port, peer netsim.Addr, cfg F
 	if err != nil {
 		return nil, err
 	}
+	sh := obs.Of(rt)
 	send := &srSender{
 		rt: rt, ep: port, peer: peer, codec: codec,
 		payloads: payloads, state: make([]srPacket, len(payloads)),
-		window: cfg.Window, rto: cfg.RTO, maxRetries: cfg.MaxRetries,
+		window: cfg.Window, rto: newRTOState(&cfg, sh), maxRetries: cfg.MaxRetries,
 		notify: onDone,
-		obs:    obs.Of(rt),
+		obs:    sh,
 	}
 	port.SetHandler(send.onDatagram)
 	rt.Post(send.pump)
@@ -409,7 +421,7 @@ func (r *SRReceiver) Err() error {
 // RunTransferSR runs a selective-repeat transfer over its own simulator.
 // Window 0 selects 8.
 func RunTransferSR(cfg SRConfig, payloads [][]byte) (*SRResult, error) {
-	fcfg := FlowConfig{Window: cfg.Window, RTO: cfg.RTO, MaxRetries: cfg.MaxRetries}
+	fcfg := FlowConfig{Window: cfg.Window, RTO: cfg.RTO, MaxRetries: cfg.MaxRetries, Adaptive: cfg.Adaptive}
 	if err := fcfg.applyDefaults(); err != nil {
 		return nil, err
 	}
@@ -425,7 +437,9 @@ func RunTransferSR(cfg SRConfig, payloads [][]byte) (*SRResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	sim.Connect(sEP, rEP, cfg.Link)
+	if err := connectWithFaults(sim, sEP, rEP, cfg.Link, cfg.Faults); err != nil {
+		return nil, err
+	}
 
 	flow, err := StartSR(sim, sEP, rEP, fcfg, payloads)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"protodsl/internal/faults"
 	"protodsl/internal/netsim"
 	"protodsl/internal/obs"
 )
@@ -21,6 +22,9 @@ type Config struct {
 	// EventBudget bounds total simulator events (livelock guard). Zero
 	// selects a budget proportional to the workload.
 	EventBudget int
+	// Faults, if non-nil, layers the fault schedule over the link, one
+	// private injector per direction (instance ids 0 and 1).
+	Faults *faults.Schedule
 }
 
 // Result reports a completed transfer.
@@ -67,7 +71,9 @@ func RunTransfer(cfg Config, payloads [][]byte) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	sim.Connect(sEP, rEP, cfg.Link)
+	if err := connectWithFaults(sim, sEP, rEP, cfg.Link, cfg.Faults); err != nil {
+		return nil, err
+	}
 
 	recv, err := NewReceiver(sim, rEP, sEP.Addr())
 	if err != nil {

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"protodsl/internal/arq"
+	"protodsl/internal/faults"
 	"protodsl/internal/metrics"
 	"protodsl/internal/netsim"
 )
@@ -64,9 +65,20 @@ type MultiFlowConfig struct {
 	Window     int
 	RTO        time.Duration
 	MaxRetries int
+	// Adaptive switches every flow to the RFC 6298 RTO estimator seeded
+	// from RTO, with MinRTO/MaxRTO clamping (zero selects the arq
+	// defaults). Off, RTO is the fixed timeout, exactly as before.
+	Adaptive bool
+	MinRTO   time.Duration
+	MaxRTO   time.Duration
 	// Bottleneck is applied to the shared link in both directions: its
 	// Bandwidth (if set) is what the flows contend for.
 	Bottleneck netsim.LinkParams
+	// Faults, if non-nil, layers the fault schedule over the bottleneck:
+	// each shard derives its own pair of injectors (one per direction,
+	// instance ids 2·shard and 2·shard+1), so the chaos pattern differs
+	// across shards but every shard replays bit-for-bit.
+	Faults *faults.Schedule
 	// Seed seeds shard 0; shard s uses Seed+s.
 	Seed int64
 	// EventBudget bounds each shard's event count. Zero selects a budget
@@ -156,10 +168,28 @@ func RunShard(cfg MultiFlowConfig, shard int) ([]FlowResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	sim.Connect(left, right, cfg.Bottleneck)
+	if cfg.Faults != nil {
+		fwd, rev := cfg.Bottleneck, cfg.Bottleneck
+		fi, err := cfg.Faults.Instance(int64(2 * shard))
+		if err != nil {
+			return nil, err
+		}
+		ri, err := cfg.Faults.Instance(int64(2*shard + 1))
+		if err != nil {
+			return nil, err
+		}
+		fwd.Faults, rev.Faults = fi, ri
+		sim.ConnectDirectional(left, right, fwd)
+		sim.ConnectDirectional(right, left, rev)
+	} else {
+		sim.Connect(left, right, cfg.Bottleneck)
+	}
 	lm, rm := netsim.NewMux(left), netsim.NewMux(right)
 
-	fcfg := arq.FlowConfig{Window: cfg.Window, RTO: cfg.RTO, MaxRetries: cfg.MaxRetries}
+	fcfg := arq.FlowConfig{
+		Window: cfg.Window, RTO: cfg.RTO, MaxRetries: cfg.MaxRetries,
+		Adaptive: cfg.Adaptive, MinRTO: cfg.MinRTO, MaxRTO: cfg.MaxRTO,
+	}
 	type flowHandle interface {
 		Done() bool
 		Err() error

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"protodsl/internal/faults"
 	"protodsl/internal/obs"
 )
 
@@ -30,6 +31,14 @@ type LinkParams struct {
 	Bandwidth int64
 	// MTU, if positive, silently drops packets larger than this.
 	MTU int
+	// Faults, if non-nil, layers a compiled fault-injection schedule
+	// (internal/faults: bursty loss, partitions, delay spikes) over the
+	// link's own impairments. The injector owns its own PRNG and is
+	// consulted after the link's loss roll, so a nil Faults run consumes
+	// the simulation PRNG identically to a pre-faults build — golden
+	// traces depend on that. Injectors are single-owner: never share one
+	// across links (give each direction its own Instance).
+	Faults *faults.Injector
 }
 
 type link struct {
@@ -153,7 +162,22 @@ func (e *Endpoint) Send(to Addr, data []byte) error {
 		return nil
 	}
 
-	deliverAt := txStart + p.Delay
+	// Injected faults layer over the link's own impairments: the verdict
+	// comes from the injector's private PRNG keyed to virtual time, so a
+	// faulted run replays bit-for-bit and a nil injector changes nothing.
+	var faultDelay time.Duration
+	if p.Faults != nil {
+		v := p.Faults.Apply(s.now)
+		if v.Drop {
+			s.stats.FaultDropped++
+			s.obsSh.Inc(obs.DropFault)
+			s.traceEvent(TraceDrop, e.addr, to, len(payload))
+			return nil
+		}
+		faultDelay = v.Delay
+	}
+
+	deliverAt := txStart + p.Delay + faultDelay
 	if p.Jitter > 0 {
 		deliverAt += time.Duration(s.rng.Int63n(int64(p.Jitter)))
 	}

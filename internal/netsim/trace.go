@@ -63,18 +63,22 @@ func (s *Sim) traceEvent(kind TraceKind, from, to Addr, size int) {
 	s.obsSh.Ring().Record(s.now, obs.Kind(kind), 0, size, s.intern(from), s.intern(to))
 }
 
-// Stats aggregates simulator-level packet counters.
+// Stats aggregates simulator-level packet counters. Dropped counts the
+// link's own impairments (loss roll, MTU); FaultDropped counts drops
+// injected by a LinkParams.Faults schedule — split so experiments can
+// attribute loss to the chaos plan versus the link model.
 type Stats struct {
-	Sent       uint64
-	Delivered  uint64
-	Dropped    uint64
-	Duplicated uint64
-	Corrupted  uint64
-	Reordered  uint64
+	Sent         uint64
+	Delivered    uint64
+	Dropped      uint64
+	FaultDropped uint64
+	Duplicated   uint64
+	Corrupted    uint64
+	Reordered    uint64
 }
 
 // String renders the counters.
 func (st Stats) String() string {
-	return fmt.Sprintf("sent=%d delivered=%d dropped=%d dup=%d corrupt=%d reorder=%d",
-		st.Sent, st.Delivered, st.Dropped, st.Duplicated, st.Corrupted, st.Reordered)
+	return fmt.Sprintf("sent=%d delivered=%d dropped=%d fault=%d dup=%d corrupt=%d reorder=%d",
+		st.Sent, st.Delivered, st.Dropped, st.FaultDropped, st.Duplicated, st.Corrupted, st.Reordered)
 }

@@ -5,10 +5,11 @@ import (
 	"time"
 )
 
-// The allocscheck gate pins these three at 0 allocs/op: they are the
-// exact operations the rtnet shard loops and the simulator hot path
-// execute per frame, so any allocation here is an allocation per
-// packet.
+// The allocscheck gate pins these write paths at 0 allocs/op: they are
+// the exact operations the rtnet shard loops and the simulator hot path
+// execute per frame (counter add, histogram observe, ring record) or
+// per timer rearm (gauge set), so any allocation here is an allocation
+// per packet.
 
 func BenchmarkObsCounterAdd(b *testing.B) {
 	st := New(4, 0)
@@ -37,6 +38,19 @@ func BenchmarkObsRingRecord(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.Record(time.Duration(i), KindSend, uint8(i), i&0x3ff, 1, 2)
+	}
+}
+
+func BenchmarkObsGaugeSet(b *testing.B) {
+	st := New(4, 0)
+	sh := st.Shard(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sh.SetGauge(GaugeRTO, int64(i+1))
+	}
+	if sh.Gauge(GaugeRTO) == 0 {
+		b.Fatal("gauge never stored")
 	}
 }
 

@@ -47,6 +47,8 @@ const (
 	DropUnknownFlow // valid header, but no engine claims the flow id
 	DropPeerLimit   // served flow's peer table full (spoof sweep guard)
 	DropLink        // simulated link loss/MTU drop (netsim only)
+	DropFault       // injected fault drop (internal/faults: burst loss, partition)
+	DropDraining    // frame from a new peer while the node is draining
 
 	DropSendOversize // staged frame larger than MaxPacket
 	DropSendFamily   // destination family cannot ride this socket
@@ -56,6 +58,11 @@ const (
 	GSOSegments // frames carried inside them
 	GROBundles  // GRO-coalesced deliveries received
 	GROSegments // frames split out of them
+
+	RTOBackoffs     // adaptive-RTO exponential backoffs (DESIGN.md §13)
+	Sheds           // frames shed by the overload policy before reaching a shard
+	FlowsExpired    // served (flow, peer) engines reaped by idle expiry
+	PanicsRecovered // engine panics contained by shard-loop isolation
 
 	NumCounters // count of counters; not itself a counter
 )
@@ -74,6 +81,8 @@ var counterNames = [NumCounters]string{
 	DropUnknownFlow: "drop_unknown_flow",
 	DropPeerLimit:   "drop_peer_limit",
 	DropLink:        "drop_link",
+	DropFault:       "drop_fault",
+	DropDraining:    "drop_draining",
 
 	DropSendOversize: "drop_send_oversize",
 	DropSendFamily:   "drop_send_family",
@@ -83,6 +92,11 @@ var counterNames = [NumCounters]string{
 	GSOSegments: "gso_segments",
 	GROBundles:  "gro_bundles",
 	GROSegments: "gro_segments",
+
+	RTOBackoffs:     "rto_backoffs",
+	Sheds:           "sheds",
+	FlowsExpired:    "flows_expired",
+	PanicsRecovered: "panics_recovered",
 }
 
 // Name returns the counter's snake_case name (the Prometheus/JSON key).
@@ -91,6 +105,34 @@ func (c Counter) Name() string {
 		return "unknown"
 	}
 	return counterNames[c]
+}
+
+// Gauge identifies one per-shard last-value gauge. Unlike counters,
+// gauges move in both directions: the reader sees whatever the owning
+// loop last stored (one atomic store to write, one load to read).
+type Gauge uint32
+
+// The gauge set.
+const (
+	// GaugeRTO is the adaptive retransmission timeout currently armed by
+	// the engines on this shard, in nanoseconds, backoff included (the
+	// last engine to rearm wins — on a one-flow shard it is exact, on a
+	// shared shard it samples the population). See DESIGN.md §13.
+	GaugeRTO Gauge = iota
+
+	NumGauges // count of gauges; not itself a gauge
+)
+
+var gaugeNames = [NumGauges]string{
+	GaugeRTO: "rto_current_ns",
+}
+
+// Name returns the gauge's snake_case name (the Prometheus/JSON key).
+func (g Gauge) Name() string {
+	if g >= NumGauges {
+		return "unknown"
+	}
+	return gaugeNames[g]
 }
 
 // HistBuckets is the number of log2 histogram buckets: bucket i counts
@@ -150,6 +192,7 @@ func BucketUpperNs(i int) uint64 {
 // own counters never false-share.
 type Shard struct {
 	counters [NumCounters]atomic.Uint64
+	gauges   [NumGauges]atomic.Int64
 	rtt      Hist
 	ring     Ring
 	_        [64]byte
@@ -163,6 +206,12 @@ func (s *Shard) Inc(c Counter) { s.counters[c].Add(1) }
 
 // Get returns counter c's current value.
 func (s *Shard) Get(c Counter) uint64 { return s.counters[c].Load() }
+
+// SetGauge stores gauge g's current value (one atomic store; 0 allocs).
+func (s *Shard) SetGauge(g Gauge, v int64) { s.gauges[g].Store(v) }
+
+// Gauge returns gauge g's last stored value.
+func (s *Shard) Gauge(g Gauge) int64 { return s.gauges[g].Load() }
 
 // RTT returns the shard's round-trip-latency histogram.
 func (s *Shard) RTT() *Hist { return &s.rtt }

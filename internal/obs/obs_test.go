@@ -90,6 +90,32 @@ func TestShardCountersAndTotals(t *testing.T) {
 	}
 }
 
+func TestGauges(t *testing.T) {
+	st := New(2, 0)
+	st.Shard(0).SetGauge(GaugeRTO, 50_000_000)
+	st.Shard(0).SetGauge(GaugeRTO, 75_000_000) // last value wins
+	if got := st.Shard(0).Gauge(GaugeRTO); got != 75_000_000 {
+		t.Fatalf("Gauge = %d, want 75000000", got)
+	}
+	snap := st.Snapshot()
+	if snap.Shards[0].Gauges["rto_current_ns"] != 75_000_000 {
+		t.Fatalf("shard 0 gauges = %v", snap.Shards[0].Gauges)
+	}
+	// A shard with all-zero gauges omits the map entirely.
+	if snap.Shards[1].Gauges != nil {
+		t.Fatalf("shard 1 gauges should be omitted, got %v", snap.Shards[1].Gauges)
+	}
+	var buf bytes.Buffer
+	st.WritePrometheus(&buf, nil)
+	out := buf.String()
+	if !strings.Contains(out, "pdsl_rto_current_ns{shard=\"0\"} 75000000") {
+		t.Fatalf("prometheus output missing gauge series:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE pdsl_rto_current_ns gauge") {
+		t.Fatalf("prometheus output missing gauge TYPE line:\n%s", out)
+	}
+}
+
 func TestRingWrapDropsOldest(t *testing.T) {
 	var r Ring
 	// Unarmed ring discards without panicking.

@@ -23,10 +23,11 @@ type BucketCount struct {
 	Count uint64 `json:"count"`
 }
 
-// ShardSnapshot is one shard's counters and RTT histogram. Counters
-// holds only non-zero counters, keyed by Counter.Name.
+// ShardSnapshot is one shard's counters, gauges and RTT histogram.
+// Counters and Gauges hold only non-zero entries, keyed by name.
 type ShardSnapshot struct {
 	Counters map[string]uint64 `json:"counters"`
+	Gauges   map[string]int64  `json:"gauges,omitempty"`
 	RTT      HistSnapshot      `json:"rtt"`
 }
 
@@ -90,6 +91,14 @@ func (s *Stats) Snapshot() *Snapshot {
 				snap.Totals[c.Name()] += v
 			}
 		}
+		for g := Gauge(0); g < NumGauges; g++ {
+			if v := sh.Gauge(g); v != 0 {
+				if ss.Gauges == nil {
+					ss.Gauges = make(map[string]int64)
+				}
+				ss.Gauges[g.Name()] = v
+			}
+		}
 		ss.RTT = histSnapshot(&sh.rtt)
 		snap.RTT.add(ss.RTT)
 		snap.Shards[i] = ss
@@ -123,6 +132,26 @@ func (s *Stats) WritePrometheus(w io.Writer, extra map[string]uint64) {
 		fmt.Fprintf(w, "# TYPE pdsl_%s_total counter\n", c.Name())
 		for i := range s.shards {
 			fmt.Fprintf(w, "pdsl_%s_total{shard=\"%d\"} %d\n", c.Name(), i, s.shards[i].Get(c))
+		}
+	}
+
+	// Per-shard gauges (rto_current and friends): last-value samples, so
+	// every shard is its own series and no cross-shard sum is invented.
+	for g := Gauge(0); g < NumGauges; g++ {
+		any := false
+		for i := range s.shards {
+			if s.shards[i].Gauge(g) != 0 {
+				any = true
+				break
+			}
+		}
+		if !any {
+			continue
+		}
+		fmt.Fprintf(w, "# HELP pdsl_%s Current %s (per shard, last value wins).\n", g.Name(), g.Name())
+		fmt.Fprintf(w, "# TYPE pdsl_%s gauge\n", g.Name())
+		for i := range s.shards {
+			fmt.Fprintf(w, "pdsl_%s{shard=\"%d\"} %d\n", g.Name(), i, s.shards[i].Gauge(g))
 		}
 	}
 

@@ -1,0 +1,318 @@
+package rtnet
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"protodsl/internal/arq"
+	"protodsl/internal/faults"
+	"protodsl/internal/netsim"
+	"protodsl/internal/obs"
+)
+
+// TestChaosSoak is the seeded chaos soak behind `make chaos`: 64
+// loopback flows through every degradation mode at once — Gilbert-
+// Elliott bursty loss and a partition/heal on the client's send path, a
+// mid-run server crash and restart on the same port, a panicking served
+// engine, an overloaded shard, and an abandoned peer — run under -race
+// in CI. It asserts the node *degrades* instead of stalling: every flow
+// terminates, fresh post-restart flows all complete, and each defence
+// left its fingerprint in the counters (drop_fault, rto_backoffs,
+// sheds, panics_recovered, flows_expired). See DESIGN.md §13.
+//
+// Flow map: 0..27 wave 1 (pre-crash), 28..29 straddlers (started as the
+// server dies — guaranteed to ride out the outage on RTO backoff),
+// 30..59 wave 2 (post-restart, must complete OK), 60 panic, 61 overload
+// flood, 62 abandoned peer, 63 liveness echo.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+
+	// The chaos plan. Loss and the partition shape the client's send
+	// path; the peer_crash window is read back via Crashes() to drive the
+	// server kill/restart, exactly as a production chaos harness would.
+	sch := &faults.Schedule{
+		Seed:    42,
+		Gilbert: &faults.GilbertElliott{PGoodBad: 0.04, PBadGood: 0.3, LossBad: 0.85},
+		Events: []faults.Event{
+			{Kind: faults.Partition, From: 80 * time.Millisecond, Until: 280 * time.Millisecond},
+			{Kind: faults.JitterRamp, From: 300 * time.Millisecond, Until: 900 * time.Millisecond, Extra: 2 * time.Millisecond},
+			{Kind: faults.PeerCrash, From: 400 * time.Millisecond, Until: 600 * time.Millisecond},
+		},
+	}
+	crash := sch.Crashes()[0]
+
+	serveChaos := func(node *Node) (*gbnServer, error) {
+		s := &gbnServer{recvs: make(map[recvKey]*arq.GBNReceiver)}
+		err := node.Serve(func(rt netsim.Runtime, port netsim.Port, peer netsim.Addr, flow byte) func(netsim.Addr, []byte) {
+			switch flow {
+			case 60: // rogue engine: panics on every frame
+				return func(from netsim.Addr, data []byte) { panic("chaos: rogue engine") }
+			case 61: // pathologically slow engine: forces shedding
+				return func(from netsim.Addr, data []byte) { time.Sleep(2 * time.Millisecond) }
+			case 63: // liveness echo
+				return func(from netsim.Addr, data []byte) { _ = port.Send(from, data) }
+			default:
+				r, err := arq.NewGBNReceiver(port, peer)
+				if err != nil {
+					return nil
+				}
+				s.mu.Lock()
+				s.recvs[recvKey{peer, flow}] = r
+				s.mu.Unlock()
+				return r.OnDatagram
+			}
+		})
+		return s, err
+	}
+
+	// IdleTimeout must clear MaxRTO with room: a live flow whose backed-
+	// off retransmissions are eaten by back-to-back bursts goes silent
+	// for up to ~2 x MaxRTO, and reaping it would respawn a receiver
+	// expecting seq 0 — a permanent stale-ack stall for the sender. 3x
+	// margin keeps the reaper for genuinely dead peers.
+	serverCfg := Config{Shards: 4, IdleTimeout: 300 * time.Millisecond}
+	server1, err := Listen("127.0.0.1:0", serverCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := serveChaos(server1); err != nil {
+		t.Fatal(err)
+	}
+	serverAddrStr := string(server1.Addr())
+
+	t0 := time.Now()
+	client, err := Listen("127.0.0.1:0", Config{Shards: 4, Faults: sch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	peer, err := client.Dial(serverAddrStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Adaptive RTO with a tight cap: backoff can never push the
+	// inter-retransmit gap past the idle sweep or the retry budget past
+	// the soak deadline (40 retries x 100ms bounds any stall at 4s).
+	cfg := arq.FlowConfig{
+		Window: 8, RTO: 20 * time.Millisecond, MaxRetries: 40,
+		Adaptive: true, MaxRTO: 100 * time.Millisecond,
+	}
+	const payloadsPerFlow, payloadSize = 100, 256
+
+	// Wave 1: 28 flows fight bursty loss and the partition.
+	_, wave1Done := startGBNFlowsFrom(t, client, peer, cfg, 0, 28, payloadsPerFlow, payloadSize)
+
+	// At the crash mark, launch two straddler flows and kill the server
+	// under them: they are guaranteed to experience the full outage,
+	// backing their RTO off until the restarted server answers.
+	time.Sleep(time.Until(t0.Add(crash.From)))
+	straddlers := make([]chan struct{}, 2)
+	for i := range straddlers {
+		id := byte(28 + i)
+		f, err := client.Flow(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		var aerr error
+		if err := f.Do(func(rt netsim.Runtime, port netsim.Port) {
+			_, aerr = arq.AttachGBNSender(rt, port, peer, cfg,
+				flowPayloads(int(id), payloadsPerFlow, payloadSize),
+				func() { close(done) })
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if aerr != nil {
+			t.Fatal(aerr)
+		}
+		straddlers[i] = done
+	}
+	if err := server1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	server1Obs := server1.Obs()
+
+	// Down for the crash window, then restart on the same port. A
+	// restarted server has no engine state: flows that straddled the
+	// crash mid-transfer see their acks go stale and must *terminate*
+	// (give up within their retry budget) — termination, not success, is
+	// the graceful-degradation contract for them.
+	time.Sleep(time.Until(t0.Add(crash.Until)))
+	server2, err := Listen(serverAddrStr, serverCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server2.Close()
+	srv2, err := serveChaos(server2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wave 2: 30 fresh flows against the restarted server, still under
+	// bursty loss. These must all complete OK, so they get a roomier
+	// retry budget than the straddlers (whose budget exists to bound the
+	// stale-ack stall after the crash).
+	wave2Cfg := cfg
+	wave2Cfg.MaxRetries = 100
+	wave2, wave2Done := startGBNFlowsFrom(t, client, peer, wave2Cfg, 30, 30, payloadsPerFlow, payloadSize)
+
+	// Rogue engine: keep poking flow 60 until a panic is contained (the
+	// faulted client path may eat any individual frame).
+	pokeFlow, err := client.Flow(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 15*time.Second, func() bool {
+		if err := pokeFlow.Do(func(rt netsim.Runtime, port netsim.Port) {
+			_ = port.Send(peer, []byte("boom"))
+		}); err != nil {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+		return server2.Obs().Total(obs.PanicsRecovered) >= 1
+	})
+
+	// Abandoned peer: one frame on flow 62, then silence — the idle sweep
+	// must reap the engine.
+	ghostConn, err := net.Dial("udp", serverAddrStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ghostConn.Close()
+	if _, err := ghostConn.Write([]byte{62, ^byte(62), 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every wave-1 and straddler flow must terminate (OK or a clean
+	// give-up), none may hang.
+	deadline := time.After(20 * time.Second)
+	await := func(label string, done chan struct{}) {
+		select {
+		case <-done:
+		case <-deadline:
+			t.Fatalf("%s never terminated", label)
+		}
+	}
+	for id, done := range wave1Done {
+		await(fmt.Sprintf("wave-1 flow %d", id), done)
+	}
+	for i, done := range straddlers {
+		await(fmt.Sprintf("straddler flow %d", 28+i), done)
+	}
+	// Wave 2 ran against a healthy (restarted) server: OK is mandatory.
+	for i, done := range wave2Done {
+		id := 30 + i
+		await(fmt.Sprintf("wave-2 flow %d", id), done)
+		var ok bool
+		if err := client.Do(byte(id), func() { ok = wave2[i].Result().OK }); err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("post-restart flow %d failed against a healthy server", id)
+		}
+	}
+	clientAddr := client.Addr()
+	for i := 0; i < len(wave2); i++ {
+		id := byte(30 + i)
+		rcv := srv2.receiver(clientAddr, id)
+		if rcv == nil {
+			t.Fatalf("post-restart flow %d: no receiver on server2", id)
+		}
+		var n int
+		if err := server2.Do(id, func() { n = len(rcv.Delivered()) }); err != nil {
+			t.Fatal(err)
+		}
+		if n != payloadsPerFlow {
+			t.Fatalf("post-restart flow %d: delivered %d/%d", id, n, payloadsPerFlow)
+		}
+	}
+
+	// Overload: flood the slow flow 61 from a raw socket (bypassing the
+	// client's fault injector) until the shard sheds. Sequenced after the
+	// wave-2 verification because pool-dry shedding is deliberately
+	// global — a flood hard enough to dry the shared batch pool sheds
+	// *every* shard's traffic, which is the designed overload behaviour
+	// but would make "wave 2 completes OK" a race against the flood.
+	floodConn, err := net.Dial("udp", serverAddrStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer floodConn.Close()
+	floodFrame := []byte{61, ^byte(61), 0xfe, 0xed}
+	for i := 0; i < 4000; i++ {
+		if _, err := floodConn.Write(floodFrame); err != nil {
+			t.Fatal(err)
+		}
+		if i > 300 && server2.Obs().Total(obs.Sheds) > 0 {
+			break
+		}
+	}
+	waitFor(t, 15*time.Second, func() bool {
+		return server2.Obs().Total(obs.Sheds) > 0
+	})
+
+	// Liveness: the surviving node still answers on a fresh flow.
+	echoed := make(chan struct{}, 1)
+	echoFlow, err := client.Flow(63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := echoFlow.Do(func(rt netsim.Runtime, port netsim.Port) {
+		port.SetHandler(func(from netsim.Addr, data []byte) {
+			select {
+			case echoed <- struct{}{}:
+			default:
+			}
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 15*time.Second, func() bool {
+		if err := echoFlow.Do(func(rt netsim.Runtime, port netsim.Port) {
+			_ = port.Send(peer, []byte("alive?"))
+		}); err != nil {
+			return false
+		}
+		select {
+		case <-echoed:
+			return true
+		case <-time.After(20 * time.Millisecond):
+			return false
+		}
+	})
+
+	// The idle sweep needs IdleTimeout of silence after the ghost frame.
+	waitFor(t, 15*time.Second, func() bool {
+		return server2.Obs().Total(obs.FlowsExpired) >= 1
+	})
+
+	// Every defence fired. Server counters are summed across the
+	// incarnations — the crash must not launder them away.
+	serverTotal := func(c obs.Counter) uint64 {
+		return server1Obs.Total(c) + server2.Obs().Total(c)
+	}
+	if got := client.Obs().Total(obs.DropFault); got == 0 {
+		t.Error("drop_fault = 0: the chaos schedule never dropped a frame")
+	}
+	if got := client.Obs().Total(obs.RTOBackoffs); got == 0 {
+		t.Error("rto_backoffs = 0: no sender backed off across a partition and a crash")
+	}
+	if got := serverTotal(obs.Sheds); got == 0 {
+		t.Error("sheds = 0: overload never shed")
+	}
+	if got := serverTotal(obs.PanicsRecovered); got == 0 {
+		t.Error("panics_recovered = 0: rogue engine panic not contained")
+	}
+	if got := serverTotal(obs.FlowsExpired); got == 0 {
+		t.Error("flows_expired = 0: abandoned peer never reaped")
+	}
+	t.Logf("chaos soak: drop_fault=%d rto_backoffs=%d sheds=%d panics_recovered=%d flows_expired=%d drop_draining=%d",
+		client.Obs().Total(obs.DropFault), client.Obs().Total(obs.RTOBackoffs),
+		serverTotal(obs.Sheds), serverTotal(obs.PanicsRecovered),
+		serverTotal(obs.FlowsExpired), serverTotal(obs.DropDraining))
+}

@@ -1,6 +1,8 @@
 package rtnet
 
 import (
+	"fmt"
+	"os"
 	"time"
 
 	"protodsl/internal/netsim"
@@ -100,6 +102,38 @@ func (l *Loop) next() (time.Duration, bool) {
 	return l.wheel.PeekDeadline()
 }
 
+// recovered is the shard loops' panic containment, installed with
+// `defer l.recovered()` around every engine entry point (timer
+// callbacks, posted functions, frame handlers, Do'd functions). A
+// panicking engine loses its own state but cannot take down the shard
+// loop — the other flows sharing it keep running. Each containment is
+// counted (panics_recovered) and logged in one stderr line. The
+// simulator deliberately has no equivalent: in a deterministic test an
+// engine panic is a bug to surface, not an event to survive.
+func (l *Loop) recovered() {
+	if r := recover(); r != nil {
+		if l.obs != nil {
+			l.obs.Inc(obs.PanicsRecovered)
+		}
+		fmt.Fprintf(os.Stderr, "rtnet: engine panic contained: %v\n", r)
+	}
+}
+
+// shielded runs one engine callback under panic containment. The
+// defer/recover pair is alloc-free, so the steady-state loop stays at
+// zero allocations per frame.
+func (l *Loop) shielded(fn func()) {
+	defer l.recovered()
+	fn()
+}
+
+// shieldHandler is shielded for frame handlers (plain arguments, so the
+// per-frame delivery path builds no closure).
+func (l *Loop) shieldHandler(h func(netsim.Addr, []byte), from netsim.Addr, data []byte) {
+	defer l.recovered()
+	h(from, data)
+}
+
 // runDue fires every timer whose deadline has passed, interleaving
 // posted functions the way the simulator does.
 func (l *Loop) runDue() {
@@ -110,7 +144,7 @@ func (l *Loop) runDue() {
 			return
 		}
 		_, fn, _ := l.wheel.Pop()
-		fn()
+		l.shielded(fn)
 		l.runPosted()
 	}
 }
@@ -125,6 +159,6 @@ func (l *Loop) runPosted() {
 		copy(l.posted, l.posted[1:])
 		l.posted[len(l.posted)-1] = nil
 		l.posted = l.posted[:len(l.posted)-1]
-		fn()
+		l.shielded(fn)
 	}
 }

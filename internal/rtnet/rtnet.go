@@ -38,6 +38,16 @@
 // Concurrency contract: engine state may only be touched from its
 // owning shard's loop. Cross-goroutine access goes through Node.Do /
 // Flow.Do, which run a function inside the loop and wait for it.
+//
+// Robustness (DESIGN.md §13): the node degrades rather than stalls.
+// Readers never block — a full shard inbox sheds its oldest batch and a
+// dry batch pool sheds the frame, both counted as sheds; engine panics
+// are contained to the offending flow (panics_recovered); served
+// engines idle past Config.IdleTimeout are reaped (flows_expired); and
+// shutdown is two-phase: Drain (lame duck — no engines for new peers,
+// in-flight work finishes) then Close (shards quiesce and flush before
+// the sockets go away). Config.Faults interposes a deterministic chaos
+// schedule on the send path for testing all of the above.
 package rtnet
 
 import (
@@ -48,9 +58,11 @@ import (
 	"net/netip"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"protodsl/internal/faults"
 	"protodsl/internal/netsim"
 	"protodsl/internal/obs"
 )
@@ -113,6 +125,23 @@ type Config struct {
 	// available (the pre-REUSEPORT data path; the scaling benchmark's
 	// baseline).
 	SingleSocket bool
+	// IdleTimeout, if positive, expires served (flow, peer) engines that
+	// have received no frame for this long: the engine state is dropped
+	// (counted as flows_expired) and the next frame from that peer
+	// spawns a fresh engine. This is the server's defence against
+	// abandoned peers pinning memory forever; set it well above the
+	// flows' inter-packet gaps (RTO × retries), because expiring a
+	// mid-transfer engine discards its reassembly state. Zero disables
+	// expiry. Flows claimed with Node.Flow are not affected.
+	IdleTimeout time.Duration
+	// Faults, if non-nil, interposes a fault-injection schedule
+	// (internal/faults) on the node's send path: each shard derives its
+	// own injector (instance id = shard index) and consults it on every
+	// staged frame, on the node's clock (time since Listen). Injected
+	// drops are counted as drop_fault; injected delays re-stage a copy
+	// of the frame through the shard's timing wheel. Nil injects nothing
+	// and adds nothing to the hot path but one nil check.
+	Faults *faults.Schedule
 }
 
 func (c *Config) applyDefaults() {
@@ -168,6 +197,8 @@ type Node struct {
 	once     sync.Once
 	wg       sync.WaitGroup
 	readerWg sync.WaitGroup
+	shardWg  sync.WaitGroup
+	draining atomic.Bool
 
 	// stats is the node's observability block: one padded shard of
 	// atomic counters/histograms/trace ring per worker shard, allocated
@@ -224,6 +255,11 @@ func listenSockets(addr string, cfg Config) ([]*net.UDPConn, error) {
 // and starts the reader and shard goroutines.
 func Listen(addr string, cfg Config) (*Node, error) {
 	cfg.applyDefaults()
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	conns, err := listenSockets(addr, cfg)
 	if err != nil {
 		return nil, err
@@ -282,6 +318,7 @@ func Listen(addr string, cfg Config) (*Node, error) {
 	}
 	n.wg.Add(1 + len(n.shards) + len(conns))
 	n.readerWg.Add(len(conns))
+	n.shardWg.Add(len(n.shards))
 	for _, s := range n.shards {
 		go s.run()
 	}
@@ -339,17 +376,94 @@ func (n *Node) SendErrors() uint64 {
 	return n.stats.Total(obs.DropSendError) + n.stats.Total(obs.DropSendFamily)
 }
 
-// Close shuts the node down: the sockets are closed, shard loops drain
-// and exit, pending timers are dropped. Close is idempotent.
+// Close shuts the node down: readers are unblocked and exit, shard
+// loops drain their inboxes, run one final flush, and exit, and only
+// then are the sockets closed. Pending timers are dropped. Close is
+// idempotent.
+//
+// The ordering matters: readers are kicked out of their blocking reads
+// with a read deadline rather than by closing the sockets, because the
+// shard loops' final sendmmsg flush still needs the file descriptors —
+// closing them first raced the in-flight flush against fd teardown
+// (send errors at best, a reused descriptor at worst). For an orderly
+// shutdown that also finishes in-flight transfers, call Drain first.
 func (n *Node) Close() error {
 	n.once.Do(func() {
 		close(n.done)
+		// Unblock every reader without touching the fds: a deadline in
+		// the past fails the blocking read immediately, the reader sees
+		// closed() and exits, and the closer goroutine then shuts the
+		// shard inboxes.
+		past := time.Now().Add(-time.Second)
 		for _, c := range n.conns {
-			c.Close()
+			_ = c.SetReadDeadline(past)
 		}
 	})
+	// Shards finish their final flush on still-open sockets before the
+	// fds go away.
+	n.shardWg.Wait()
+	for _, c := range n.conns {
+		_ = c.Close()
+	}
 	n.wg.Wait()
 	return nil
+}
+
+// Drain quiescence tuning: activity is sampled every drainPoll, and the
+// node is deemed quiescent after drainQuiet with no frame or
+// ARQ-timeout activity anywhere. The quiet window is sized above the
+// RTO of a healthy flow — a live transfer bumps frames or timeouts at
+// least that often — so the flows drain abandons are the ones backed
+// off past it, whose peers are plausibly gone (see DESIGN.md §13).
+const (
+	drainPoll         = 2 * time.Millisecond
+	drainQuiet        = 60 * time.Millisecond
+	defaultDrainLimit = 5 * time.Second
+)
+
+// activity sums the counters any live flow must keep moving: frames in
+// either direction, or retransmission-timer fires.
+func (n *Node) activity() uint64 {
+	return n.stats.Total(obs.FramesIn) +
+		n.stats.Total(obs.FramesOut) +
+		n.stats.Total(obs.Timeouts)
+}
+
+// Draining reports whether Drain has been called.
+func (n *Node) Draining() bool { return n.draining.Load() }
+
+// Drain moves the node into lame-duck mode and waits for in-flight
+// work to finish: served flows stop accepting engines for new peers
+// (frames from them are dropped and counted as drop_draining — their
+// senders see it as loss), while established flows keep running until
+// the whole node has been quiet for drainQuiet. Drain returns nil once
+// quiescent; on reaching timeout (zero selects 5s) it returns an error
+// with the node still running, so the caller chooses between waiting
+// longer and closing anyway. Call Close afterwards either way — a
+// typical shutdown is Drain, log any stragglers, Close.
+func (n *Node) Drain(timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = defaultDrainLimit
+	}
+	n.draining.Store(true)
+	deadline := time.Now().Add(timeout)
+	last := n.activity()
+	lastChange := time.Now()
+	for {
+		if n.closed() {
+			return ErrClosed
+		}
+		time.Sleep(drainPoll)
+		now := time.Now()
+		if cur := n.activity(); cur != last {
+			last, lastChange = cur, now
+		} else if now.Sub(lastChange) >= drainQuiet {
+			return nil
+		}
+		if now.After(deadline) {
+			return fmt.Errorf("rtnet: drain timed out after %s (activity still moving)", timeout)
+		}
+	}
 }
 
 // Dial resolves remote ("host:port") to the canonical address frames
@@ -449,24 +563,83 @@ func (n *Node) Serve(accept AcceptFunc) error {
 	return nil
 }
 
+// peerEngine is one served (flow, peer) engine plus the idle-expiry
+// stamp the sweep reads.
+type peerEngine struct {
+	h        func(netsim.Addr, []byte)
+	lastSeen time.Duration
+}
+
+// acceptor owns one served flow's peer table. It lives entirely inside
+// its shard's loop; the shard registers it for the idle sweep.
+type acceptor struct {
+	sh      *Shard
+	fp      *netsim.FlowPort
+	id      byte
+	accept  AcceptFunc
+	engines map[netsim.Addr]*peerEngine
+}
+
 func installAcceptor(sh *Shard, fp *netsim.FlowPort, id byte, accept AcceptFunc) {
-	engines := make(map[netsim.Addr]func(netsim.Addr, []byte))
+	a := &acceptor{sh: sh, fp: fp, id: id, accept: accept,
+		engines: make(map[netsim.Addr]*peerEngine)}
+	sh.acceptors = append(sh.acceptors, a)
 	maxPeers := sh.node.cfg.MaxPeersPerFlow
 	fp.SetHandler(func(from netsim.Addr, data []byte) {
-		h, seen := engines[from]
+		pe, seen := a.engines[from]
 		if !seen {
-			if len(engines) >= maxPeers {
+			if sh.node.draining.Load() {
+				// Lame duck: no engines for new peers. Their sender sees
+				// plain loss and retries elsewhere or gives up.
+				sh.obs.Inc(obs.DropDraining)
+				return
+			}
+			if len(a.engines) >= maxPeers {
 				// Peer table full: spoofed-source sweeps stop here.
 				sh.obs.Inc(obs.DropPeerLimit)
 				return
 			}
-			h = accept(sh.loop, fp, from, id)
-			engines[from] = h
+			pe = &peerEngine{h: accept(sh.loop, fp, from, id)}
+			a.engines[from] = pe
+			sh.armIdleSweep()
 		}
-		if h != nil {
-			h(from, data)
+		pe.lastSeen = sh.loop.Now()
+		if pe.h != nil {
+			pe.h(from, data)
 		}
 	})
+}
+
+// armIdleSweep starts the shard's recurring idle-expiry timer (once,
+// lazily, on the first served peer) when Config.IdleTimeout is set. The
+// sweep runs on the shard's own timing wheel — the same loop that owns
+// the peer tables — so expiry needs no locks: it walks every acceptor,
+// deletes peers idle past the timeout (counted as flows_expired), and
+// rearms itself.
+func (s *Shard) armIdleSweep() {
+	idle := s.node.cfg.IdleTimeout
+	if idle <= 0 || s.sweeping {
+		return
+	}
+	s.sweeping = true
+	interval := idle / 2
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	var sweep func()
+	sweep = func() {
+		now := s.loop.Now()
+		for _, a := range s.acceptors {
+			for peer, pe := range a.engines {
+				if now-pe.lastSeen >= idle {
+					delete(a.engines, peer)
+					s.obs.Inc(obs.FlowsExpired)
+				}
+			}
+		}
+		s.loop.After(interval, sweep)
+	}
+	s.loop.After(interval, sweep)
 }
 
 // readLoop is one socket's reader goroutine: blocking read,
@@ -580,8 +753,18 @@ func (n *Node) route(pending []*batch, names map[netip.AddrPort]netsim.Addr, rs 
 	si := int(data[0]) % len(n.shards)
 	b := pending[si]
 	if b == nil {
-		b = <-n.free
-		pending[si] = b
+		select {
+		case b = <-n.free:
+			pending[si] = b
+		default:
+			// Pool dry: every batch is queued at or being chewed by some
+			// shard — the node is overloaded. Shed this frame rather than
+			// block the reader behind the slowest shard: a stalled reader
+			// backs traffic up into the kernel buffer and then drops
+			// *there*, invisibly and for every shard at once.
+			n.shards[si].obs.Inc(obs.Sheds)
+			return
+		}
 	}
 	from, ok := names[ap]
 	if !ok {
@@ -599,7 +782,7 @@ func (n *Node) route(pending []*batch, names map[netip.AddrPort]netsim.Addr, rs 
 	b.buf = append(b.buf, data...)
 	b.pkts = append(b.pkts, pkt{from: from, data: b.buf[off:]})
 	if len(b.pkts) == cap(b.pkts) {
-		n.shards[si].in <- b
+		n.handOff(si, b)
 		pending[si] = nil
 	}
 }
@@ -610,9 +793,47 @@ func (n *Node) dispatch(pending []*batch) {
 		if b == nil {
 			continue
 		}
-		n.shards[si].in <- b
+		n.handOff(si, b)
 		pending[si] = nil
 	}
+}
+
+// handOff delivers a full batch to shard si without ever blocking the
+// reader. When the shard's inbox is full the oldest queued batch is
+// shed — counted per frame and recycled — to make room for the newest:
+// under overload the freshest traffic carries the acks and
+// retransmissions most likely to still matter, while the oldest has
+// already aged the longest in the queue. If another producer wins the
+// refilled slot, the new batch is shed instead; either way exactly one
+// batch's worth of frames is dropped and the reader never stalls.
+func (n *Node) handOff(si int, b *batch) {
+	sh := n.shards[si]
+	select {
+	case sh.in <- b:
+		return
+	default:
+	}
+	select {
+	case old, ok := <-sh.in:
+		if ok {
+			n.shed(sh, old)
+		}
+	default:
+	}
+	select {
+	case sh.in <- b:
+	default:
+		n.shed(sh, b)
+	}
+}
+
+// shed counts a batch's frames against the overload policy and recycles
+// it.
+func (n *Node) shed(sh *Shard, b *batch) {
+	sh.obs.Add(obs.Sheds, uint64(len(b.pkts)))
+	b.pkts = b.pkts[:0]
+	b.buf = b.buf[:0]
+	n.free <- b
 }
 
 // outPkt is one staged outbound packet; the payload lives in the
@@ -644,6 +865,14 @@ type Shard struct {
 	outBuf []byte
 	sender *burstSender
 	peers  map[netsim.Addr]netip.AddrPort
+
+	// faults is this shard's private injector compiled from Config.Faults
+	// (nil when chaos is off); consulted on every staged send.
+	faults *faults.Injector
+	// acceptors are the served flows owned by this shard, registered so
+	// the idle sweep can walk their peer tables.
+	acceptors []*acceptor
+	sweeping  bool // idle sweep timer armed
 }
 
 func newShard(n *Node, idx int) *Shard {
@@ -664,14 +893,21 @@ func newShard(n *Node, idx int) *Shard {
 	s.loop.obs = s.obs
 	s.port = &shardPort{shard: s}
 	s.mux = netsim.NewMux(s.port)
+	if n.cfg.Faults != nil {
+		// Validated at Listen; the shard index keys an independent but
+		// individually reproducible PRNG stream per shard.
+		s.faults = n.cfg.Faults.MustInstance(int64(idx))
+	}
 	return s
 }
 
-// do runs fn inside the shard loop and waits for it.
+// do runs fn inside the shard loop and waits for it. The done close is
+// deferred so a panicking fn (contained by the loop's recovery) still
+// releases the waiter.
 func (s *Shard) do(fn func()) error {
 	done := make(chan struct{})
 	select {
-	case s.call <- func() { fn(); close(done) }:
+	case s.call <- func() { defer close(done); fn() }:
 	case <-s.node.done:
 		return ErrClosed
 	}
@@ -694,6 +930,7 @@ func (s *Shard) do(fn func()) error {
 // staged writes in one burst and block again.
 func (s *Shard) run() {
 	defer s.node.wg.Done()
+	defer s.node.shardWg.Done()
 	tm := time.NewTimer(time.Hour)
 	if !tm.Stop() {
 		<-tm.C
@@ -718,7 +955,7 @@ func (s *Shard) run() {
 			}
 			s.deliver(b)
 		case fn := <-s.call:
-			fn()
+			s.loop.shielded(fn)
 			s.loop.runPosted()
 		case <-timerC:
 			s.loop.runDue()
@@ -735,7 +972,7 @@ func (s *Shard) run() {
 				s.deliver(b)
 				continue
 			case fn := <-s.call:
-				fn()
+				s.loop.shielded(fn)
 				s.loop.runPosted()
 				continue
 			default:
@@ -765,7 +1002,7 @@ func (s *Shard) deliver(b *batch) {
 			s.obs.Ring().Record(s.loop.Now(), obs.KindDeliver, p.data[0], len(p.data), 0, 0)
 		}
 		if h := s.port.handler; h != nil {
-			h(p.from, p.data)
+			s.loop.shieldHandler(h, p.from, p.data)
 		}
 		s.loop.runPosted()
 	}
@@ -834,10 +1071,33 @@ func (p *shardPort) Send(to netsim.Addr, data []byte) error {
 	if s.node.stats.TraceOn() && len(data) > 0 {
 		s.obs.Ring().Record(s.loop.Now(), obs.KindSend, data[0], len(data), 0, 0)
 	}
+	if s.faults != nil {
+		// Chaos interposer, mirroring the netsim link hook: drops vanish
+		// before staging (the peer sees wire loss), delays re-stage a
+		// copy through the timing wheel. The copy is the one allocation
+		// on this path and only the delayed chaos path pays it — the
+		// caller's buffer is reused the moment Send returns.
+		v := s.faults.Apply(s.loop.Now())
+		if v.Drop {
+			s.obs.Inc(obs.DropFault)
+			return nil
+		}
+		if v.Delay > 0 {
+			delayed := append([]byte(nil), data...)
+			s.loop.After(v.Delay, func() { s.stage(ap, delayed) })
+			return nil
+		}
+	}
+	s.stage(ap, data)
+	return nil
+}
+
+// stage queues one packet for the shard's next flush, copying the bytes
+// into the staging buffer.
+func (s *Shard) stage(ap netip.AddrPort, data []byte) {
 	off := len(s.outBuf)
 	s.outBuf = append(s.outBuf, data...)
 	s.out = append(s.out, outPkt{to: ap, off: off, end: len(s.outBuf)})
-	return nil
 }
 
 // SetHandler installs the receive callback (the shard's mux dispatch).
