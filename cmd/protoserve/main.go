@@ -25,6 +25,7 @@ import (
 	"protodsl/internal/netsim"
 	"protodsl/internal/obs"
 	"protodsl/internal/rtnet"
+	"protodsl/internal/session"
 )
 
 func main() {
@@ -46,6 +47,9 @@ func run(args []string, out io.Writer) error {
 		httpAddr = fs.String("http", "", "serve /metrics, /stats.json and /trace on this TCP address (empty = off)")
 		duration = fs.Duration("duration", 0, "serve for this long then exit (0 = until interrupted)")
 		drainTO  = fs.Duration("drain-timeout", 0, "on shutdown, lame-duck and wait up to this long for in-flight flows to finish (0 = close immediately)")
+		sess     = fs.Bool("session", false, "gate every flow behind the connection lifecycle: stateless-cookie handshake, heartbeat liveness, FIN teardown")
+		stateDir = fs.String("state-dir", "", "with -session: append per-flow snapshots here and resume sessions from it after a restart")
+		beat     = fs.Duration("heartbeat", time.Second, "with -session: liveness sweep interval (peers reaped after 3 silent sweeps)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,36 +68,78 @@ func run(args []string, out io.Writer) error {
 	// the stats printer: atomics, nothing shared beyond them.
 	var flows, frames, bytes atomic.Uint64
 	cfg := arq.FlowConfig{Window: *window}
-	err = node.Serve(func(rt netsim.Runtime, port netsim.Port, peer netsim.Addr, flow byte) func(netsim.Addr, []byte) {
-		var h func(netsim.Addr, []byte)
-		switch *variant {
-		case "sr":
+	// receiver spawns the variant's engine; both expose cumulative
+	// Expect, which doubles as session progress for crash recovery.
+	type recv interface {
+		OnDatagram(netsim.Addr, []byte)
+		Expect() uint64
+		SeedExpect(uint64)
+	}
+	receiver := func(port netsim.Port, peer netsim.Addr) recv {
+		if *variant == "sr" {
 			r, err := arq.NewSRReceiver(port, peer, cfg)
 			if err != nil {
 				return nil
 			}
-			h = r.OnDatagram
-		default:
-			r, err := arq.NewGBNReceiver(port, peer)
-			if err != nil {
-				return nil
-			}
-			h = r.OnDatagram
+			return r
 		}
-		flows.Add(1)
+		r, err := arq.NewGBNReceiver(port, peer)
+		if err != nil {
+			return nil
+		}
+		return r
+	}
+	count := func(h func(netsim.Addr, []byte)) func(netsim.Addr, []byte) {
 		return func(from netsim.Addr, data []byte) {
 			frames.Add(1)
 			bytes.Add(uint64(len(data)))
 			h(from, data)
 		}
-	})
+	}
+	if *sess {
+		if *stateDir != "" {
+			if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+				return err
+			}
+		}
+		err = node.ServeSession(rtnet.SessionConfig{
+			StateDir:       *stateDir,
+			HeartbeatEvery: *beat,
+		}, func(rt netsim.Runtime, port netsim.Port, peer netsim.Addr, flow byte, resume *session.Resume) *session.Engine {
+			r := receiver(port, peer)
+			if r == nil {
+				return nil
+			}
+			if resume != nil {
+				r.SeedExpect(resume.Expect)
+			}
+			flows.Add(1)
+			return &session.Engine{Handle: count(r.OnDatagram), Progress: r.Expect}
+		})
+	} else {
+		if *stateDir != "" {
+			return fmt.Errorf("-state-dir requires -session")
+		}
+		err = node.Serve(func(rt netsim.Runtime, port netsim.Port, peer netsim.Addr, flow byte) func(netsim.Addr, []byte) {
+			r := receiver(port, peer)
+			if r == nil {
+				return nil
+			}
+			flows.Add(1)
+			return count(r.OnDatagram)
+		})
+	}
 	if err != nil {
 		return err
 	}
 
 	gso, gro := node.Offloads()
-	fmt.Fprintf(out, "protoserve: %s receivers on udp://%s (shards=%d sockets=%d gso=%v gro=%v; ctrl-c to stop)\n",
-		*variant, node.Addr(), node.Shards(), node.Sockets(), gso, gro)
+	mode := "receivers"
+	if *sess {
+		mode = "session-gated receivers"
+	}
+	fmt.Fprintf(out, "protoserve: %s %s on udp://%s (shards=%d sockets=%d gso=%v gro=%v; ctrl-c to stop)\n",
+		*variant, mode, node.Addr(), node.Shards(), node.Sockets(), gso, gro)
 
 	// Stats endpoints snapshot the per-shard atomics without stopping the
 	// shard loops; the HTTP server rides its own goroutines. The bound

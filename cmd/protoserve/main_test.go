@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"regexp"
 	"strings"
 	"sync"
@@ -17,6 +18,7 @@ import (
 	"protodsl/internal/harness"
 	"protodsl/internal/netsim"
 	"protodsl/internal/rtnet"
+	"protodsl/internal/session"
 )
 
 // syncBuffer lets the test read protoserve's output while run() is
@@ -101,6 +103,149 @@ func getJSON(t *testing.T, url string, into any) {
 	defer resp.Body.Close()
 	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
 		t.Fatalf("decode %s: %v", url, err)
+	}
+}
+
+// TestSessionStatsEndpoints boots protoserve in -session mode with a
+// state directory and runs handshake-gated transfers against it: every
+// flow completes the cookie handshake before data flows, tears down
+// with FIN/FIN-ACK after, and the lifecycle counters (DESIGN.md §14)
+// surface on /stats.json and /metrics.
+func TestSessionStatsEndpoints(t *testing.T) {
+	const (
+		nFlows    = 8
+		nPayloads = 8
+		size      = 256
+	)
+	stateDir := t.TempDir() + "/state"
+
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", "127.0.0.1:0", "-http", "127.0.0.1:0",
+			"-session", "-state-dir", stateDir, "-heartbeat", "250ms",
+			"-variant", "gbn", "-window", "32", "-stats", "0", "-duration", "2m",
+		}, &out)
+	}()
+	udpAddr := waitMatch(t, &out, regexp.MustCompile(`session-gated receivers on udp://([^ ]+) `))
+	httpBase := "http://" + waitMatch(t, &out, regexp.MustCompile(`stats on http://([^/]+)/metrics`))
+	defer func() {
+		_ = syscall.Kill(syscall.Getpid(), syscall.SIGINT)
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("protoserve run: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Errorf("protoserve did not exit after interrupt")
+		}
+	}()
+
+	client, err := rtnet.Listen("127.0.0.1:0", rtnet.Config{Shards: 1})
+	if err != nil {
+		t.Fatalf("client listen: %v", err)
+	}
+	defer client.Close()
+	peer, err := client.Dial(udpAddr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+
+	fcfg := arq.FlowConfig{Window: 32, RTO: 100 * time.Millisecond, MaxRetries: 50}
+	flowDone := make([]chan struct{}, nFlows)
+	flowErr := make([]error, nFlows)
+	for id := 0; id < nFlows; id++ {
+		id := id
+		f, err := client.Flow(byte(id))
+		if err != nil {
+			t.Fatalf("flow %d: %v", id, err)
+		}
+		flowDone[id] = make(chan struct{})
+		payloads := harness.DistinctPayloads(id*3, nPayloads, size)
+		var aerr error
+		err = f.Do(func(rt netsim.Runtime, port netsim.Port) {
+			var cli *session.Client
+			cli, aerr = session.Connect(rt, port, peer, session.ClientConfig{
+				RTO:            100 * time.Millisecond,
+				MaxRetries:     50,
+				HeartbeatEvery: 250 * time.Millisecond,
+				OnEstablished: func() {
+					finish := func() { cli.Close(); close(flowDone[id]) }
+					if _, err2 := arq.AttachGBNSender(rt, cli.DataPort(), peer, fcfg, payloads, finish); err2 != nil {
+						flowErr[id] = err2
+						close(flowDone[id])
+					}
+				},
+				OnDown: func(err error) {
+					if flowErr[id] == nil {
+						select {
+						case <-flowDone[id]:
+						default:
+							flowErr[id] = err
+							close(flowDone[id])
+						}
+					}
+				},
+			})
+		})
+		if err != nil {
+			t.Fatalf("flow %d attach: %v", id, err)
+		}
+		if aerr != nil {
+			t.Fatalf("flow %d connect: %v", id, aerr)
+		}
+	}
+
+	for id := range flowDone {
+		select {
+		case <-flowDone[id]:
+			if flowErr[id] != nil {
+				t.Fatalf("flow %d: %v", id, flowErr[id])
+			}
+		case <-time.After(time.Minute):
+			t.Fatalf("flow %d did not finish within 1m", id)
+		}
+	}
+
+	var fin statsJSON
+	getJSON(t, httpBase+"/stats.json", &fin)
+	if got := fin.Totals["handshakes_ok"]; got < nFlows {
+		t.Errorf("server handshakes_ok = %d, want >= %d (one cookie round-trip per flow)", got, nFlows)
+	}
+	if got, want := fin.Totals["frames_in"], uint64(nFlows*nPayloads); got < want {
+		t.Errorf("server frames_in = %d, want >= %d", got, want)
+	}
+	// No handshake failed, no peer died, no session needed resuming:
+	// the failure-path counters must all be zero on a clean run.
+	for _, name := range []string{"cookies_rejected", "peer_down", "flows_resumed"} {
+		if got := fin.Totals[name]; got != 0 {
+			t.Errorf("server %s = %d, want 0 on a clean run", name, got)
+		}
+	}
+
+	// The same lifecycle counters render on the Prometheus endpoint.
+	resp, err := http.Get(httpBase + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	prom, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read /metrics: %v", err)
+	}
+	if !bytes.Contains(prom, []byte("pdsl_handshakes_ok_total{shard=")) {
+		t.Errorf("/metrics missing pdsl_handshakes_ok_total; got:\n%s", prom)
+	}
+
+	// Crash recovery left its trail: the state directory holds one
+	// append-only log per shard.
+	entries, err := os.ReadDir(stateDir)
+	if err != nil {
+		t.Fatalf("state dir: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Error("state dir empty; expected per-shard session logs")
 	}
 }
 

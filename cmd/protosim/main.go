@@ -25,6 +25,7 @@ import (
 	"protodsl/internal/harness"
 	"protodsl/internal/netsim"
 	"protodsl/internal/rtnet"
+	"protodsl/internal/session"
 )
 
 func main() {
@@ -56,6 +57,7 @@ func run(args []string, out io.Writer) error {
 		shards     = fs.Int("shards", 0, "client worker loops in -connect mode (0 = min(GOMAXPROCS, 4))")
 		dumpStats  = fs.Bool("stats", false, "dump the observability snapshot (counters, RTT histogram) as JSON after the transfer")
 		faultsPath = fs.String("faults", "", "JSON fault schedule (see DESIGN.md §13); layered over the sim link, or over the client node in -connect mode")
+		sess       = fs.Bool("session", false, "in -connect mode: establish the cookie handshake per flow before sending, heartbeat while transferring, FIN teardown after (pair with protoserve -session)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,6 +71,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *adaptive && *connect == "" && *window <= 1 {
 		return fmt.Errorf("-adaptive needs -window > 1: stop-and-wait has a single fixed timer (see DESIGN.md §13)")
+	}
+	if *sess && *connect == "" {
+		return fmt.Errorf("-session only applies to -connect mode (the simulator drives machines directly)")
 	}
 	if *connect != "" {
 		// Impairments are a property of the simulated link; the real
@@ -91,7 +96,7 @@ func run(args []string, out io.Writer) error {
 			server: *connect, flows: *flows, variant: *variant, shards: *shards,
 			payloads: *nPayloads, size: *size, window: *window,
 			rto: *rto, adaptive: *adaptive, retries: *retries, stats: *dumpStats,
-			faults: sch,
+			faults: sch, session: *sess,
 		})
 	}
 
@@ -164,6 +169,7 @@ type clientConfig struct {
 	retries  int
 	stats    bool
 	faults   *faults.Schedule
+	session  bool
 }
 
 // runClient drives cfg.flows concurrent ARQ senders over one UDP socket
@@ -196,6 +202,7 @@ func runClient(out io.Writer, cfg clientConfig) error {
 		sr   *arq.SRSender
 		done chan struct{}
 		dur  time.Duration
+		err  error
 	}
 	runs := make([]flowRun, cfg.flows)
 	wall := time.Now()
@@ -217,11 +224,44 @@ func runClient(out io.Writer, cfg clientConfig) error {
 				runs[id].dur = time.Since(start)
 				close(runs[id].done)
 			}
-			if cfg.variant == "sr" {
-				runs[id].sr, aerr = arq.AttachSRSender(rt, port, peer, fcfg, payloads, onDone)
-			} else {
-				runs[id].gbn, aerr = arq.AttachGBNSender(rt, port, peer, fcfg, payloads, onDone)
+			if !cfg.session {
+				if cfg.variant == "sr" {
+					runs[id].sr, aerr = arq.AttachSRSender(rt, port, peer, fcfg, payloads, onDone)
+				} else {
+					runs[id].gbn, aerr = arq.AttachGBNSender(rt, port, peer, fcfg, payloads, onDone)
+				}
+				return
 			}
+			// Session mode: complete the cookie handshake first, then
+			// attach the sender to the session's data port so every
+			// payload rides inside the established connection; tear the
+			// connection down (FIN/FIN-ACK) once the transfer is acked.
+			var cli *session.Client
+			cli, aerr = session.Connect(rt, port, peer, session.ClientConfig{
+				RTO:            cfg.rto,
+				Adaptive:       cfg.adaptive,
+				MaxRetries:     cfg.retries,
+				HeartbeatEvery: time.Second,
+				OnEstablished: func() {
+					finish := func() { cli.Close(); onDone() }
+					var err2 error
+					if cfg.variant == "sr" {
+						runs[id].sr, err2 = arq.AttachSRSender(rt, cli.DataPort(), peer, fcfg, payloads, finish)
+					} else {
+						runs[id].gbn, err2 = arq.AttachGBNSender(rt, cli.DataPort(), peer, fcfg, payloads, finish)
+					}
+					if err2 != nil {
+						runs[id].err = err2
+						close(runs[id].done)
+					}
+				},
+				OnDown: func(err error) {
+					if runs[id].dur == 0 && runs[id].err == nil {
+						runs[id].err = fmt.Errorf("session ended before transfer: %w", err)
+						close(runs[id].done)
+					}
+				},
+			})
 		})
 		if err != nil {
 			return err
@@ -248,6 +288,9 @@ func runClient(out io.Writer, cfg clientConfig) error {
 	perShard := make([][]harness.FlowResult, nShards)
 	flowBytes := cfg.payloads * cfg.size
 	for id := range runs {
+		if runs[id].err != nil {
+			return fmt.Errorf("flow %d: %w", id, runs[id].err)
+		}
 		var ok bool
 		var sent, retrans int
 		if runs[id].sr != nil {

@@ -107,10 +107,11 @@ func envStimuli(spec *fsm.Spec) ([]verify.EnvEvent, error) {
 // (E4 axes plus the seeded broken-ack-guard bug), Go-Back-N and
 // selective repeat over lossy and reordering channels. Safe/unsafe
 // expectations follow the window theorems the checker itself established:
-// GBN needs n >= W+1 (and T < n under reordering), SR with W=2 needs
-// n >= 2W on FIFO channels and is unsafe under arbitrary reordering for
-// any bounded sequence space (the stale-duplicate aliasing that motivates
-// bounded packet lifetimes in real transports).
+// GBN needs n >= W+1 (and T < n under reordering), SR needs n >= 2W on
+// FIFO channels — checked at both W=2 and W=3 — and is unsafe under
+// arbitrary reordering for any bounded sequence space (the
+// stale-duplicate aliasing that motivates bounded packet lifetimes in
+// real transports).
 func modelTargets(full bool) ([]target, error) {
 	var targets []target
 	// No CheckDeadlock for the built-in models: their receivers declare no
@@ -158,11 +159,39 @@ func modelTargets(full bool) ([]target, error) {
 		if err != nil {
 			return err
 		}
+		w := o.Window
+		if w == 0 {
+			w = 2
+		}
 		targets = append(targets, target{
-			name: fmt.Sprintf("sr:n=%d t=%d c=%d lossy=%v reorder=%v",
-				o.SeqSpace, o.Total, o.Capacity, o.Lossy, o.Reorder),
+			name: fmt.Sprintf("sr:n=%d w=%d t=%d c=%d lossy=%v reorder=%v",
+				o.SeqSpace, w, o.Total, o.Capacity, o.Lossy, o.Reorder),
 			sys:            sys,
-			opts:           verify.Options{Invariants: []verify.Invariant{verify.SRInvariant(o.SeqSpace)}},
+			opts:           verify.Options{Invariants: []verify.Invariant{verify.SRInvariantW(o.SeqSpace, w)}},
+			wantViolations: wantViol,
+			note:           note,
+		})
+		return nil
+	}
+	hs := func(o verify.HSOptions, wantViol bool, note string) error {
+		sys, err := verify.BuildHandshake(o)
+		if err != nil {
+			return err
+		}
+		mut := ""
+		switch o.Mutant {
+		case verify.MutantHalfOpenLeak:
+			mut = " halfopen-leak"
+		case verify.MutantAcceptAnyCookie:
+			mut = " accept-any-cookie"
+		case verify.MutantNoTimeWait:
+			mut = " no-timewait"
+		}
+		targets = append(targets, target{
+			name: fmt.Sprintf("hs:c=%d lossy=%v reorder=%v beats=%v reinc=%v%s",
+				o.Capacity, o.Lossy, o.Reorder, o.Beats, o.Reincarnate, mut),
+			sys:            sys,
+			opts:           verify.Options{Invariants: []verify.Invariant{verify.HSInvariant()}},
 			wantViolations: wantViol,
 			note:           note,
 		})
@@ -188,6 +217,26 @@ func modelTargets(full bool) ([]target, error) {
 		},
 		func() error {
 			return sr(verify.SROptions{SeqSpace: 4, Total: 3, Capacity: 2, Lossy: true, Reorder: true}, true, "unsafe under reordering")
+		},
+		func() error {
+			return sr(verify.SROptions{SeqSpace: 6, Window: 3, Total: 4, Capacity: 2, Lossy: true}, false, "")
+		},
+		func() error {
+			return sr(verify.SROptions{SeqSpace: 5, Window: 3, Total: 4, Capacity: 2, Lossy: true}, true, "seeded bug: n < 2W at W=3")
+		},
+		func() error { return hs(verify.HSOptions{Capacity: 2, Lossy: true, Reorder: true}, false, "") },
+		func() error { return hs(verify.HSOptions{Capacity: 1, Beats: true}, false, "") },
+		func() error {
+			return hs(verify.HSOptions{Capacity: 2, Reorder: true, Reincarnate: true}, false, "")
+		},
+		func() error {
+			return hs(verify.HSOptions{Capacity: 2, Lossy: true, Mutant: verify.MutantHalfOpenLeak}, true, "seeded bug: SYN allocates state")
+		},
+		func() error {
+			return hs(verify.HSOptions{Capacity: 2, Lossy: true, Mutant: verify.MutantAcceptAnyCookie}, true, "seeded bug: cookie unchecked")
+		},
+		func() error {
+			return hs(verify.HSOptions{Capacity: 2, Reorder: true, Reincarnate: true, Mutant: verify.MutantNoTimeWait}, true, "seeded bug: teardown skips TIME_WAIT")
 		},
 	}
 	if full {

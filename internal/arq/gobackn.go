@@ -457,6 +457,19 @@ func NewGBNReceiver(port netsim.Port, peer netsim.Addr) (*GBNReceiver, error) {
 // OnDatagram feeds one received datagram to the receiver.
 func (r *GBNReceiver) OnDatagram(from netsim.Addr, data []byte) { r.r.onDatagram(from, data) }
 
+// Expect returns the receiver's resumable progress: the absolute index
+// of the next in-order payload (everything below it has been delivered
+// and cumulatively acked). This is the state a session snapshot
+// persists so a restarted server resumes at the correct seq instead of
+// seq 0 (DESIGN.md §14).
+func (r *GBNReceiver) Expect() uint64 { return uint64(r.r.expect) }
+
+// SeedExpect restores progress recorded by Expect on a fresh receiver.
+// Call before any datagram is delivered: already-delivered payloads are
+// not replayed (the previous incarnation consumed them), the receiver
+// simply re-acks from the seeded position on.
+func (r *GBNReceiver) SeedExpect(expect uint64) { r.r.expect = int(expect) }
+
 // Delivered returns the in-order payloads accepted so far. Under rtnet,
 // call from the owning shard loop (Node.Do).
 func (r *GBNReceiver) Delivered() [][]byte { return r.r.delivered }

@@ -1,0 +1,36 @@
+package arq
+
+import (
+	"time"
+
+	"protodsl/internal/obs"
+)
+
+// RTO is the RFC 6298 timeout estimator (rto.go, DESIGN.md §13)
+// exported for engines outside this package — the session connector's
+// SYN retransmissions ride the same estimator and backoff discipline as
+// the window engines' data timers (DESIGN.md §14). Single-goroutine,
+// like the rtoState it wraps.
+type RTO struct{ st rtoState }
+
+// NewRTO builds an estimator from cfg (Window is irrelevant here and
+// may be zero; RTO/Adaptive/MinRTO/MaxRTO have their usual meanings and
+// defaults). sh receives the rto_backoffs counter and the RTO gauge.
+func NewRTO(cfg FlowConfig, sh *obs.Shard) (*RTO, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	return &RTO{st: newRTOState(&cfg, sh)}, nil
+}
+
+// Current returns the timeout to arm right now, backoff included.
+func (r *RTO) Current() time.Duration { return r.st.current() }
+
+// Sample feeds one Karn-valid RTT measurement.
+func (r *RTO) Sample(rtt time.Duration) { r.st.sample(rtt) }
+
+// Progress clears backoff on forward progress that yields no sample.
+func (r *RTO) Progress() { r.st.progress() }
+
+// Backoff doubles the armed timeout after an expiry (counted).
+func (r *RTO) Backoff() { r.st.backoff() }

@@ -406,6 +406,16 @@ func NewSRReceiver(port netsim.Port, peer netsim.Addr, cfg FlowConfig) (*SRRecei
 // OnDatagram feeds one received datagram to the receiver.
 func (r *SRReceiver) OnDatagram(from netsim.Addr, data []byte) { r.r.onDatagram(from, data) }
 
+// Expect returns the receiver's resumable progress: the absolute index
+// of the next in-order payload. Buffered out-of-order packets are not
+// part of the resumable state — after a crash their acks are lost with
+// them and the sender's per-packet timers retransmit (DESIGN.md §14).
+func (r *SRReceiver) Expect() uint64 { return uint64(r.r.expect) }
+
+// SeedExpect restores progress recorded by Expect on a fresh receiver.
+// Call before any datagram is delivered.
+func (r *SRReceiver) SeedExpect(expect uint64) { r.r.expect = int(expect) }
+
 // Delivered returns the in-order payloads accepted so far. Under rtnet,
 // call from the owning shard loop (Node.Do).
 func (r *SRReceiver) Delivered() [][]byte { return r.r.delivered }

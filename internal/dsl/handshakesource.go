@@ -1,0 +1,214 @@
+package dsl
+
+// HandshakeSource is the canonical .pdsl definition of the connection
+// lifecycle family (DESIGN.md §14): a 3-way connect with a stateless
+// server cookie, half-close teardown, heartbeat exchange and TIME_WAIT
+// absorption of stale frames. internal/session compiles this source to
+// drive the rtnet accept path; cmd/protoverify explores both machines
+// standalone and internal/verify models the client/server product.
+const HandshakeSource = `// Connection lifecycle: cookie handshake, half-close teardown, TIME_WAIT.
+protocol handshake {
+    // Control frames share the data socket with ARQ traffic: a magic
+    // lead byte (199) plus a kind discriminator keep them apart from
+    // data packets, and a sum8 trailer rejects corrupted control bytes.
+    message Syn {
+        magic: u8
+        kind: u8
+        nonce: u32
+        chk: u8 = checksum sum8
+    }
+
+    message SynAck {
+        magic: u8
+        kind: u8
+        nonce: u32
+        cookie: u32
+        chk: u8 = checksum sum8
+    }
+
+    message AckC {
+        magic: u8
+        kind: u8
+        nonce: u32
+        cookie: u32
+        chk: u8 = checksum sum8
+    }
+
+    message Fin {
+        magic: u8
+        kind: u8
+        chk: u8 = checksum sum8
+    }
+
+    message FinAck {
+        magic: u8
+        kind: u8
+        chk: u8 = checksum sum8
+    }
+
+    message Beat {
+        magic: u8
+        kind: u8
+        seq: u32
+        chk: u8 = checksum sum8
+    }
+
+    message BeatAck {
+        magic: u8
+        kind: u8
+        seq: u32
+        chk: u8 = checksum sum8
+    }
+
+    // Active opener: Closed -> SynSent -> Established -> FinWait ->
+    // TimeWait -> Down. Connect retries ride the RFC 6298 estimator in
+    // the engine (RETRY is the timer stimulus); TIME_WAIT absorbs stale
+    // control frames so a reincarnated connection never sees them.
+    machine Client {
+        var cookie: u32
+        // beats toggles 0/1 rather than counting: the spec only needs
+        // to witness that heartbeats alternate, and a bounded variable
+        // keeps exhaustive exploration finite (the engine keeps the
+        // real 32-bit heartbeat sequence).
+        var beats: u32
+
+        init state Closed
+        state SynSent
+        state Established
+        state FinWait
+        state TimeWait
+        final state Down
+
+        event CONNECT(nonce: u32)
+        event RETRY(nonce: u32)
+        event GIVEUP
+        event SYNACK(s: SynAck)
+        event TICK
+        event CLOSE
+        event RECLOSE
+        event FINACK
+        event PEER_DOWN
+        event EXPIRE
+
+        on CONNECT from Closed to SynSent as connect {
+            send Syn(magic: 199, kind: 1, nonce: nonce)
+        }
+        on RETRY from SynSent to SynSent as retry {
+            send Syn(magic: 199, kind: 1, nonce: nonce)
+        }
+        on GIVEUP from SynSent to Down as giveup
+        on SYNACK from SynSent to Established as complete {
+            set cookie = s.cookie
+            send AckC(magic: 199, kind: 3, nonce: s.nonce, cookie: s.cookie)
+        }
+        on TICK from Established to Established as beat {
+            set beats = 1 - beats
+            send Beat(magic: 199, kind: 6, seq: beats)
+        }
+        on CLOSE from Established to FinWait as close {
+            send Fin(magic: 199, kind: 4)
+        }
+        on RECLOSE from FinWait to FinWait as reclose {
+            send Fin(magic: 199, kind: 4)
+        }
+        on FINACK from FinWait to TimeWait as finack
+        on PEER_DOWN from Established to Down as peerdown
+        on PEER_DOWN from FinWait to Down as abort
+        on EXPIRE from TimeWait to Down as expire
+
+        ignore RETRY in Closed
+        ignore GIVEUP in Closed
+        ignore SYNACK in Closed
+        ignore TICK in Closed
+        ignore CLOSE in Closed
+        ignore RECLOSE in Closed
+        ignore FINACK in Closed
+        ignore PEER_DOWN in Closed
+        ignore EXPIRE in Closed
+        ignore CONNECT in SynSent
+        ignore TICK in SynSent
+        ignore CLOSE in SynSent
+        ignore RECLOSE in SynSent
+        ignore FINACK in SynSent
+        ignore PEER_DOWN in SynSent
+        ignore EXPIRE in SynSent
+        ignore CONNECT in Established
+        ignore RETRY in Established
+        ignore GIVEUP in Established
+        ignore SYNACK in Established
+        ignore RECLOSE in Established
+        ignore FINACK in Established
+        ignore EXPIRE in Established
+        ignore CONNECT in FinWait
+        ignore RETRY in FinWait
+        ignore GIVEUP in FinWait
+        ignore SYNACK in FinWait
+        ignore TICK in FinWait
+        ignore CLOSE in FinWait
+        ignore EXPIRE in FinWait
+        ignore CONNECT in TimeWait
+        ignore RETRY in TimeWait
+        ignore GIVEUP in TimeWait
+        ignore SYNACK in TimeWait
+        ignore TICK in TimeWait
+        ignore CLOSE in TimeWait
+        ignore RECLOSE in TimeWait
+        ignore FINACK in TimeWait
+        ignore PEER_DOWN in TimeWait
+    }
+
+    // Passive opener. Listen reflects every SYN statelessly (the cookie
+    // is a pure function of the nonce at spec level; the engine uses a
+    // keyed MAC) and only the valid-cookie ACKC allocates: peers moves,
+    // which is the allocation event the verify model pins down.
+    machine Server {
+        // peers moves 0 -> 1 exactly when a valid-cookie ACKC lands:
+        // the allocation witness. SYN never touches it — reflects stay
+        // stateless, which is the whole point of the cookie.
+        var peers: u32
+
+        init state Listen
+        state Established
+        state Drained
+        final state Closed
+
+        event SYN(a: Syn)
+        event ACKC(a: AckC)
+        event BEAT(b: Beat)
+        event FIN
+        event PEER_DOWN
+        event DONE
+
+        on SYN from Listen to Listen as reflect {
+            send SynAck(magic: 199, kind: 2, nonce: a.nonce, cookie: a.nonce + 1)
+        }
+        on ACKC from Listen to Established as accept when a.cookie == a.nonce + 1 {
+            set peers = peers + 1
+        }
+        on ACKC from Listen to Listen as reject when a.cookie != a.nonce + 1
+        on BEAT from Established to Established as beatack {
+            send BeatAck(magic: 199, kind: 7, seq: b.seq)
+        }
+        on FIN from Established to Drained as fin {
+            send FinAck(magic: 199, kind: 5)
+        }
+        on FIN from Drained to Drained as refin {
+            send FinAck(magic: 199, kind: 5)
+        }
+        on PEER_DOWN from Established to Closed as peerdown
+        on DONE from Drained to Closed as done
+
+        ignore ACKC in Established
+        ignore SYN in Established
+        ignore DONE in Established
+        ignore SYN in Drained
+        ignore ACKC in Drained
+        ignore BEAT in Drained
+        ignore PEER_DOWN in Drained
+        ignore FIN in Listen
+        ignore BEAT in Listen
+        ignore PEER_DOWN in Listen
+        ignore DONE in Listen
+    }
+}
+`

@@ -16,6 +16,7 @@ func TestSpecFilesMatchCanonicalSources(t *testing.T) {
 	}{
 		{"arq.pdsl", ARQSource},
 		{"ipv4.pdsl", IPv4Source},
+		{"handshake.pdsl", HandshakeSource},
 	} {
 		path := filepath.Join("..", "..", "examples", "specs", tc.file)
 		got, err := os.ReadFile(path)

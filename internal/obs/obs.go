@@ -49,6 +49,7 @@ const (
 	DropLink        // simulated link loss/MTU drop (netsim only)
 	DropFault       // injected fault drop (internal/faults: burst loss, partition)
 	DropDraining    // frame from a new peer while the node is draining
+	DropNoSession   // data or control frame from a peer with no completed handshake (DESIGN.md §14)
 
 	DropSendOversize // staged frame larger than MaxPacket
 	DropSendFamily   // destination family cannot ride this socket
@@ -63,6 +64,12 @@ const (
 	Sheds           // frames shed by the overload policy before reaching a shard
 	FlowsExpired    // served (flow, peer) engines reaped by idle expiry
 	PanicsRecovered // engine panics contained by shard-loop isolation
+
+	HandshakesOK     // cookie round-trips completed; engine allocated (DESIGN.md §14)
+	CookiesRejected  // ACKC frames whose cookie failed MAC validation
+	PeerDown         // peers declared dead after K missed heartbeats
+	FlowsResumed     // engines re-seeded from a snapshot after restart
+	TimewaitAbsorbed // stale control frames swallowed in TIME_WAIT
 
 	NumCounters // count of counters; not itself a counter
 )
@@ -83,6 +90,7 @@ var counterNames = [NumCounters]string{
 	DropLink:        "drop_link",
 	DropFault:       "drop_fault",
 	DropDraining:    "drop_draining",
+	DropNoSession:   "drop_no_session",
 
 	DropSendOversize: "drop_send_oversize",
 	DropSendFamily:   "drop_send_family",
@@ -97,6 +105,12 @@ var counterNames = [NumCounters]string{
 	Sheds:           "sheds",
 	FlowsExpired:    "flows_expired",
 	PanicsRecovered: "panics_recovered",
+
+	HandshakesOK:     "handshakes_ok",
+	CookiesRejected:  "cookies_rejected",
+	PeerDown:         "peer_down",
+	FlowsResumed:     "flows_resumed",
+	TimewaitAbsorbed: "timewait_absorbed",
 }
 
 // Name returns the counter's snake_case name (the Prometheus/JSON key).

@@ -65,6 +65,7 @@ import (
 	"protodsl/internal/faults"
 	"protodsl/internal/netsim"
 	"protodsl/internal/obs"
+	"protodsl/internal/session"
 )
 
 // traceRingSlots sizes each shard's packet-trace ring. Tracing is off
@@ -206,6 +207,11 @@ type Node struct {
 	// are attributed to the reading socket's shard; everything else to
 	// the owning shard.
 	stats *obs.Stats
+
+	// sessionStores are the per-shard crash-recovery logs opened by
+	// ServeSession (empty without a state dir); closed after the shard
+	// loops quiesce so no append races the teardown.
+	sessionStores []*session.Store
 }
 
 // listenSockets binds the node's socket group: one SO_REUSEPORT socket
@@ -402,6 +408,9 @@ func (n *Node) Close() error {
 	// Shards finish their final flush on still-open sockets before the
 	// fds go away.
 	n.shardWg.Wait()
+	for _, st := range n.sessionStores {
+		_ = st.Close()
+	}
 	for _, c := range n.conns {
 		_ = c.Close()
 	}

@@ -1,0 +1,123 @@
+package rtnet
+
+import (
+	"fmt"
+	"time"
+
+	"protodsl/internal/netsim"
+	"protodsl/internal/session"
+)
+
+// SessionAccept builds the data engine for a peer that completed the
+// cookie handshake on a served flow (or is being restored from a state
+// snapshot after a restart). It runs inside the owning shard's loop.
+// resume is nil for a clean handshake and carries the recovered
+// receiver progress otherwise; returning nil rejects the peer.
+type SessionAccept func(rt netsim.Runtime, port netsim.Port, peer netsim.Addr, flow byte, resume *session.Resume) *session.Engine
+
+// SessionConfig parameterises ServeSession. The zero value selects the
+// session package's defaults (1s heartbeat sweep, 3 misses, random
+// cookie secret, no persistence).
+type SessionConfig struct {
+	// StateDir, when non-empty, enables crash recovery: each shard
+	// appends per-peer machine + progress snapshots to
+	// StateDir/state-<shard>.log, and ServeSession replays surviving
+	// slots into the gates before taking traffic (counted as
+	// flows_resumed). The directory must be replayed by a node with the
+	// same shard count — flow ownership is id mod Shards.
+	StateDir string
+	// HeartbeatEvery is the gates' liveness sweep interval.
+	HeartbeatEvery time.Duration
+	// HeartbeatMisses is K: sweep intervals without any frame from a
+	// peer before it is declared down (peer_down).
+	HeartbeatMisses int
+	// Secret keys the SYN cookie MAC across all of the node's gates.
+	// Nil mints a random one — fine unless sessions must survive a
+	// restart, where the restarted node needs the same key only if
+	// clients may answer a pre-crash SYN-ACK; recovery itself (snapshot
+	// replay) does not depend on it.
+	Secret []byte
+}
+
+// ServeSession claims every still-unclaimed flow id and installs a
+// session.Gate on each: the connection-lifecycle version of Serve.
+// Where Serve spawns an engine for any first datagram from a new
+// source, a gate allocates nothing until the peer completes the
+// stateless-cookie handshake, answers heartbeats, reaps silent peers
+// via the compiled lifecycle machine (peer_down), and — with
+// cfg.StateDir — snapshot-logs progress so established sessions
+// survive a server crash/restart. Flows claimed earlier (Node.Flow)
+// are left alone. Draining a node stops new handshakes on every gate
+// (drop_draining) while established sessions finish.
+//
+// Plain Serve is untouched by any of this: a node that never calls
+// ServeSession carries no session layer on its data path.
+func (n *Node) ServeSession(cfg SessionConfig, accept SessionAccept) error {
+	if accept == nil {
+		return fmt.Errorf("rtnet: ServeSession needs an accept callback")
+	}
+	secret := cfg.Secret
+	if secret == nil {
+		secret = session.NewSecret()
+	}
+	var recovered map[session.Key]session.Rec
+	if cfg.StateDir != "" {
+		var err error
+		recovered, err = session.LoadDir(cfg.StateDir)
+		if err != nil {
+			return fmt.Errorf("rtnet: replaying session state: %w", err)
+		}
+	}
+	for si, sh := range n.shards {
+		var store *session.Store
+		if cfg.StateDir != "" {
+			var err error
+			store, err = session.NewStore(cfg.StateDir, si)
+			if err != nil {
+				return fmt.Errorf("rtnet: opening session state log: %w", err)
+			}
+			n.sessionStores = append(n.sessionStores, store)
+		}
+		sh := sh
+		var gateErr error
+		err := sh.do(func() {
+			for id := 0; id < 256; id++ {
+				flow := byte(id)
+				if n.shardFor(flow) != sh {
+					continue
+				}
+				fp, err := sh.mux.Flow(flow)
+				if err != nil {
+					continue // claimed by the caller: not ours to serve
+				}
+				gate, err := session.NewGate(sh.loop, fp, flow, session.GateConfig{
+					Accept: func(peer netsim.Addr, resume *session.Resume) *session.Engine {
+						return accept(sh.loop, fp, peer, flow, resume)
+					},
+					Secret:          secret,
+					HeartbeatEvery:  cfg.HeartbeatEvery,
+					HeartbeatMisses: cfg.HeartbeatMisses,
+					MaxPeers:        n.cfg.MaxPeersPerFlow,
+					Draining:        n.draining.Load,
+					Store:           store,
+				})
+				if err != nil {
+					gateErr = err
+					return
+				}
+				for key, rec := range recovered {
+					if key.Flow == flow {
+						gate.Restore(key.Peer, rec)
+					}
+				}
+			}
+		})
+		if err != nil {
+			return err
+		}
+		if gateErr != nil {
+			return gateErr
+		}
+	}
+	return nil
+}

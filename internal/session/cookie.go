@@ -1,0 +1,48 @@
+// Cookie derivation. At spec level the handshake cookie is the pure
+// function nonce+1 — enough for the verify model to pin down "only a
+// returned cookie allocates". The engine hardens that shape into a
+// keyed MAC over (secret, flow, peer, nonce): first 4 bytes of
+// SHA-256, so a cookie cannot be forged without the secret and a
+// cookie minted for one peer is useless replayed from another address.
+// The gate verifies the MAC itself and presents the machine the spec's
+// canonical cookie, mapping valid/invalid onto accept/reject — see
+// DESIGN.md §14.
+
+package session
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+
+	"protodsl/internal/netsim"
+)
+
+// cookie32 derives the handshake cookie for (flow, peer, nonce) under
+// secret. scratch is reused across calls (sha256.Sum256 itself does not
+// allocate), and the grown scratch is returned for the caller to keep.
+func cookie32(secret []byte, flow byte, peer netsim.Addr, nonce uint32, scratch []byte) (uint32, []byte) {
+	scratch = append(scratch[:0], secret...)
+	scratch = append(scratch, flow)
+	scratch = append(scratch, peer...)
+	scratch = append(scratch, byte(nonce), byte(nonce>>8), byte(nonce>>16), byte(nonce>>24))
+	sum := sha256.Sum256(scratch)
+	c := uint32(sum[0]) | uint32(sum[1])<<8 | uint32(sum[2])<<16 | uint32(sum[3])<<24
+	return c, scratch
+}
+
+// NewSecret mints a random cookie-MAC key. A node serving many flows
+// shares one key across its gates (rtnet.ServeSession does this) so a
+// peer's cookie is scoped by the flow byte in the MAC, not by which
+// gate minted it.
+func NewSecret() []byte { return randomSecret() }
+
+// randomSecret mints a per-process MAC key for gates built without one.
+// A fresh key after restart is harmless: resumed peers re-enter through
+// the snapshot path, not the cookie round-trip.
+func randomSecret() []byte {
+	b := make([]byte, 16)
+	if _, err := rand.Read(b); err != nil {
+		panic("session: reading random cookie secret: " + err.Error())
+	}
+	return b
+}

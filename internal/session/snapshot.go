@@ -1,0 +1,193 @@
+// Store is the crash-recovery log: one append-only file per shard under
+// a state directory, recording each established peer's lifecycle
+// machine state (fsm.AppendState canon) plus the ARQ receiver's expect
+// counter every time it moves. On restart, LoadDir folds the logs into
+// a last-record-wins map and the gates re-seed engines from it — a
+// restarted server resumes mid-transfer at the correct sequence instead
+// of forcing clients back through a handshake they already completed.
+//
+// Records are length-prefixed and CRC-framed; a reader stops at the
+// first torn or corrupt record, which is exactly the tail a crash
+// mid-append can leave. Writes are not fsynced: the log protects
+// against process crashes (the chaos soak's kill/restart), not against
+// the host losing its page cache. See DESIGN.md §14.
+
+package session
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"protodsl/internal/netsim"
+)
+
+const (
+	recState = 1 // body: flow, peer, expect, machine canon
+	recDrop  = 2 // body: flow, peer — clean teardown, slot cleared
+)
+
+// Store appends session records for one shard. Single-goroutine (the
+// owning shard loop); the encode buffer is reused so a steady-state
+// append does one file write and no allocations.
+type Store struct {
+	f   *os.File
+	buf []byte
+	err error
+}
+
+// StoreFile names shard i's log file inside a state directory.
+func StoreFile(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("state-%d.log", shard))
+}
+
+// NewStore opens (creating if needed) shard i's append-only log in dir.
+func NewStore(dir string, shard int) (*Store, error) {
+	f, err := os.OpenFile(StoreFile(dir, shard), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("session: opening state log: %w", err)
+	}
+	return &Store{f: f}, nil
+}
+
+// Append records peer's current machine state and receiver progress.
+func (s *Store) Append(flow byte, peer netsim.Addr, expect uint64, mach []byte) {
+	s.append(recState, flow, peer, expect, mach)
+}
+
+// AppendDrop records a clean teardown: the (flow, peer) slot is cleared
+// and will not resume.
+func (s *Store) AppendDrop(flow byte, peer netsim.Addr) {
+	s.append(recDrop, flow, peer, 0, nil)
+}
+
+func (s *Store) append(kind byte, flow byte, peer netsim.Addr, expect uint64, mach []byte) {
+	if s.f == nil || len(peer) > 255 {
+		return
+	}
+	b := s.buf[:0]
+	b = append(b, 0, 0) // length prefix, patched below
+	b = append(b, kind, flow, byte(len(peer)))
+	b = append(b, peer...)
+	b = binary.AppendUvarint(b, expect)
+	b = binary.AppendUvarint(b, uint64(len(mach)))
+	b = append(b, mach...)
+	body := b[2:]
+	binary.LittleEndian.PutUint16(b[:2], uint16(len(body)))
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(body))
+	s.buf = b
+	if _, err := s.f.Write(b); err != nil && s.err == nil {
+		s.err = err
+	}
+}
+
+// Err returns the first write error, if any (appends are best-effort
+// and never block the data path).
+func (s *Store) Err() error { return s.err }
+
+// Close closes the log file.
+func (s *Store) Close() error {
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+// Key identifies one session slot in a recovered state map.
+type Key struct {
+	Flow byte
+	Peer netsim.Addr
+}
+
+// Rec is the last recorded state for a slot.
+type Rec struct {
+	Expect uint64
+	Mach   []byte
+}
+
+// LoadDir folds every shard log in dir into the surviving slots:
+// last record per (flow, peer) wins, drop records clear the slot, and
+// each file is read only up to its first torn record. A missing
+// directory is an empty state, not an error.
+//
+// Records for one slot always land in one file (a flow maps to one
+// shard), so per-file order is the only order that matters — provided
+// the shard count is stable across restarts, which the serving tools
+// keep flag-driven.
+func LoadDir(dir string) (map[Key]Rec, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return map[Key]Rec{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("session: reading state dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			if ok, _ := filepath.Match("state-*.log", e.Name()); ok {
+				names = append(names, e.Name())
+			}
+		}
+	}
+	sort.Strings(names)
+	out := map[Key]Rec{}
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("session: reading state log %s: %w", name, err)
+		}
+		foldLog(data, out)
+	}
+	return out, nil
+}
+
+// foldLog applies one file's records to the slot map, stopping at the
+// first record that fails framing or CRC.
+func foldLog(data []byte, out map[Key]Rec) {
+	for len(data) >= 2 {
+		n := int(binary.LittleEndian.Uint16(data))
+		if len(data) < 2+n+4 {
+			return // torn tail
+		}
+		body := data[2 : 2+n]
+		sum := binary.LittleEndian.Uint32(data[2+n:])
+		data = data[2+n+4:]
+		if crc32.ChecksumIEEE(body) != sum {
+			return
+		}
+		if len(body) < 3 {
+			return
+		}
+		kind, flow, plen := body[0], body[1], int(body[2])
+		body = body[3:]
+		if len(body) < plen {
+			return
+		}
+		key := Key{Flow: flow, Peer: netsim.Addr(body[:plen])}
+		body = body[plen:]
+		expect, n1 := binary.Uvarint(body)
+		if n1 <= 0 {
+			return
+		}
+		body = body[n1:]
+		mlen, n2 := binary.Uvarint(body)
+		if n2 <= 0 || uint64(len(body[n2:])) < mlen {
+			return
+		}
+		mach := body[n2 : n2+int(mlen)]
+		switch kind {
+		case recState:
+			out[key] = Rec{Expect: expect, Mach: append([]byte(nil), mach...)}
+		case recDrop:
+			delete(out, key)
+		default:
+			return
+		}
+	}
+}

@@ -65,17 +65,38 @@ func diffGrid(t *testing.T) []diffConfig {
 		if err != nil {
 			t.Fatal(err)
 		}
+		w := o.Window
+		if w == 0 {
+			w = 2
+		}
 		grid = append(grid, diffConfig{
-			name: fmt.Sprintf("sr/n=%d/t=%d/c=%d/lossy=%v/reorder=%v",
-				o.SeqSpace, o.Total, o.Capacity, o.Lossy, o.Reorder),
+			name: fmt.Sprintf("sr/n=%d/w=%d/t=%d/c=%d/lossy=%v/reorder=%v",
+				o.SeqSpace, w, o.Total, o.Capacity, o.Lossy, o.Reorder),
 			sys: sys,
-			inv: []Invariant{SRInvariant(o.SeqSpace)},
+			inv: []Invariant{SRInvariantW(o.SeqSpace, w)},
 		})
 	}
 	sr(SROptions{SeqSpace: 4, Total: 3, Capacity: 1})
 	sr(SROptions{SeqSpace: 4, Total: 3, Capacity: 2, Lossy: true})
 	sr(SROptions{SeqSpace: 3, Total: 3, Capacity: 2, Lossy: true})                // seeded: n < 2W
 	sr(SROptions{SeqSpace: 4, Total: 3, Capacity: 2, Lossy: true, Reorder: true}) // stale dup lurks in reorder channel
+	sr(SROptions{SeqSpace: 6, Window: 3, Total: 4, Capacity: 2, Lossy: true})
+	sr(SROptions{SeqSpace: 5, Window: 3, Total: 4, Capacity: 2, Lossy: true}) // seeded: n < 2W at W=3
+
+	hs := func(o HSOptions) {
+		sys, err := BuildHandshake(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grid = append(grid, diffConfig{
+			name: fmt.Sprintf("hs/c=%d/lossy=%v/reorder=%v/reinc=%v/mutant=%d",
+				o.Capacity, o.Lossy, o.Reorder, o.Reincarnate, o.Mutant),
+			sys: sys,
+			inv: []Invariant{HSInvariant()},
+		})
+	}
+	hs(HSOptions{Capacity: 2, Lossy: true, Reorder: true})
+	hs(HSOptions{Capacity: 2, Reorder: true, Reincarnate: true, Mutant: MutantNoTimeWait}) // seeded: stale FinAck aliases
 
 	grid = append(grid, diffConfig{
 		name: "handshake-deadlock",

@@ -1,0 +1,71 @@
+package verify
+
+import "testing"
+
+func hsExplore(t *testing.T, opts HSOptions) *Result {
+	t.Helper()
+	sys, err := BuildHandshake(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Explore(sys, Options{
+		MaxStates:            3_000_000,
+		Invariants:           []Invariant{HSInvariant()},
+		StopAtFirstViolation: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Truncated {
+		t.Fatalf("truncated at %d states", rep.States)
+	}
+	return rep
+}
+
+// TestHandshakeModelVerdicts pins the lifecycle gate's teeth: the clean
+// model satisfies HSInvariant across channel regimes, and each seeded
+// lifecycle bug is caught.
+func TestHandshakeModelVerdicts(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		opts     HSOptions
+		wantViol bool
+	}{
+		{"clean/fifo", HSOptions{Capacity: 2}, false},
+		{"clean/lossy", HSOptions{Capacity: 2, Lossy: true}, false},
+		{"clean/lossy+reorder", HSOptions{Capacity: 2, Lossy: true, Reorder: true}, false},
+		{"clean/beats", HSOptions{Capacity: 1, Beats: true}, false},
+		{"clean/reincarnate+reorder", HSOptions{Capacity: 2, Reorder: true, Reincarnate: true}, false},
+		{"halfopen-leak", HSOptions{Capacity: 2, Lossy: true, Mutant: MutantHalfOpenLeak}, true},
+		{"accept-any-cookie", HSOptions{Capacity: 2, Lossy: true, Mutant: MutantAcceptAnyCookie}, true},
+		{"no-timewait", HSOptions{Capacity: 2, Reorder: true, Reincarnate: true, Mutant: MutantNoTimeWait}, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := hsExplore(t, tc.opts)
+			t.Logf("states=%d trans=%d viol=%d", rep.States, rep.Transitions, len(rep.Violations))
+			if got := len(rep.Violations) > 0; got != tc.wantViol {
+				for i, v := range rep.Violations {
+					if i == 3 {
+						break
+					}
+					t.Log(v.String())
+				}
+				t.Fatalf("violations=%d, want violations=%v", len(rep.Violations), tc.wantViol)
+			}
+		})
+	}
+}
+
+// TestHandshakeModelOptionValidation: invalid combinations are rejected
+// at build time, not silently weakened.
+func TestHandshakeModelOptionValidation(t *testing.T) {
+	if _, err := BuildHandshake(HSOptions{Capacity: 0}); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := BuildHandshake(HSOptions{Capacity: 1, Reincarnate: true, Lossy: true}); err == nil {
+		t.Error("lossy reincarnation accepted (quiescence guard would strand)")
+	}
+	if _, err := BuildHandshake(HSOptions{Capacity: 1, Mutant: MutantNoTimeWait}); err == nil {
+		t.Error("MutantNoTimeWait without Reincarnate accepted (unobservable)")
+	}
+}

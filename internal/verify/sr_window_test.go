@@ -1,0 +1,28 @@
+package verify
+
+import "testing"
+
+func TestSRWindow3Verdicts(t *testing.T) {
+	for _, tc := range []struct {
+		n        int
+		reorder  bool
+		wantViol bool
+	}{
+		{6, false, false}, // n >= 2W: clean
+		{5, false, true},  // n < 2W: aliasing bug
+		{6, true, true},   // reordering defeats plain SR acks
+	} {
+		sys, err := BuildSR(SROptions{SeqSpace: tc.n, Window: 3, Total: 4, Capacity: 2, Lossy: true, Reorder: tc.reorder})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Explore(sys, Options{MaxStates: 3_000_000, Invariants: []Invariant{SRInvariantW(tc.n, 3)}, StopAtFirstViolation: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("n=%d reorder=%v states=%d viol=%d", tc.n, tc.reorder, rep.States, len(rep.Violations))
+		if (len(rep.Violations) > 0) != tc.wantViol {
+			t.Errorf("n=%d reorder=%v: violations=%d want viol=%v", tc.n, tc.reorder, len(rep.Violations), tc.wantViol)
+		}
+	}
+}

@@ -183,12 +183,15 @@ func GBNInvariant(seqSpace int) Invariant {
 	}
 }
 
-// SROptions parameterises the Selective Repeat model (window fixed at 2).
+// SROptions parameterises the Selective Repeat model.
 type SROptions struct {
 	// SeqSpace is the sequence-number modulus (2..64). Correct SR with
-	// window 2 needs SeqSpace >= 4 (2×window); SeqSpace == 3 is the
-	// classic bug.
+	// window W needs SeqSpace >= 2W; anything smaller is the classic
+	// aliasing bug (SeqSpace 3 for the default window of 2).
 	SeqSpace int
+	// Window is the sender/receiver window (1..4); 0 selects 2, the
+	// historical fixed size.
+	Window int
 	// Total bounds the session: distinct packets sent (1..200).
 	Total int
 	// Capacity bounds each channel.
@@ -198,23 +201,56 @@ type SROptions struct {
 	Reorder bool
 }
 
-// BuildSR assembles the Selective Repeat system with a window of 2:
-// sender index 0 (vars base, outst, a1, snd), receiver index 1 (vars
+// maskRun counts the consecutive set bits of m starting at bit 0: how
+// many already-acked (or already-buffered) successors slide out together
+// with the packet at the window base.
+func maskRun(m int) int {
+	r := 0
+	for m&1 == 1 {
+		r++
+		m >>= 1
+	}
+	return r
+}
+
+// BuildSR assembles the Selective Repeat system with a window of W:
+// sender index 0 (vars base, outst, ackm, snd), receiver index 1 (vars
 // expected, buf, got). Each outstanding packet has its own timeout
-// stimulus (TIMEOUT0 for base, TIMEOUT1 for base+1) — retransmissions
-// are selective, not go-back.
+// stimulus (TIMEOUTk retransmits base+k) — retransmissions are
+// selective, not go-back.
+//
+// The guard language has no bitwise operators, so the out-of-order
+// bookkeeping — which of the in-flight successors are already acked
+// (sender ackm) or buffered (receiver buf) — is modelled by enumerating
+// one transition per concrete mask value: bit k-1 of the mask stands
+// for offset base+k (resp. expected+k). With the default window of 2
+// the masks collapse to the single 0/1 flag the fixed-window model
+// used, so existing configurations explore the identical state space.
 func BuildSR(opts SROptions) (*System, error) {
 	if err := windowedValidate(opts.SeqSpace, opts.Total, opts.Capacity); err != nil {
 		return nil, err
 	}
+	w := opts.Window
+	if w == 0 {
+		w = 2
+	}
+	if w < 1 || w > 4 {
+		return nil, fmt.Errorf("verify: SR window must be 1..4, got %d", w)
+	}
 	n, total := opts.SeqSpace, opts.Total
+	seq := func(offset int) expr.Expr {
+		if offset == 0 {
+			return expr.MustParse("base")
+		}
+		return expr.MustParse(fmt.Sprintf("(base + %d) %% %d", offset, n))
+	}
 
 	sender := &fsm.Spec{
-		Name: fmt.Sprintf("SRSender%d", n),
+		Name: fmt.Sprintf("SRSender%dw%d", n, w),
 		Vars: []fsm.Var{
 			{Name: "base", Type: expr.TU8},
 			{Name: "outst", Type: expr.TU8},
-			{Name: "a1", Type: expr.TU8}, // base+1 already acked (only while outst == 2)
+			{Name: "ackm", Type: expr.TU8}, // bit k-1: base+k already acked
 			{Name: "snd", Type: expr.TU8},
 		},
 		States: []fsm.State{
@@ -224,13 +260,11 @@ func BuildSR(opts SROptions) (*System, error) {
 		Events: []fsm.Event{
 			{Name: "SEND"},
 			{Name: "ACK", Params: []fsm.Param{{Name: "a", Type: expr.TMsg("AckM")}}},
-			{Name: "TIMEOUT0"},
-			{Name: "TIMEOUT1"},
 			{Name: "FINISH"},
 		},
 		Transitions: []fsm.Transition{
 			{Name: "send", From: "Ready", Event: "SEND", To: "Ready",
-				Guard: expr.MustParse(fmt.Sprintf("outst < 2 && snd < %d", total)),
+				Guard: expr.MustParse(fmt.Sprintf("outst < %d && snd < %d", w, total)),
 				Assigns: []fsm.Assign{
 					{Var: "outst", Expr: expr.MustParse("outst + 1")},
 					{Var: "snd", Expr: expr.MustParse("snd + 1")},
@@ -238,49 +272,72 @@ func BuildSR(opts SROptions) (*System, error) {
 				Outputs: []fsm.Output{{Message: "Pkt", Fields: map[string]expr.Expr{
 					"seq": expr.MustParse(fmt.Sprintf("(base + outst) %% %d", n)),
 				}}}},
-			// Ack for base when base+1 is already acked: slide over both.
-			{Name: "ack_slide2", From: "Ready", Event: "ACK", To: "Ready",
-				Guard: expr.MustParse("a.seq == base && outst == 2 && a1 == 1"),
-				Assigns: []fsm.Assign{
-					{Var: "base", Expr: expr.MustParse(fmt.Sprintf("(base + 2) %% %d", n))},
-					{Var: "outst", Expr: expr.MustParse("0")},
-					{Var: "a1", Expr: expr.MustParse("0")},
-				}},
-			// Ack for base alone: slide one; a following outstanding
-			// packet (if any) becomes the new base.
-			{Name: "ack_slide1", From: "Ready", Event: "ACK", To: "Ready",
-				Guard: expr.MustParse("a.seq == base && outst >= 1 && a1 == 0"),
-				Assigns: []fsm.Assign{
-					{Var: "base", Expr: expr.MustParse(fmt.Sprintf("(base + 1) %% %d", n))},
-					{Var: "outst", Expr: expr.MustParse("outst - 1")},
-				}},
-			// Ack for the second outstanding packet: mark it, keep base.
-			{Name: "ack_second", From: "Ready", Event: "ACK", To: "Ready",
-				Guard: expr.MustParse(fmt.Sprintf("a.seq == ((base + 1) %% %d) && outst == 2 && a1 == 0", n)),
-				Assigns: []fsm.Assign{
-					{Var: "a1", Expr: expr.MustParse("1")},
-				}},
-			{Name: "rexmit0", From: "Ready", Event: "TIMEOUT0", To: "Ready",
-				Guard: expr.MustParse("outst >= 1"),
-				Outputs: []fsm.Output{{Message: "Pkt", Fields: map[string]expr.Expr{
-					"seq": expr.MustParse("base"),
-				}}}},
-			{Name: "rexmit1", From: "Ready", Event: "TIMEOUT1", To: "Ready",
-				Guard: expr.MustParse("outst == 2 && a1 == 0"),
-				Outputs: []fsm.Output{{Message: "Pkt", Fields: map[string]expr.Expr{
-					"seq": expr.MustParse(fmt.Sprintf("(base + 1) %% %d", n)),
-				}}}},
 			{Name: "finish", From: "Ready", Event: "FINISH", To: "Done",
 				Guard: expr.MustParse("outst == 0")},
 		},
 		Messages: modelMessages(),
 	}
+	for _, k := range timeoutOffsets(w) {
+		sender.Events = append(sender.Events, fsm.Event{Name: fmt.Sprintf("TIMEOUT%d", k)})
+	}
+	// Ack handling, one transition per concrete (outst, ackm) pair. An
+	// ack for base slides past it and every consecutively-acked
+	// successor; an ack for an unacked successor marks its mask bit; any
+	// other ack matches no guard and is consumed as a stale duplicate.
+	for o := 1; o <= w; o++ {
+		for m := 0; m < 1<<(o-1); m++ {
+			d := 1 + maskRun(m)
+			sender.Transitions = append(sender.Transitions, fsm.Transition{
+				Name: fmt.Sprintf("ackslide_o%d_m%d", o, m), From: "Ready", Event: "ACK", To: "Ready",
+				Guard: expr.MustParse(fmt.Sprintf("a.seq == base && outst == %d && ackm == %d", o, m)),
+				Assigns: []fsm.Assign{
+					{Var: "base", Expr: expr.MustParse(fmt.Sprintf("(base + %d) %% %d", d, n))},
+					{Var: "outst", Expr: expr.MustParse(fmt.Sprintf("%d", o-d))},
+					{Var: "ackm", Expr: expr.MustParse(fmt.Sprintf("%d", m>>d))},
+				},
+			})
+			for k := 1; k < o; k++ {
+				if m&(1<<(k-1)) != 0 {
+					continue
+				}
+				sender.Transitions = append(sender.Transitions, fsm.Transition{
+					Name: fmt.Sprintf("ackmark_o%d_m%d_k%d", o, m, k), From: "Ready", Event: "ACK", To: "Ready",
+					Guard: expr.MustParse(fmt.Sprintf("a.seq == ((base + %d) %% %d) && outst == %d && ackm == %d", k, n, o, m)),
+					Assigns: []fsm.Assign{
+						{Var: "ackm", Expr: expr.MustParse(fmt.Sprintf("%d", m|1<<(k-1)))},
+					},
+				})
+			}
+		}
+	}
+	// Selective retransmission: TIMEOUTk resends base+k alone. The base
+	// is by construction never acked while outstanding; higher offsets
+	// retransmit only while their mask bit is clear.
+	sender.Transitions = append(sender.Transitions, fsm.Transition{
+		Name: "rexmit0", From: "Ready", Event: "TIMEOUT0", To: "Ready",
+		Guard:   expr.MustParse("outst >= 1"),
+		Outputs: []fsm.Output{{Message: "Pkt", Fields: map[string]expr.Expr{"seq": seq(0)}}},
+	})
+	for k := 1; k < w; k++ {
+		for o := k + 1; o <= w; o++ {
+			for m := 0; m < 1<<(o-1); m++ {
+				if m&(1<<(k-1)) != 0 {
+					continue
+				}
+				sender.Transitions = append(sender.Transitions, fsm.Transition{
+					Name: fmt.Sprintf("rexmit%d_o%d_m%d", k, o, m), From: "Ready", Event: fmt.Sprintf("TIMEOUT%d", k), To: "Ready",
+					Guard:   expr.MustParse(fmt.Sprintf("outst == %d && ackm == %d", o, m)),
+					Outputs: []fsm.Output{{Message: "Pkt", Fields: map[string]expr.Expr{"seq": seq(k)}}},
+				})
+			}
+		}
+	}
 
 	receiver := &fsm.Spec{
-		Name: fmt.Sprintf("SRReceiver%d", n),
+		Name: fmt.Sprintf("SRReceiver%dw%d", n, w),
 		Vars: []fsm.Var{
 			{Name: "expected", Type: expr.TU8},
-			{Name: "buf", Type: expr.TU8}, // expected+1 buffered out of order
+			{Name: "buf", Type: expr.TU8}, // bit k-1: expected+k buffered out of order
 			{Name: "got", Type: expr.TU8},
 		},
 		// No final state, matching the other model receivers; see the GBN
@@ -289,50 +346,62 @@ func BuildSR(opts SROptions) (*System, error) {
 		Events: []fsm.Event{
 			{Name: "RECV", Params: []fsm.Param{{Name: "p", Type: expr.TMsg("Pkt")}}},
 		},
-		Transitions: []fsm.Transition{
-			{Name: "inorder", From: "Recv", Event: "RECV", To: "Recv",
-				Guard: expr.MustParse("p.seq == expected && buf == 0"),
-				Assigns: []fsm.Assign{
-					{Var: "expected", Expr: expr.MustParse(fmt.Sprintf("(expected + 1) %% %d", n))},
-					{Var: "got", Expr: expr.MustParse("got + 1")},
-				},
-				Outputs: []fsm.Output{{Message: "AckM", Fields: map[string]expr.Expr{
-					"seq": expr.MustParse("p.seq"),
-				}}}},
-			// In-order arrival with the next packet buffered: deliver both.
-			{Name: "inorder_flush", From: "Recv", Event: "RECV", To: "Recv",
-				Guard: expr.MustParse("p.seq == expected && buf == 1"),
-				Assigns: []fsm.Assign{
-					{Var: "expected", Expr: expr.MustParse(fmt.Sprintf("(expected + 2) %% %d", n))},
-					{Var: "buf", Expr: expr.MustParse("0")},
-					{Var: "got", Expr: expr.MustParse("got + 2")},
-				},
-				Outputs: []fsm.Output{{Message: "AckM", Fields: map[string]expr.Expr{
-					"seq": expr.MustParse("p.seq"),
-				}}}},
-			{Name: "buffer", From: "Recv", Event: "RECV", To: "Recv",
-				Guard: expr.MustParse(fmt.Sprintf("p.seq == ((expected + 1) %% %d) && buf == 0", n)),
-				Assigns: []fsm.Assign{
-					{Var: "buf", Expr: expr.MustParse("1")},
-				},
-				Outputs: []fsm.Output{{Message: "AckM", Fields: map[string]expr.Expr{
-					"seq": expr.MustParse("p.seq"),
-				}}}},
-			{Name: "buffer_dup", From: "Recv", Event: "RECV", To: "Recv",
-				Guard: expr.MustParse(fmt.Sprintf("p.seq == ((expected + 1) %% %d) && buf == 1", n)),
-				Outputs: []fsm.Output{{Message: "AckM", Fields: map[string]expr.Expr{
-					"seq": expr.MustParse("p.seq"),
-				}}}},
-			// Below the receive window: an already-delivered packet whose
-			// ack was lost — re-ack it.
-			{Name: "old_dup", From: "Recv", Event: "RECV", To: "Recv",
-				Guard: expr.MustParse(fmt.Sprintf("((p.seq + %d - expected) %% %d) >= 2", n, n)),
-				Outputs: []fsm.Output{{Message: "AckM", Fields: map[string]expr.Expr{
-					"seq": expr.MustParse("p.seq"),
-				}}}},
-		},
 		Messages: modelMessages(),
 	}
+	ackOut := []fsm.Output{{Message: "AckM", Fields: map[string]expr.Expr{
+		"seq": expr.MustParse("p.seq"),
+	}}}
+	// In-order arrival: deliver it plus every consecutively-buffered
+	// successor, per concrete buffer mask.
+	for m := 0; m < 1<<(w-1); m++ {
+		d := 1 + maskRun(m)
+		receiver.Transitions = append(receiver.Transitions, fsm.Transition{
+			Name: fmt.Sprintf("inorder_m%d", m), From: "Recv", Event: "RECV", To: "Recv",
+			Guard: expr.MustParse(fmt.Sprintf("p.seq == expected && buf == %d", m)),
+			Assigns: []fsm.Assign{
+				{Var: "expected", Expr: expr.MustParse(fmt.Sprintf("(expected + %d) %% %d", d, n))},
+				{Var: "buf", Expr: expr.MustParse(fmt.Sprintf("%d", m>>d))},
+				{Var: "got", Expr: expr.MustParse(fmt.Sprintf("got + %d", d))},
+			},
+			Outputs: ackOut,
+		})
+		// Out-of-order within the window: buffer (set the bit) or, when
+		// already buffered, just re-ack the duplicate.
+		for k := 1; k < w; k++ {
+			guard := fmt.Sprintf("p.seq == ((expected + %d) %% %d) && buf == %d", k, n, m)
+			if m&(1<<(k-1)) == 0 {
+				receiver.Transitions = append(receiver.Transitions, fsm.Transition{
+					Name: fmt.Sprintf("buffer_m%d_k%d", m, k), From: "Recv", Event: "RECV", To: "Recv",
+					Guard: expr.MustParse(guard),
+					Assigns: []fsm.Assign{
+						{Var: "buf", Expr: expr.MustParse(fmt.Sprintf("%d", m|1<<(k-1)))},
+					},
+					Outputs: ackOut,
+				})
+			} else {
+				receiver.Transitions = append(receiver.Transitions, fsm.Transition{
+					Name: fmt.Sprintf("bufdup_m%d_k%d", m, k), From: "Recv", Event: "RECV", To: "Recv",
+					Guard:   expr.MustParse(guard),
+					Outputs: ackOut,
+				})
+			}
+		}
+	}
+	// Below the receive window: an already-delivered packet whose ack
+	// was lost — re-ack it.
+	receiver.Transitions = append(receiver.Transitions, fsm.Transition{
+		Name: "old_dup", From: "Recv", Event: "RECV", To: "Recv",
+		Guard:   expr.MustParse(fmt.Sprintf("((p.seq + %d - expected) %% %d) >= %d", n, n, w)),
+		Outputs: ackOut,
+	})
+
+	env := []EnvEvent{
+		{Machine: 0, Event: "SEND"},
+	}
+	for _, k := range timeoutOffsets(w) {
+		env = append(env, EnvEvent{Machine: 0, Event: fmt.Sprintf("TIMEOUT%d", k)})
+	}
+	env = append(env, EnvEvent{Machine: 0, Event: "FINISH"})
 
 	return &System{
 		Specs: []*fsm.Spec{sender, receiver},
@@ -342,20 +411,27 @@ func BuildSR(opts SROptions) (*System, error) {
 			{From: 1, Message: "AckM", To: 0, Event: "ACK", Param: "a",
 				Capacity: opts.Capacity, Lossy: opts.Lossy, Reorder: opts.Reorder},
 		},
-		Env: []EnvEvent{
-			{Machine: 0, Event: "SEND"},
-			{Machine: 0, Event: "TIMEOUT0"},
-			{Machine: 0, Event: "TIMEOUT1"},
-			{Machine: 0, Event: "FINISH"},
-		},
+		Env: env,
 	}, nil
 }
 
-// SRInvariant is the Selective Repeat safety property: the receiver
-// stays within 2 of the sender's base, and delivered+buffered packets
-// never exceed the packets actually sent.
-func SRInvariant(seqSpace int) Invariant {
-	n := uint64(seqSpace)
+func timeoutOffsets(w int) []int {
+	out := make([]int, w)
+	for k := range out {
+		out[k] = k
+	}
+	return out
+}
+
+// SRInvariant is the Selective Repeat safety property for the default
+// window of 2; SRInvariantW is the general form.
+func SRInvariant(seqSpace int) Invariant { return SRInvariantW(seqSpace, 2) }
+
+// SRInvariantW is the Selective Repeat safety property: the receiver
+// stays within the window of the sender's base, and delivered+buffered
+// packets never exceed the packets actually sent.
+func SRInvariantW(seqSpace, window int) Invariant {
+	n, w := uint64(seqSpace), uint64(window)
 	return Invariant{
 		Name: "sr-window",
 		Fn: func(s *Snapshot) error {
@@ -364,12 +440,16 @@ func SRInvariant(seqSpace int) Invariant {
 			expected := s.Vars[1]["expected"].AsUint()
 			buf := s.Vars[1]["buf"].AsUint()
 			got := s.Vars[1]["got"].AsUint()
-			if diff := (expected + n - base) % n; diff > 2 {
+			if diff := (expected + n - base) % n; diff > w {
 				return fmt.Errorf("receiver expected %d is %d past sender base %d", expected, diff, base)
 			}
-			if got+buf > snd {
+			buffered := uint64(0)
+			for m := buf; m != 0; m >>= 1 {
+				buffered += m & 1
+			}
+			if got+buffered > snd {
 				return fmt.Errorf("receiver holds %d packets (%d delivered, %d buffered), sender sent only %d",
-					got+buf, got, buf, snd)
+					got+buffered, got, buffered, snd)
 			}
 			return nil
 		},
